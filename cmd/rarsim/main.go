@@ -1,0 +1,94 @@
+// Command rarsim runs the paper-reproduction experiments: one per table
+// and figure of "Read-After-Read Memory Dependence Prediction" (MICRO
+// 1999), plus this repository's ablations.
+//
+// Usage:
+//
+//	rarsim -list                 # list experiments
+//	rarsim -exp fig6             # run one experiment
+//	rarsim -exp all              # run everything in paper order
+//	rarsim -exp fig9 -size 6     # smaller workloads (faster)
+//	rarsim -exp fig2 -bench gcc  # restrict to one workload
+//	rarsim -workloads            # list the benchmark suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rarpred/internal/experiments"
+	"rarpred/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		size     = flag.Int("size", 0, "workload size parameter (0 = experiment default)")
+		bench    = flag.String("bench", "", "comma-separated workload abbreviations (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		lists    = flag.Bool("workloads", false, "list the benchmark suite and exit")
+		parallel = flag.Int("p", 0, "max concurrent workload simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	case *lists:
+		for _, w := range workload.All() {
+			fmt.Printf("%-4s %-10s %-12s %s\n    %s\n",
+				w.Abbrev, w.Name, w.Analog, w.Class, w.Description)
+		}
+		return
+	case *exp == "":
+		fmt.Fprintln(os.Stderr, "rarsim: -exp required (try -list)")
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{Size: *size, Parallelism: *parallel}
+	if *bench != "" {
+		for _, ab := range strings.Split(*bench, ",") {
+			w, ok := workload.ByAbbrev(strings.TrimSpace(ab))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rarsim: unknown workload %q (try -workloads)\n", ab)
+				os.Exit(2)
+			}
+			opt.Workloads = append(opt.Workloads, w)
+		}
+	}
+
+	var todo []experiments.Experiment
+	if *exp == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rarsim: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for i, e := range todo {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		start := time.Now()
+		res, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rarsim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		fmt.Printf("[%s in %.1fs]\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,20 @@
+// Package rarpred is a from-scratch reproduction of "Read-After-Read
+// Memory Dependence Prediction" (Moshovos & Sohi, MICRO-32, 1999) as a Go
+// library: the RAR/RAW dependence prediction structures (DDT, DPNT,
+// synonym file), speculative memory cloaking and bypassing, a MIPS-like
+// ISA with an assembler and functional simulator, an out-of-order timing
+// simulator with the paper's Section 5.1 processor and memory system, a
+// SPEC95-analog benchmark suite, and an experiment harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// Entry points:
+//
+//   - cmd/rarsim: run the experiments (rarsim -list).
+//   - cmd/rarasm: assemble, disassemble and run programs for the ISA.
+//   - examples/: four runnable walkthroughs of the public API.
+//   - internal/cloak: the paper's core contribution.
+//   - internal/pipeline: the cycle-level model for the Section 5.6 studies.
+//
+// The top-level bench_test.go exposes one benchmark per table and figure
+// (go test -bench=.), each reporting the headline metric it reproduces.
+package rarpred

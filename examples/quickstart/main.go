@@ -1,0 +1,65 @@
+// Quickstart: assemble a small program, run it through the functional
+// simulator with a RAW+RAR cloaking engine attached, and print what the
+// mechanism did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rarpred/internal/asm"
+	"rarpred/internal/cloak"
+	"rarpred/internal/funcsim"
+)
+
+// The program walks an array twice per iteration through two different
+// functions' loads — a read-after-read dependence between the two static
+// loads, at a different address every time (the regularity the paper
+// exploits).
+const src = `
+        .data
+tab:    .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+        .text
+main:   li   r9, 1000               # iterations
+        li   r10, 0                 # index
+loop:   andi r1, r10, 15
+        slli r1, r1, 2
+        la   r2, tab
+        add  r2, r2, r1             # &tab[i & 15]
+        lw   r3, 0(r2)              # first reader  (RAR source)
+        lw   r4, 0(r2)              # second reader (RAR sink)
+        add  r5, r3, r4
+        add  r23, r23, r5
+        addi r10, r10, 3
+        addi r9, r9, -1
+        bne  r9, r0, loop
+        halt`
+
+func main() {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	engine := cloak.New(cloak.DefaultConfig()) // 128-entry DDT, RAW+RAR
+	sim := funcsim.New(prog)
+	sim.OnLoad = func(e funcsim.MemEvent) { engine.Load(e.PC, e.Addr, e.Value) }
+	sim.OnStore = func(e funcsim.MemEvent) { engine.Store(e.PC, e.Addr, e.Value) }
+
+	if err := sim.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	st := engine.Stats()
+	fmt.Printf("executed %d instructions, %d loads\n", sim.Counts.Insts, st.Loads)
+	fmt.Printf("loads with a visible RAR dependence: %d\n", st.LoadsWithRAR)
+	fmt.Printf("loads covered by RAR cloaking:       %d (%.1f%% of all loads)\n",
+		st.CorrectRAR, 100*float64(st.CorrectRAR)/float64(st.Loads))
+	fmt.Printf("misspeculations:                     %d\n", st.Mispredicted())
+	fmt.Println()
+	fmt.Println("The sink load names the source load through a synonym and")
+	fmt.Println("receives its value without address calculation — even though")
+	fmt.Println("the shared address changes every iteration.")
+}

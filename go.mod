@@ -1,0 +1,3 @@
+module rarpred
+
+go 1.22

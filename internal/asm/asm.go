@@ -1,0 +1,493 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rarpred/internal/isa"
+)
+
+// SyntaxError reports an assembly-text error with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+// Assemble parses assembly text into a program. The grammar is a compact
+// MIPS-style syntax:
+//
+//	        .data
+//	tab:    .word 1, 2, 0x10      # words
+//	cs:     .float 0.5, 2.25      # float32 bit patterns
+//	buf:    .space 64             # 64 zero words
+//	        .text
+//	main:   li   r1, 100
+//	        la   r2, tab
+//	loop:   lw   r3, 0(r2)
+//	        addi r1, r1, -1
+//	        bne  r1, r0, loop
+//	        halt
+//
+// Comments run from '#' or ';' to end of line. Pseudo-instructions: li,
+// la, mv, b (unconditional branch), call, ret, nop, halt. The entry point
+// is the "main" label when present, else instruction 0.
+func Assemble(src string) (*isa.Program, error) {
+	p := &parser{b: NewBuilder(), inText: true}
+	for i, line := range strings.Split(src, "\n") {
+		if err := p.line(i+1, line); err != nil {
+			return nil, err
+		}
+	}
+	prog, err := p.b.Program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble but panics on error; for use by workload code
+// and tests where the source is a compile-time constant.
+func MustAssemble(src string) *isa.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	b      *Builder
+	inText bool
+}
+
+func (p *parser) line(n int, line string) error {
+	if i := strings.IndexAny(line, "#;"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// Labels: one or more "name:" prefixes.
+	for {
+		colon := strings.Index(line, ":")
+		if colon < 0 {
+			break
+		}
+		name := strings.TrimSpace(line[:colon])
+		if !isIdent(name) {
+			break
+		}
+		if p.inText {
+			p.b.Label(name)
+			line = strings.TrimSpace(line[colon+1:])
+		} else {
+			// A data label must be attached to its directive so the symbol
+			// lands at the directive's address.
+			rest := strings.TrimSpace(line[colon+1:])
+			return p.dataDirective(n, name, rest)
+		}
+		if line == "" {
+			return nil
+		}
+	}
+	fields := splitOperands(line)
+	mnem := strings.ToLower(fields[0])
+	args := fields[1:]
+	switch mnem {
+	case ".text":
+		p.inText = true
+		return nil
+	case ".data":
+		p.inText = false
+		return nil
+	}
+	if !p.inText {
+		return p.dataDirective(n, "", line)
+	}
+	return p.instruction(n, mnem, args)
+}
+
+func (p *parser) dataDirective(n int, label, line string) error {
+	if line == "" {
+		// A bare data label: attach to the next word appended.
+		p.b.defineData(label)
+		return nil
+	}
+	fields := splitOperands(line)
+	mnem := strings.ToLower(fields[0])
+	args := fields[1:]
+	switch mnem {
+	case ".word":
+		vals := make([]uint32, 0, len(args))
+		for _, a := range args {
+			v, err := parseImm(a)
+			if err != nil {
+				return &SyntaxError{n, err.Error()}
+			}
+			vals = append(vals, uint32(v))
+		}
+		p.b.Word(label, vals...)
+	case ".float":
+		vals := make([]float64, 0, len(args))
+		for _, a := range args {
+			v, err := strconv.ParseFloat(a, 64)
+			if err != nil {
+				return &SyntaxError{n, "bad float " + a}
+			}
+			vals = append(vals, v)
+		}
+		p.b.Float(label, vals...)
+	case ".space":
+		if len(args) != 1 {
+			return &SyntaxError{n, ".space wants one word count"}
+		}
+		v, err := parseImm(args[0])
+		if err != nil || v < 0 {
+			return &SyntaxError{n, "bad .space size"}
+		}
+		p.b.Space(label, int(v))
+	default:
+		return &SyntaxError{n, "unknown data directive " + mnem}
+	}
+	return nil
+}
+
+func (p *parser) instruction(n int, mnem string, args []string) error {
+	fail := func(msg string) error { return &SyntaxError{n, mnem + ": " + msg} }
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "nop":
+		p.b.Nop()
+		return nil
+	case "halt":
+		p.b.Halt()
+		return nil
+	case "li":
+		if len(args) != 2 {
+			return fail("want reg, imm")
+		}
+		rd, ok := parseReg(args[0])
+		if !ok {
+			return fail("bad register " + args[0])
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return fail(err.Error())
+		}
+		p.b.Li(rd, v)
+		return nil
+	case "la":
+		if len(args) != 2 {
+			return fail("want reg, symbol")
+		}
+		rd, ok := parseReg(args[0])
+		if !ok {
+			return fail("bad register " + args[0])
+		}
+		p.b.La(rd, args[1])
+		return nil
+	case "mv":
+		if len(args) != 2 {
+			return fail("want reg, reg")
+		}
+		rd, ok1 := parseReg(args[0])
+		rs, ok2 := parseReg(args[1])
+		if !ok1 || !ok2 {
+			return fail("bad register")
+		}
+		p.b.Mv(rd, rs)
+		return nil
+	case "b":
+		if len(args) != 1 {
+			return fail("want label")
+		}
+		p.b.Jump(args[0])
+		return nil
+	case "call":
+		if len(args) != 1 {
+			return fail("want label")
+		}
+		p.b.Call(args[0])
+		return nil
+	case "ret":
+		p.b.Ret()
+		return nil
+	}
+
+	op, ok := isa.OpByName(mnem)
+	if !ok {
+		return fail("unknown mnemonic")
+	}
+	switch op.Class() {
+	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv, isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+		return p.alu(n, op, args)
+	case isa.ClassLoad:
+		if len(args) != 2 {
+			return fail("want reg, off(base)")
+		}
+		rd, ok := parseReg(args[0])
+		if !ok {
+			return fail("bad register " + args[0])
+		}
+		off, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return fail(err.Error())
+		}
+		p.b.Load(op, rd, base, off)
+	case isa.ClassStore:
+		if len(args) != 2 {
+			return fail("want reg, off(base)")
+		}
+		rt, ok := parseReg(args[0])
+		if !ok {
+			return fail("bad register " + args[0])
+		}
+		off, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return fail(err.Error())
+		}
+		p.b.Store(op, rt, base, off)
+	case isa.ClassBranch:
+		switch op {
+		case isa.OpBltz, isa.OpBgez:
+			if len(args) != 2 {
+				return fail("want reg, label")
+			}
+			rs, ok := parseReg(args[0])
+			if !ok {
+				return fail("bad register")
+			}
+			p.b.BrZ(op, rs, args[1])
+		default:
+			if len(args) != 3 {
+				return fail("want reg, reg, label")
+			}
+			rs, ok1 := parseReg(args[0])
+			rt, ok2 := parseReg(args[1])
+			if !ok1 || !ok2 {
+				return fail("bad register")
+			}
+			p.b.Br(op, rs, rt, args[2])
+		}
+	case isa.ClassJump:
+		switch op {
+		case isa.OpJ:
+			if len(args) != 1 {
+				return fail("want label")
+			}
+			p.b.Jump(args[0])
+		case isa.OpJal:
+			if len(args) != 1 {
+				return fail("want label")
+			}
+			p.b.Call(args[0])
+		case isa.OpJr:
+			if len(args) != 1 {
+				return fail("want reg")
+			}
+			rs, ok := parseReg(args[0])
+			if !ok {
+				return fail("bad register")
+			}
+			p.b.JumpReg(rs)
+		case isa.OpJalr:
+			if len(args) != 2 {
+				return fail("want reg, reg")
+			}
+			rd, ok1 := parseReg(args[0])
+			rs, ok2 := parseReg(args[1])
+			if !ok1 || !ok2 {
+				return fail("bad register")
+			}
+			p.b.CallReg(rd, rs)
+		}
+	case isa.ClassNop:
+		p.b.Nop()
+	case isa.ClassHalt:
+		p.b.Halt()
+	default:
+		return fail("unsupported class")
+	}
+	return nil
+}
+
+// alu assembles register-register and register-immediate arithmetic.
+func (p *parser) alu(n int, op isa.Op, args []string) error {
+	fail := func(msg string) error { return &SyntaxError{n, op.Name() + ": " + msg} }
+	switch op {
+	case isa.OpLui:
+		if len(args) != 2 {
+			return fail("want reg, imm")
+		}
+		rd, ok := parseReg(args[0])
+		if !ok {
+			return fail("bad register")
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return fail(err.Error())
+		}
+		p.b.RRI(op, rd, isa.R0, v)
+		return nil
+	case isa.OpFneg, isa.OpFabs, isa.OpFmov, isa.OpFcvtWS, isa.OpFcvtSW:
+		if len(args) != 2 {
+			return fail("want reg, reg")
+		}
+		rd, ok1 := parseReg(args[0])
+		rs, ok2 := parseReg(args[1])
+		if !ok1 || !ok2 {
+			return fail("bad register")
+		}
+		p.b.RRR(op, rd, rs, isa.R0)
+		return nil
+	}
+	if len(args) != 3 {
+		return fail("want 3 operands")
+	}
+	rd, ok1 := parseReg(args[0])
+	rs, ok2 := parseReg(args[1])
+	if !ok1 || !ok2 {
+		return fail("bad register")
+	}
+	if rt, ok := parseReg(args[2]); ok {
+		p.b.RRR(op, rd, rs, rt)
+		return nil
+	}
+	v, err := parseImm(args[2])
+	if err != nil {
+		return fail("bad operand " + args[2])
+	}
+	// Accept register-form mnemonics with an immediate third operand by
+	// promoting to the immediate opcode where one exists.
+	if imm, ok := immForm[op]; ok {
+		p.b.RRI(imm, rd, rs, v)
+		return nil
+	}
+	if isImmOp(op) {
+		p.b.RRI(op, rd, rs, v)
+		return nil
+	}
+	return fail("immediate operand not allowed")
+}
+
+var immForm = map[isa.Op]isa.Op{
+	isa.OpAdd: isa.OpAddi,
+	isa.OpAnd: isa.OpAndi,
+	isa.OpOr:  isa.OpOri,
+	isa.OpXor: isa.OpXori,
+	isa.OpSlt: isa.OpSlti,
+	isa.OpSll: isa.OpSlli,
+	isa.OpSrl: isa.OpSrli,
+	isa.OpSra: isa.OpSrai,
+}
+
+func isImmOp(op isa.Op) bool {
+	switch op {
+	case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpSlti,
+		isa.OpSlli, isa.OpSrli, isa.OpSrai, isa.OpLui:
+		return true
+	}
+	return false
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits "op a, b, c" into ["op","a","b","c"].
+func splitOperands(line string) []string {
+	var fields []string
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return []string{line}
+	}
+	fields = append(fields, line[:i])
+	for _, part := range strings.Split(line[i+1:], ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			fields = append(fields, part)
+		}
+	}
+	return fields
+}
+
+var regAliases = map[string]isa.Reg{
+	"zero": isa.R0,
+	"sp":   isa.R29,
+	"fp":   isa.R30,
+	"ra":   isa.R31,
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	s = strings.ToLower(s)
+	if r, ok := regAliases[s]; ok {
+		return r, true
+	}
+	if len(s) < 2 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, false
+	}
+	switch s[0] {
+	case 'r':
+		return isa.Reg(n), true
+	case 'f':
+		return isa.F(n), true
+	}
+	return 0, false
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseMemOperand parses "off(base)" or "(base)".
+func parseMemOperand(s string) (int32, isa.Reg, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	var off int32
+	if open > 0 {
+		v, err := parseImm(strings.TrimSpace(s[:open]))
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	base, ok := parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if !ok {
+		return 0, 0, fmt.Errorf("bad base register in %q", s)
+	}
+	return off, base, nil
+}

@@ -1,0 +1,553 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"rarpred/internal/isa"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.RRI(isa.OpAddi, isa.R1, isa.R0, 5)
+	b.Label("loop")
+	b.RRI(isa.OpAddi, isa.R1, isa.R1, -1)
+	b.Br(isa.OpBne, isa.R1, isa.R0, "loop")
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 4 {
+		t.Fatalf("got %d instructions", len(p.Insts))
+	}
+	// bne at index 2 targets index 1: offset = 1 - 3 = -2.
+	if p.Insts[2].Imm != -2 {
+		t.Errorf("branch offset = %d, want -2", p.Insts[2].Imm)
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d", p.Entry)
+	}
+}
+
+func TestBuilderForwardReference(t *testing.T) {
+	b := NewBuilder()
+	b.Jump("end") // forward
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 2 {
+		t.Errorf("jump target = %d, want 2", p.Insts[0].Imm)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jump("nowhere")
+	b.Halt()
+	if _, err := b.Program(); err == nil {
+		t.Error("undefined label not reported")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Program(); err == nil {
+		t.Error("duplicate label not reported")
+	}
+}
+
+func TestBuilderData(t *testing.T) {
+	b := NewBuilder()
+	b.Word("a", 1, 2, 3)
+	b.Space("buf", 4)
+	b.WordInt("c", -1)
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DataBase != DataBase {
+		t.Errorf("DataBase = %#x", p.DataBase)
+	}
+	wantData := []uint32{1, 2, 3, 0, 0, 0, 0, 0xffffffff}
+	if len(p.Data) != len(wantData) {
+		t.Fatalf("data len %d, want %d", len(p.Data), len(wantData))
+	}
+	for i, w := range wantData {
+		if p.Data[i] != w {
+			t.Errorf("data[%d] = %d, want %d", i, p.Data[i], w)
+		}
+	}
+	if a, _ := b.DataAddr("a"); a != DataBase {
+		t.Errorf("addr(a) = %#x", a)
+	}
+	if c, _ := b.DataAddr("c"); c != DataBase+7*4 {
+		t.Errorf("addr(c) = %#x", c)
+	}
+}
+
+func TestBuilderLi(t *testing.T) {
+	b := NewBuilder()
+	b.Li(isa.R1, 100)     // 1 inst
+	b.Li(isa.R2, -40000)  // 2 insts
+	b.Li(isa.R3, 0x10000) // lui only (low 16 zero)
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 5 {
+		t.Fatalf("got %d insts: %v", len(p.Insts), p.Insts)
+	}
+	if p.Insts[0].Op != isa.OpAddi {
+		t.Errorf("small Li should be addi, got %v", p.Insts[0].Op)
+	}
+	if p.Insts[1].Op != isa.OpLui || p.Insts[2].Op != isa.OpOri {
+		t.Errorf("large Li should be lui+ori, got %v %v", p.Insts[1].Op, p.Insts[2].Op)
+	}
+	if p.Insts[3].Op != isa.OpLui {
+		t.Errorf("aligned Li should be bare lui, got %v", p.Insts[3].Op)
+	}
+}
+
+func TestBuilderLa(t *testing.T) {
+	b := NewBuilder()
+	b.La(isa.R1, "tab")
+	b.Halt()
+	b.Word("tab", 9)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lui imm = high half, ori imm = low half.
+	hi := uint32(p.Insts[0].Imm) << 16
+	lo := uint32(p.Insts[1].Imm) & 0xffff
+	if hi|lo != DataBase {
+		t.Errorf("La resolves to %#x, want %#x", hi|lo, DataBase)
+	}
+}
+
+func TestAssembleFull(t *testing.T) {
+	src := `
+        .data
+tab:    .word 1, 2, 0x10   # a table
+fs:     .float 1.5
+buf:    .space 3
+        .text
+main:   li   r1, 3
+        la   r2, tab
+loop:   lw   r3, 0(r2)     ; load
+        add  r4, r4, r3
+        addi r2, r2, 4
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        sw   r4, 0(r2)
+        halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 7 {
+		t.Errorf("data words = %d, want 7", len(p.Data))
+	}
+	if p.Data[0] != 1 || p.Data[2] != 0x10 {
+		t.Errorf("data = %v", p.Data[:3])
+	}
+	if p.Symbols["buf"] != DataBase+4*4 {
+		t.Errorf("buf addr = %#x", p.Symbols["buf"])
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d", p.Entry)
+	}
+	// Find the bne and check it branches back to loop.
+	var bne isa.Inst
+	var at int
+	for i, in := range p.Insts {
+		if in.Op == isa.OpBne {
+			bne, at = in, i
+		}
+	}
+	loopIdx := int(p.Symbols["loop"] / 4)
+	if at+1+int(bne.Imm) != loopIdx {
+		t.Errorf("bne target = %d, want %d", at+1+int(bne.Imm), loopIdx)
+	}
+}
+
+func TestAssemblePseudoOps(t *testing.T) {
+	src := `
+main:   mv   r1, r2
+        b    skip
+        nop
+skip:   call sub
+        halt
+sub:    ret
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpOr {
+		t.Errorf("mv lowered to %v", p.Insts[0].Op)
+	}
+	if p.Insts[1].Op != isa.OpJ {
+		t.Errorf("b lowered to %v", p.Insts[1].Op)
+	}
+	if p.Insts[3].Op != isa.OpJal || p.Insts[3].Rd != isa.R31 {
+		t.Errorf("call lowered to %v", p.Insts[3])
+	}
+	if p.Insts[5].Op != isa.OpJr || p.Insts[5].Rs != isa.R31 {
+		t.Errorf("ret lowered to %v", p.Insts[5])
+	}
+}
+
+func TestAssembleImmediatePromotion(t *testing.T) {
+	// Register mnemonics with immediate third operands promote to the
+	// immediate form.
+	p, err := Assemble("main: add r1, r2, 7\n sll r3, r1, 2\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpAddi || p.Insts[0].Imm != 7 {
+		t.Errorf("add with imm = %v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.OpSlli || p.Insts[1].Imm != 2 {
+		t.Errorf("sll with imm = %v", p.Insts[1])
+	}
+}
+
+func TestAssembleFPRegisters(t *testing.T) {
+	p, err := Assemble("main: flw f1, 0(r2)\n fadd f3, f1, f1\n fsw f3, 4(r2)\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Rd != isa.F(1) {
+		t.Errorf("flw dest = %v", p.Insts[0].Rd)
+	}
+	if p.Insts[2].Rt != isa.F(3) {
+		t.Errorf("fsw data reg = %v", p.Insts[2].Rt)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"main: bogus r1, r2",
+		"main: lw r1",
+		"main: lw r1, r2",
+		"main: addi r1, r2",
+		"main: lw r99, 0(r1)",
+		".data\nx: .word zz",
+		".data\nx: .space -1",
+		"main: beq r1, r2",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		} else if se, ok := err.(*SyntaxError); ok && se.Line == 0 {
+			t.Errorf("Assemble(%q): error has no line number", src)
+		}
+	}
+}
+
+func TestAssembleErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("main: nop\n nop\n bogus\n halt")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("line = %d, want 3", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line 3") {
+		t.Errorf("message %q lacks line", se.Error())
+	}
+}
+
+func TestRegAliases(t *testing.T) {
+	p, err := Assemble("main: addi sp, sp, -16\n sw ra, 0(sp)\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Rd != isa.R29 {
+		t.Errorf("sp = %v", p.Insts[0].Rd)
+	}
+	if p.Insts[1].Rt != isa.R31 {
+		t.Errorf("ra = %v", p.Insts[1].Rt)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("main: bogus")
+}
+
+func TestSymbolNamesSorted(t *testing.T) {
+	b := NewBuilder()
+	b.Label("zz")
+	b.Halt()
+	b.Word("aa", 1)
+	names := b.SymbolNames()
+	if len(names) != 2 || names[0] != "aa" || names[1] != "zz" {
+		t.Errorf("SymbolNames = %v", names)
+	}
+}
+
+func TestAssembleHexAndNegativeImmediates(t *testing.T) {
+	p, err := Assemble(`
+main:   li   r1, 0xdeadbeef
+        addi r2, r0, -32768
+        lw   r3, -4(r1)
+        sw   r3, 0x10(r1)
+        halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0xdeadbeef does not fit 16 bits: lui+ori.
+	if p.Insts[0].Op != isa.OpLui || uint32(p.Insts[0].Imm) != 0xdead {
+		t.Errorf("lui = %+v", p.Insts[0])
+	}
+	if uint32(p.Insts[1].Imm)&0xffff != 0xbeef {
+		t.Errorf("ori = %+v", p.Insts[1])
+	}
+	if p.Insts[2].Imm != -32768 {
+		t.Errorf("addi = %+v", p.Insts[2])
+	}
+	var lw, sw isa.Inst
+	for _, in := range p.Insts {
+		if in.Op == isa.OpLw {
+			lw = in
+		}
+		if in.Op == isa.OpSw {
+			sw = in
+		}
+	}
+	if lw.Imm != -4 || sw.Imm != 16 {
+		t.Errorf("mem offsets: lw %d, sw %d", lw.Imm, sw.Imm)
+	}
+}
+
+func TestAssembleMultipleLabelsOneLine(t *testing.T) {
+	p, err := Assemble("main: start: nop\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["main"] != p.Symbols["start"] {
+		t.Error("stacked labels differ")
+	}
+}
+
+func TestAssembleCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble(`
+# full-line comment
+   ; another
+main:   nop             # trailing
+                        ; just a comment after whitespace
+        halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 2 {
+		t.Errorf("insts = %d", len(p.Insts))
+	}
+}
+
+func TestAssembleDottedIdentifiers(t *testing.T) {
+	p, err := Assemble(`
+main:   fcvt.w.s f1, r2
+        j    loop.body
+loop.body: halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpFcvtWS {
+		t.Errorf("dotted mnemonic: %v", p.Insts[0].Op)
+	}
+	if _, ok := p.Symbols["loop.body"]; !ok {
+		t.Error("dotted label lost")
+	}
+}
+
+func TestAssembleBareMemOperand(t *testing.T) {
+	p, err := Assemble("main: lw r1, (r2)\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 0 || p.Insts[0].Rs != isa.R2 {
+		t.Errorf("bare operand: %+v", p.Insts[0])
+	}
+}
+
+func TestAssembleDataLabelOnOwnLine(t *testing.T) {
+	p, err := Assemble(`
+        .data
+tab:
+        .word 1, 2
+        .text
+main:   la r1, tab
+        halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["tab"] != DataBase {
+		t.Errorf("bare data label addr = %#x", p.Symbols["tab"])
+	}
+	if len(p.Data) != 2 {
+		t.Errorf("data = %v", p.Data)
+	}
+}
+
+func TestAssembleTextDataInterleaving(t *testing.T) {
+	p, err := Assemble(`
+        .data
+a:      .word 1
+        .text
+main:   la r1, a
+        la r2, b
+        halt
+        .data
+b:      .word 2
+        .text
+end:    nop`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["b"] != DataBase+4 {
+		t.Errorf("b addr = %#x", p.Symbols["b"])
+	}
+	if _, ok := p.Symbols["end"]; !ok {
+		t.Error("label after second .text lost")
+	}
+}
+
+func TestAssembleJumpRegisterForms(t *testing.T) {
+	p, err := Assemble("main: jr r5\n jalr r2, r6\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpJr || p.Insts[0].Rs != isa.R5 {
+		t.Errorf("jr: %+v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.OpJalr || p.Insts[1].Rd != isa.R2 || p.Insts[1].Rs != isa.R6 {
+		t.Errorf("jalr: %+v", p.Insts[1])
+	}
+}
+
+func TestAssembleFloatDirectiveBits(t *testing.T) {
+	p, err := Assemble(".data\nf: .float 1.0\n.text\nmain: halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data[0] != 0x3f800000 {
+		t.Errorf("float bits = %#x", p.Data[0])
+	}
+}
+
+func TestAssembleEntryDefaultsToZero(t *testing.T) {
+	p, err := Assemble("start: nop\n halt") // no "main" label
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d", p.Entry)
+	}
+}
+
+func TestAssembleMoreErrorPaths(t *testing.T) {
+	cases := []string{
+		"main: li r1",                 // li arity
+		"main: li rX, 5",              // li bad register
+		"main: la r1",                 // la arity
+		"main: mv r1",                 // mv arity
+		"main: mv r1, zz",             // mv bad register
+		"main: b",                     // b arity
+		"main: call",                  // call arity
+		"main: jr",                    // jr arity
+		"main: jr zz",                 // jr bad register
+		"main: jalr r1",               // jalr arity
+		"main: jalr r1, zz",           // jalr bad register
+		"main: j",                     // j arity
+		"main: bltz r1",               // bltz arity
+		"main: bltz zz, x",            // bltz bad register
+		"main: beq zz, r1, x",         // beq bad register
+		"main: lui r1",                // lui arity
+		"main: lui r1, zz",            // lui bad imm
+		"main: fneg f1",               // unary arity
+		"main: fneg zz, f1",           // unary bad register
+		"main: add r1, r2",            // alu arity
+		"main: add zz, r2, r3",        // alu bad register
+		"main: sub r1, r2, 7",         // no immediate form for sub
+		"main: sw r1, 0(zz)",          // bad base register
+		"main: sw r1, 5x(r2)",         // bad offset
+		"main: sw r1, 0r2",            // malformed operand
+		".data\nx: .word",             // empty .word is fine? -> zero vals ok; keep below
+		".data\nx: .space 1 2",        // space arity
+		".data\nx: .float zz",         // bad float
+		".data\nx: .bogus 1",          // unknown directive
+		"main: li r1, 99999999999999", // immediate out of range
+	}
+	for _, src := range cases {
+		if src == ".data\nx: .word" {
+			continue // zero-value .word is legal
+		}
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssembleEmptyWordDirective(t *testing.T) {
+	// A .word with no operands defines the symbol with no data; the next
+	// block lands at the same address.
+	p, err := Assemble(".data\nx: .word\ny: .word 5\n.text\nmain: halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["x"] != p.Symbols["y"] {
+		t.Errorf("x=%#x y=%#x", p.Symbols["x"], p.Symbols["y"])
+	}
+}
+
+func TestBuilderCallRegAndJumpReg(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.CallReg(isa.R2, isa.R5)
+	b.JumpReg(isa.R6)
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpJalr || p.Insts[0].Rd != isa.R2 || p.Insts[0].Rs != isa.R5 {
+		t.Errorf("CallReg: %+v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.OpJr || p.Insts[1].Rs != isa.R6 {
+		t.Errorf("JumpReg: %+v", p.Insts[1])
+	}
+}
+
+func TestBuilderFloatData(t *testing.T) {
+	b := NewBuilder()
+	b.Float("fs", 0.5, -1.25)
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data[0] != 0x3f000000 || p.Data[1] != 0xbfa00000 {
+		t.Errorf("float bits: %#x %#x", p.Data[0], p.Data[1])
+	}
+}

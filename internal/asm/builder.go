@@ -1,0 +1,277 @@
+// Package asm builds executable programs for the simulated ISA, either
+// programmatically through Builder or from assembly text through Assemble.
+//
+// Programs have a text segment of decoded instructions and a data segment
+// of initial words loaded at DataBase. Labels name instruction addresses;
+// data symbols name word addresses inside the data segment. Both are
+// resolved in a second pass, so forward references are legal.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rarpred/internal/isa"
+)
+
+// DataBase is the byte address at which the data segment is loaded. Text
+// addresses (instruction index * 4) never overlap it in any realistic
+// program, keeping PCs and data addresses disjoint name spaces.
+const DataBase uint32 = 0x1000_0000
+
+// fixupKind describes how a symbol reference patches an instruction.
+type fixupKind uint8
+
+const (
+	fixBranch fixupKind = iota // PC-relative instruction offset
+	fixJump                    // absolute instruction index
+	fixLoAddr                  // low 16 bits of a data address (ori)
+	fixHiAddr                  // high 16 bits of a data address (lui)
+)
+
+type fixup struct {
+	inst   int // index of instruction to patch
+	symbol string
+	kind   fixupKind
+}
+
+// Builder assembles a program incrementally. The zero value is not ready
+// for use; call NewBuilder.
+type Builder struct {
+	insts   []isa.Inst
+	fixups  []fixup
+	labels  map[string]int    // label -> instruction index
+	data    []uint32          // data segment image
+	symbols map[string]uint32 // data symbol -> byte address
+	errs    []error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels:  make(map[string]int),
+		symbols: make(map[string]uint32),
+	}
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("asm: "+format, args...))
+}
+
+// PC returns the instruction index the next emitted instruction will get.
+func (b *Builder) PC() int { return len(b.insts) }
+
+// Label defines a code label at the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errorf("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// Raw appends an already-decoded instruction.
+func (b *Builder) Raw(in isa.Inst) { b.insts = append(b.insts, in) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Raw(isa.Inst{Op: isa.OpNop}) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() { b.Raw(isa.Inst{Op: isa.OpHalt}) }
+
+// RRR emits a three-register instruction rd <- rs op rt.
+func (b *Builder) RRR(op isa.Op, rd, rs, rt isa.Reg) {
+	b.Raw(isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// RRI emits a register-immediate instruction rd <- rs op imm.
+func (b *Builder) RRI(op isa.Op, rd, rs isa.Reg, imm int32) {
+	b.Raw(isa.Inst{Op: op, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Load emits rd <- mem[base+off].
+func (b *Builder) Load(op isa.Op, rd, base isa.Reg, off int32) {
+	b.Raw(isa.Inst{Op: op, Rd: rd, Rs: base, Imm: off})
+}
+
+// Store emits mem[base+off] <- rt.
+func (b *Builder) Store(op isa.Op, rt, base isa.Reg, off int32) {
+	b.Raw(isa.Inst{Op: op, Rt: rt, Rs: base, Imm: off})
+}
+
+// Br emits a two-register conditional branch to label.
+func (b *Builder) Br(op isa.Op, rs, rt isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), symbol: label, kind: fixBranch})
+	b.Raw(isa.Inst{Op: op, Rs: rs, Rt: rt})
+}
+
+// BrZ emits a compare-with-zero branch to label.
+func (b *Builder) BrZ(op isa.Op, rs isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), symbol: label, kind: fixBranch})
+	b.Raw(isa.Inst{Op: op, Rs: rs})
+}
+
+// Jump emits an unconditional jump to label.
+func (b *Builder) Jump(label string) {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), symbol: label, kind: fixJump})
+	b.Raw(isa.Inst{Op: isa.OpJ})
+}
+
+// Call emits a jal to label, linking through R31.
+func (b *Builder) Call(label string) {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), symbol: label, kind: fixJump})
+	b.Raw(isa.Inst{Op: isa.OpJal, Rd: isa.R31})
+}
+
+// Ret emits jr r31.
+func (b *Builder) Ret() { b.Raw(isa.Inst{Op: isa.OpJr, Rs: isa.R31}) }
+
+// JumpReg emits jr rs.
+func (b *Builder) JumpReg(rs isa.Reg) { b.Raw(isa.Inst{Op: isa.OpJr, Rs: rs}) }
+
+// CallReg emits jalr rd, rs.
+func (b *Builder) CallReg(rd, rs isa.Reg) { b.Raw(isa.Inst{Op: isa.OpJalr, Rd: rd, Rs: rs}) }
+
+// Mv emits a register move (or rd, rs, r0).
+func (b *Builder) Mv(rd, rs isa.Reg) { b.RRR(isa.OpOr, rd, rs, isa.R0) }
+
+// Li loads a 32-bit constant, expanding to lui+ori when the value does not
+// fit a signed 16-bit immediate, mirroring real MIPS code size.
+func (b *Builder) Li(rd isa.Reg, v int32) {
+	if v >= -32768 && v <= 32767 {
+		b.RRI(isa.OpAddi, rd, isa.R0, v)
+		return
+	}
+	u := uint32(v)
+	b.RRI(isa.OpLui, rd, isa.R0, int32(u>>16))
+	if low := u & 0xffff; low != 0 {
+		b.RRI(isa.OpOri, rd, rd, int32(low))
+	}
+}
+
+// La loads the address of the data symbol into rd (lui+ori pair).
+func (b *Builder) La(rd isa.Reg, symbol string) {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), symbol: symbol, kind: fixHiAddr})
+	b.RRI(isa.OpLui, rd, isa.R0, 0)
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), symbol: symbol, kind: fixLoAddr})
+	b.RRI(isa.OpOri, rd, rd, 0)
+}
+
+// defineData records a data symbol at the current end of the data segment.
+func (b *Builder) defineData(name string) {
+	if name == "" {
+		return
+	}
+	if _, dup := b.symbols[name]; dup {
+		b.errorf("duplicate data symbol %q", name)
+		return
+	}
+	b.symbols[name] = DataBase + uint32(len(b.data))*4
+}
+
+// Word appends literal words to the data segment under name. An empty
+// name appends anonymous data.
+func (b *Builder) Word(name string, values ...uint32) {
+	b.defineData(name)
+	b.data = append(b.data, values...)
+}
+
+// WordInt appends signed words under name.
+func (b *Builder) WordInt(name string, values ...int32) {
+	b.defineData(name)
+	for _, v := range values {
+		b.data = append(b.data, uint32(v))
+	}
+}
+
+// Float appends float32 bit patterns under name.
+func (b *Builder) Float(name string, values ...float64) {
+	b.defineData(name)
+	for _, v := range values {
+		b.data = append(b.data, math.Float32bits(float32(v)))
+	}
+}
+
+// Space reserves n zero words under name.
+func (b *Builder) Space(name string, n int) {
+	b.defineData(name)
+	b.data = append(b.data, make([]uint32, n)...)
+}
+
+// DataAddr returns the address of a data symbol; it reports false for
+// unknown symbols (including symbols not yet defined).
+func (b *Builder) DataAddr(name string) (uint32, bool) {
+	a, ok := b.symbols[name]
+	return a, ok
+}
+
+// Program resolves all symbol references and returns the finished program.
+func (b *Builder) Program() (*isa.Program, error) {
+	for _, f := range b.fixups {
+		switch f.kind {
+		case fixBranch, fixJump:
+			target, ok := b.labels[f.symbol]
+			if !ok {
+				b.errorf("undefined label %q", f.symbol)
+				continue
+			}
+			if f.kind == fixBranch {
+				b.insts[f.inst].Imm = int32(target - (f.inst + 1))
+			} else {
+				b.insts[f.inst].Imm = int32(target)
+			}
+		case fixLoAddr, fixHiAddr:
+			addr, ok := b.symbols[f.symbol]
+			if !ok {
+				b.errorf("undefined data symbol %q", f.symbol)
+				continue
+			}
+			if f.kind == fixHiAddr {
+				b.insts[f.inst].Imm = int32(addr >> 16)
+			} else {
+				b.insts[f.inst].Imm = int32(addr & 0xffff)
+			}
+		}
+	}
+	if len(b.errs) > 0 {
+		// Deterministic error reporting: the first error in emission order.
+		return nil, b.errs[0]
+	}
+	entry := uint32(0)
+	if m, ok := b.labels["main"]; ok {
+		entry = isa.IndexPC(m)
+	}
+	syms := make(map[string]uint32, len(b.labels)+len(b.symbols))
+	for name, idx := range b.labels {
+		syms[name] = isa.IndexPC(idx)
+	}
+	for name, addr := range b.symbols {
+		syms[name] = addr
+	}
+	insts := make([]isa.Inst, len(b.insts))
+	copy(insts, b.insts)
+	data := make([]uint32, len(b.data))
+	copy(data, b.data)
+	return &isa.Program{
+		Insts:    insts,
+		Entry:    entry,
+		Data:     data,
+		DataBase: DataBase,
+		Symbols:  syms,
+	}, nil
+}
+
+// SymbolNames returns all defined symbol names in sorted order, for
+// diagnostics and deterministic listings.
+func (b *Builder) SymbolNames() []string {
+	names := make([]string, 0, len(b.labels)+len(b.symbols))
+	for n := range b.labels {
+		names = append(names, n)
+	}
+	for n := range b.symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

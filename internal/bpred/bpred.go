@@ -1,0 +1,177 @@
+// Package bpred implements the branch prediction of the paper's base
+// processor (Section 5.1): a 64K-entry combined predictor whose 2-bit
+// selector chooses between a 2-bit bimodal predictor and a GSHARE
+// predictor, plus a 64-entry return address stack. Targets of direct
+// branches and jumps come from the decoded program (the instruction
+// cache effectively doubles as a BTB in a decoded-instruction model);
+// indirect jumps that are not returns are predicted through a small
+// last-target table.
+package bpred
+
+// twoBit is a saturating 2-bit counter, 0..3; taken when >= 2.
+type twoBit uint8
+
+func (c twoBit) taken() bool { return c >= 2 }
+
+func (c twoBit) update(taken bool) twoBit {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Config shapes the predictor.
+type Config struct {
+	// TableEntries sizes each of the selector, bimodal and gshare tables.
+	TableEntries int
+	// HistoryBits is the gshare global history length.
+	HistoryBits int
+	// RASEntries is the return address stack depth.
+	RASEntries int
+	// TargetEntries sizes the indirect-jump last-target table.
+	TargetEntries int
+}
+
+// DefaultConfig is the Section 5.1 configuration.
+func DefaultConfig() Config {
+	return Config{
+		TableEntries:  64 << 10,
+		HistoryBits:   14,
+		RASEntries:    64,
+		TargetEntries: 512,
+	}
+}
+
+// Predictor is the combined direction predictor plus RAS.
+type Predictor struct {
+	cfg      Config
+	selector []twoBit // 2-bit chooser: >=2 selects gshare
+	bimodal  []twoBit
+	gshare   []twoBit
+	history  uint32
+	mask     uint32
+
+	ras    []uint32
+	rasTop int
+
+	targets []uint32 // indirect last-target table
+	tmask   uint32
+
+	// Stats
+	Lookups   uint64
+	Correct   uint64
+	RASReturn uint64
+}
+
+// New returns a predictor. TableEntries and TargetEntries are rounded up
+// to powers of two.
+func New(cfg Config) *Predictor {
+	pow2 := func(n int) int {
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		return p
+	}
+	te := pow2(cfg.TableEntries)
+	tt := pow2(cfg.TargetEntries)
+	p := &Predictor{
+		cfg:      cfg,
+		selector: make([]twoBit, te),
+		bimodal:  make([]twoBit, te),
+		gshare:   make([]twoBit, te),
+		mask:     uint32(te - 1),
+		ras:      make([]uint32, cfg.RASEntries),
+		targets:  make([]uint32, tt),
+		tmask:    uint32(tt - 1),
+	}
+	// Weakly-taken initial state reduces cold-start mispredictions, as
+	// hardware tables effectively warm to.
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+		p.gshare[i] = 2
+		p.selector[i] = 1
+	}
+	return p
+}
+
+func (p *Predictor) bidx(pc uint32) uint32 { return (pc >> 2) & p.mask }
+func (p *Predictor) gidx(pc uint32) uint32 {
+	return ((pc >> 2) ^ (p.history << 2)) & p.mask
+}
+
+// PredictDirection predicts a conditional branch at pc. It does not
+// update any state; call UpdateDirection with the outcome at resolve.
+func (p *Predictor) PredictDirection(pc uint32) bool {
+	p.Lookups++
+	if p.selector[p.bidx(pc)].taken() {
+		return p.gshare[p.gidx(pc)].taken()
+	}
+	return p.bimodal[p.bidx(pc)].taken()
+}
+
+// UpdateDirection trains the predictor with the branch outcome and tracks
+// accuracy. predicted is the direction PredictDirection returned at fetch
+// time (the caller carries it through the pipeline).
+func (p *Predictor) UpdateDirection(pc uint32, taken, predicted bool) {
+	if predicted == taken {
+		p.Correct++
+	}
+	bi, gi := p.bidx(pc), p.gidx(pc)
+	bCorrect := p.bimodal[bi].taken() == taken
+	gCorrect := p.gshare[gi].taken() == taken
+	// Selector trains toward whichever component was right.
+	if gCorrect != bCorrect {
+		p.selector[bi] = p.selector[bi].update(gCorrect)
+	}
+	p.bimodal[bi] = p.bimodal[bi].update(taken)
+	p.gshare[gi] = p.gshare[gi].update(taken)
+	p.history = (p.history<<1 | boolBit(taken)) & ((1 << p.cfg.HistoryBits) - 1)
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// PushReturn records a call's return address on the RAS.
+func (p *Predictor) PushReturn(retPC uint32) {
+	p.rasTop = (p.rasTop + 1) % len(p.ras)
+	p.ras[p.rasTop] = retPC
+}
+
+// PopReturn predicts a return target from the RAS.
+func (p *Predictor) PopReturn() uint32 {
+	p.RASReturn++
+	t := p.ras[p.rasTop]
+	p.rasTop = (p.rasTop - 1 + len(p.ras)) % len(p.ras)
+	return t
+}
+
+// PredictIndirect predicts the target of a non-return indirect jump from
+// the last-target table (0 if never seen, which the front end treats as
+// not-predicted).
+func (p *Predictor) PredictIndirect(pc uint32) uint32 {
+	return p.targets[(pc>>2)&p.tmask]
+}
+
+// UpdateIndirect trains the last-target table.
+func (p *Predictor) UpdateIndirect(pc, target uint32) {
+	p.targets[(pc>>2)&p.tmask] = target
+}
+
+// Accuracy returns the conditional-branch direction accuracy so far.
+func (p *Predictor) Accuracy() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Correct) / float64(p.Lookups)
+}

@@ -1,0 +1,122 @@
+package bpred
+
+import "testing"
+
+func TestTwoBitCounter(t *testing.T) {
+	c := twoBit(0)
+	if c.taken() {
+		t.Error("0 taken")
+	}
+	c = c.update(true).update(true)
+	if !c.taken() {
+		t.Error("2 not taken")
+	}
+	c = c.update(true).update(true)
+	if c != 3 {
+		t.Errorf("did not saturate: %d", c)
+	}
+	c = c.update(false)
+	if !c.taken() {
+		t.Error("one not-taken flipped a saturated counter")
+	}
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint32(0x40)
+	for i := 0; i < 8; i++ {
+		pred := p.PredictDirection(pc)
+		p.UpdateDirection(pc, true, pred)
+	}
+	if !p.PredictDirection(pc) {
+		t.Error("did not learn always-taken")
+	}
+}
+
+func TestLearnsAlternatingViaGshare(t *testing.T) {
+	// A strict alternation is hopeless for bimodal but learnable by
+	// gshare + selector given the history bit pattern.
+	p := New(DefaultConfig())
+	pc := uint32(0x80)
+	correct := 0
+	const iters = 2000
+	for i := 0; i < iters; i++ {
+		taken := i%2 == 0
+		pred := p.PredictDirection(pc)
+		if pred == taken {
+			correct++
+		}
+		p.UpdateDirection(pc, taken, pred)
+	}
+	// After warmup, accuracy must be near-perfect; the bimodal component
+	// alone would sit near 50%.
+	if frac := float64(correct) / iters; frac < 0.9 {
+		t.Errorf("alternating accuracy = %.2f, want > 0.9 (gshare must win)", frac)
+	}
+}
+
+func TestSelectorPrefersBetterComponent(t *testing.T) {
+	// A biased branch is easy for both; a history-dependent branch makes
+	// the selector lean gshare. Just check accuracy stays high on a loop
+	// branch (taken N-1 of N).
+	p := New(DefaultConfig())
+	pc := uint32(0xc0)
+	correct, total := 0, 0
+	for outer := 0; outer < 200; outer++ {
+		for i := 0; i < 8; i++ {
+			taken := i != 7
+			pred := p.PredictDirection(pc)
+			if pred == taken {
+				correct++
+			}
+			total++
+			p.UpdateDirection(pc, taken, pred)
+		}
+	}
+	if frac := float64(correct) / float64(total); frac < 0.8 {
+		t.Errorf("loop-branch accuracy = %.2f", frac)
+	}
+}
+
+func TestRASPairing(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushReturn(0x100)
+	p.PushReturn(0x200)
+	if got := p.PopReturn(); got != 0x200 {
+		t.Errorf("pop = %#x", got)
+	}
+	if got := p.PopReturn(); got != 0x100 {
+		t.Errorf("pop = %#x", got)
+	}
+}
+
+func TestRASWrapsWithoutPanic(t *testing.T) {
+	p := New(Config{TableEntries: 16, HistoryBits: 4, RASEntries: 4, TargetEntries: 8})
+	for i := 0; i < 10; i++ {
+		p.PushReturn(uint32(i) * 4)
+	}
+	// Deep call chains overflow the RAS; the newest entries survive.
+	if got := p.PopReturn(); got != 36 {
+		t.Errorf("pop after overflow = %d", got)
+	}
+}
+
+func TestIndirectTargets(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.PredictIndirect(0x40) != 0 {
+		t.Error("cold indirect prediction nonzero")
+	}
+	p.UpdateIndirect(0x40, 0x1234)
+	if p.PredictIndirect(0x40) != 0x1234 {
+		t.Error("indirect target not learned")
+	}
+}
+
+func TestAccuracyAccounting(t *testing.T) {
+	p := New(DefaultConfig())
+	pred := p.PredictDirection(0x10)
+	p.UpdateDirection(0x10, pred, pred) // correct by construction
+	if p.Accuracy() != 1 {
+		t.Errorf("accuracy = %v", p.Accuracy())
+	}
+}

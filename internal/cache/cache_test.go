@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	return New(Config{SizeBytes: 256, BlockBytes: 16, Ways: 2, HitLatency: 2})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if hit, _ := c.Access(0x100, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(0x100, false); !hit {
+		t.Error("second access missed")
+	}
+	if hit, _ := c.Access(0x104, false); !hit {
+		t.Error("same-block access missed")
+	}
+	if hit, _ := c.Access(0x110, false); hit {
+		t.Error("next block hit")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := small() // 8 sets, 2 ways; set = (addr>>4) & 7
+	a := uint32(0x000)
+	b := uint32(0x080) // same set (0x080>>4 = 8 ≡ 0 mod 8)
+	d := uint32(0x100) // same set
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a MRU
+	c.Access(d, false) // evicts b
+	if !c.Contains(a) || !c.Contains(d) {
+		t.Error("a and d should be resident")
+	}
+	if c.Contains(b) {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := small()
+	c.Access(0x000, true) // dirty
+	c.Access(0x080, false)
+	_, dirtyEvict := c.Access(0x100, false) // evicts 0x000
+	if !dirtyEvict {
+		t.Error("dirty victim not reported")
+	}
+	if c.Writeback != 1 {
+		t.Errorf("writebacks = %d", c.Writeback)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := small()
+	c.Access(0x0, false)
+	c.Access(0x0, false)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %v", got)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{SizeBytes: 100, BlockBytes: 16, Ways: 2},
+		{SizeBytes: 256, BlockBytes: 10, Ways: 2},
+		{SizeBytes: 256, BlockBytes: 16, Ways: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestWriteBufferCombining(t *testing.T) {
+	w := NewWriteBuffer(4, 16, 4)
+	if w.Write(0x100, 0) != 0 {
+		t.Error("first write stalled")
+	}
+	if w.Write(0x104, 0) != 0 {
+		t.Error("same-block write stalled")
+	}
+	if w.Combines != 1 {
+		t.Errorf("combines = %d", w.Combines)
+	}
+	if w.Pending() != 1 {
+		t.Errorf("pending = %d", w.Pending())
+	}
+}
+
+func TestWriteBufferFullStall(t *testing.T) {
+	w := NewWriteBuffer(2, 16, 4)
+	w.Write(0x000, 0)
+	w.Write(0x010, 0)
+	if stall := w.Write(0x020, 0); stall == 0 {
+		t.Error("full buffer did not stall")
+	}
+	if w.FullStall != 1 {
+		t.Errorf("full stalls = %d", w.FullStall)
+	}
+}
+
+func TestWriteBufferDrains(t *testing.T) {
+	w := NewWriteBuffer(2, 16, 4)
+	w.Write(0x000, 0)
+	w.Write(0x010, 0)
+	// 100 cycles later both blocks have drained; no stall.
+	if stall := w.Write(0x020, 100); stall != 0 {
+		t.Errorf("stall after drain = %d", stall)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy()
+	// Cold load: L1 miss + L2 miss -> 2 + 10 + 50 + extra words.
+	cold := h.LoadLatency(0x1000)
+	if cold <= 50 {
+		t.Errorf("cold load latency = %d, want > 50", cold)
+	}
+	// Hot load: L1 hit.
+	if hot := h.LoadLatency(0x1000); hot != 2 {
+		t.Errorf("hot load latency = %d, want 2", hot)
+	}
+	// L2 hit: evictable by touching conflicting L1 lines... simpler:
+	// different L1 block within the same (already fetched) L2 block.
+	l2 := h.LoadLatency(0x1010)
+	if l2 >= cold || l2 <= 2 {
+		t.Errorf("L2-hit latency = %d (cold %d)", l2, cold)
+	}
+	if f := h.FetchLatency(0x0); f <= 2 {
+		t.Errorf("cold fetch latency = %d", f)
+	}
+	if f := h.FetchLatency(0x4); f != 2 {
+		t.Errorf("hot fetch latency = %d", f)
+	}
+}
+
+func TestHierarchyStoreCompletesIntoWB(t *testing.T) {
+	h := NewHierarchy()
+	if lat := h.StoreLatency(0x9000, 0); lat > 5 {
+		t.Errorf("store latency = %d; the write buffer should hide the miss", lat)
+	}
+}
+
+// TestQuickCacheInclusionOfRecency: immediately after any access, the
+// address is resident.
+func TestQuickCacheResidencyAfterAccess(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 10, BlockBytes: 16, Ways: 2, HitLatency: 1})
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(a, a&1 == 0)
+			if !c.Contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

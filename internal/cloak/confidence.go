@@ -1,0 +1,75 @@
+package cloak
+
+// ConfKind selects the confidence mechanism attached to each DPNT
+// prediction, per Section 5.3 of the paper.
+type ConfKind uint8
+
+const (
+	// NonAdaptive1Bit enables prediction as soon as a dependence is
+	// detected and never disables it. The paper includes it as a rough
+	// upper bound on coverage.
+	NonAdaptive1Bit ConfKind = iota
+
+	// Adaptive2Bit enables prediction as soon as a dependence is detected
+	// but, after a misprediction, requires two correct (shadow-verified)
+	// predictions before a predicted value may be used again.
+	Adaptive2Bit
+)
+
+// String names the confidence kind.
+func (k ConfKind) String() string {
+	switch k {
+	case NonAdaptive1Bit:
+		return "1-bit"
+	case Adaptive2Bit:
+		return "2-bit"
+	}
+	return "conf?"
+}
+
+// confidence is the per-prediction automaton. The zero value means "no
+// dependence detected yet"; detection jumps straight to full confidence
+// in both kinds.
+type confidence struct {
+	detected bool
+	state    uint8 // 0..confMax, meaningful only for Adaptive2Bit
+}
+
+const (
+	confMax = 3
+	confUse = 2 // minimum state at which a predicted value may be used
+)
+
+// onDetected records that the dependence was (re-)detected by the DDT.
+// The first detection enables prediction immediately for both kinds;
+// later detections carry no extra weight (re-detection happens on every
+// dynamic instance and must not short-circuit the adaptive recovery).
+func (c *confidence) onDetected() {
+	if !c.detected {
+		c.detected = true
+		c.state = confMax
+	}
+}
+
+// onCorrect records a verified-correct prediction (used or shadow).
+func (c *confidence) onCorrect() {
+	if c.state < confMax {
+		c.state++
+	}
+}
+
+// onWrong records a verified-wrong prediction (used or shadow).
+func (c *confidence) onWrong() {
+	c.state = 0
+}
+
+// allows reports whether a predicted value may be used under kind.
+func (c *confidence) allows(kind ConfKind) bool {
+	if !c.detected {
+		return false
+	}
+	if kind == NonAdaptive1Bit {
+		return true
+	}
+	return c.state >= confUse
+}

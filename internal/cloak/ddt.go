@@ -1,0 +1,234 @@
+package cloak
+
+// DepKind classifies a detected memory dependence.
+type DepKind uint8
+
+const (
+	// DepNone means no dependence.
+	DepNone DepKind = iota
+	// DepRAW is a store → load (read-after-write) dependence.
+	DepRAW
+	// DepRAR is a load → load (read-after-read) dependence: both loads
+	// read the same address with no intervening store.
+	DepRAR
+)
+
+// String names the dependence kind.
+func (k DepKind) String() string {
+	switch k {
+	case DepRAW:
+		return "RAW"
+	case DepRAR:
+		return "RAR"
+	}
+	return "none"
+}
+
+// Dependence is one detected (source PC, sink PC) dependence.
+type Dependence struct {
+	Kind     DepKind
+	SourcePC uint32 // the store (RAW) or earliest load (RAR)
+	SinkPC   uint32 // the consuming load
+}
+
+// Detector is the dependence-detection interface the engine drives: one
+// call per committed store and load, in program order.
+type Detector interface {
+	// Store records a committed store.
+	Store(addr, pc uint32)
+	// Load processes a committed load and reports the dependence it
+	// experiences, if one is visible.
+	Load(addr, pc uint32) (Dependence, bool)
+}
+
+// ddtEntry is the per-address record: the PC of the most recent store and
+// the PC of the earliest load since that store.
+type ddtEntry struct {
+	storePC    uint32
+	storeValid bool
+	loadPC     uint32
+	loadValid  bool
+
+	// intrusive LRU list links
+	prev, next *ddtNode
+}
+
+// ddtNode wraps an entry with its address for the LRU list.
+type ddtNode struct {
+	addr uint32
+	ddtEntry
+}
+
+// DDT is the Dependence Detection Table: an address-indexed,
+// fully-associative, LRU-replaced cache that records, per word address,
+// the PC of the last store and the PC of the earliest subsequent load.
+//
+// Following Section 3.1: a load is recorded only when no store has been
+// recorded for the address (so RAW detection takes priority) and only
+// when no other load has been recorded (so the *earliest* load in program
+// order is annotated as the RAR producer).
+type DDT struct {
+	capacity    int // 0 means unbounded (the "infinite address window")
+	recordLoads bool
+	entries     map[uint32]*ddtNode
+	head, tail  *ddtNode // head = most recently used
+
+	evictions uint64
+}
+
+var _ Detector = (*DDT)(nil)
+
+// NewDDT returns a DDT holding at most capacity addresses (0 = unbounded).
+// recordLoads selects whether loads are recorded, i.e. whether RAR
+// dependences are detectable; the original RAW-only cloaking passes false.
+func NewDDT(capacity int, recordLoads bool) *DDT {
+	return &DDT{
+		capacity:    capacity,
+		recordLoads: recordLoads,
+		entries:     make(map[uint32]*ddtNode),
+	}
+}
+
+// Capacity returns the table's entry limit (0 = unbounded).
+func (d *DDT) Capacity() int { return d.capacity }
+
+// Len returns the number of resident addresses.
+func (d *DDT) Len() int { return len(d.entries) }
+
+// Evictions returns the cumulative LRU eviction count.
+func (d *DDT) Evictions() uint64 { return d.evictions }
+
+func (d *DDT) unlink(n *ddtNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		d.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		d.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (d *DDT) pushFront(n *ddtNode) {
+	n.next = d.head
+	if d.head != nil {
+		d.head.prev = n
+	}
+	d.head = n
+	if d.tail == nil {
+		d.tail = n
+	}
+}
+
+func (d *DDT) touch(n *ddtNode) {
+	if d.head == n {
+		return
+	}
+	d.unlink(n)
+	d.pushFront(n)
+}
+
+// lookup returns the resident node for addr, touching it, or allocates
+// one (evicting LRU if at capacity).
+func (d *DDT) lookup(addr uint32, alloc bool) *ddtNode {
+	if n := d.entries[addr]; n != nil {
+		d.touch(n)
+		return n
+	}
+	if !alloc {
+		return nil
+	}
+	if d.capacity > 0 && len(d.entries) >= d.capacity {
+		victim := d.tail
+		d.unlink(victim)
+		delete(d.entries, victim.addr)
+		d.evictions++
+	}
+	n := &ddtNode{addr: addr}
+	d.entries[addr] = n
+	d.pushFront(n)
+	return n
+}
+
+// Store records a committed store: the entry's store PC is replaced and
+// any load annotation is cleared, because a store breaks the RAR chain
+// through this address.
+func (d *DDT) Store(addr, pc uint32) {
+	n := d.lookup(addr, true)
+	n.storePC = pc
+	n.storeValid = true
+	n.loadValid = false
+}
+
+// Load processes a committed load. If a store is visible for the address
+// the load has a RAW dependence with it; otherwise, if an earlier load is
+// visible the load has a RAR dependence with that (earliest) load;
+// otherwise the load is recorded as the earliest load for the address
+// (when load recording is enabled).
+func (d *DDT) Load(addr, pc uint32) (Dependence, bool) {
+	n := d.lookup(addr, d.recordLoads)
+	if n == nil {
+		return Dependence{}, false
+	}
+	if n.storeValid {
+		return Dependence{Kind: DepRAW, SourcePC: n.storePC, SinkPC: pc}, true
+	}
+	if !d.recordLoads {
+		return Dependence{}, false
+	}
+	if n.loadValid {
+		if n.loadPC == pc {
+			// The same static load re-reading the address: not a (PC1,PC2)
+			// pair, and the earliest-load annotation is unchanged.
+			return Dependence{}, false
+		}
+		return Dependence{Kind: DepRAR, SourcePC: n.loadPC, SinkPC: pc}, true
+	}
+	n.loadPC = pc
+	n.loadValid = true
+	return Dependence{}, false
+}
+
+// SplitDDT is the paper's "separate DDTs, one for stores and one for
+// loads" variant (end of Section 5.6.2), which eliminates the anomaly of
+// stores being evicted by loads to unrelated addresses. Each half has its
+// own capacity and LRU state.
+type SplitDDT struct {
+	stores *DDT
+	loads  *DDT
+}
+
+var _ Detector = (*SplitDDT)(nil)
+
+// NewSplitDDT returns a split detector with the given per-half
+// capacities (0 = unbounded).
+func NewSplitDDT(storeCapacity, loadCapacity int) *SplitDDT {
+	return &SplitDDT{
+		stores: NewDDT(storeCapacity, false),
+		loads:  NewDDT(loadCapacity, true),
+	}
+}
+
+// Store records the store in the store half and kills any load
+// annotation for the address in the load half (an intervening store
+// breaks RAR chains regardless of which table tracks them).
+func (s *SplitDDT) Store(addr, pc uint32) {
+	s.stores.Store(addr, pc)
+	if n := s.loads.entries[addr]; n != nil {
+		n.loadValid = false
+		n.storeValid = false
+	}
+}
+
+// Load checks the store half first (RAW takes priority, as in the
+// combined table) and falls back to the load half for RAR detection and
+// earliest-load recording.
+func (s *SplitDDT) Load(addr, pc uint32) (Dependence, bool) {
+	if n := s.stores.lookup(addr, false); n != nil && n.storeValid {
+		return Dependence{Kind: DepRAW, SourcePC: n.storePC, SinkPC: pc}, true
+	}
+	return s.loads.Load(addr, pc)
+}

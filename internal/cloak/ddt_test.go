@@ -1,0 +1,251 @@
+package cloak
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDDTDetectsRAW(t *testing.T) {
+	d := NewDDT(0, true)
+	d.Store(0x100, 40)
+	dep, ok := d.Load(0x100, 80)
+	if !ok || dep.Kind != DepRAW || dep.SourcePC != 40 || dep.SinkPC != 80 {
+		t.Fatalf("dep = %+v, ok = %v", dep, ok)
+	}
+}
+
+func TestDDTDetectsRAR(t *testing.T) {
+	d := NewDDT(0, true)
+	if _, ok := d.Load(0x100, 40); ok {
+		t.Fatal("first load reported a dependence")
+	}
+	dep, ok := d.Load(0x100, 80)
+	if !ok || dep.Kind != DepRAR || dep.SourcePC != 40 || dep.SinkPC != 80 {
+		t.Fatalf("dep = %+v, ok = %v", dep, ok)
+	}
+}
+
+func TestDDTEarliestSourceRule(t *testing.T) {
+	// LD1 A, LD2 A, LD3 A: dependences are (LD1,LD2) and (LD1,LD3) only
+	// (Section 2), never (LD2,LD3).
+	d := NewDDT(0, true)
+	d.Load(0x100, 4)
+	d2, ok2 := d.Load(0x100, 8)
+	d3, ok3 := d.Load(0x100, 12)
+	if !ok2 || d2.SourcePC != 4 {
+		t.Errorf("second load dep = %+v", d2)
+	}
+	if !ok3 || d3.SourcePC != 4 {
+		t.Errorf("third load dep = %+v (source must stay the earliest load)", d3)
+	}
+}
+
+func TestDDTSameStaticLoadNoDependence(t *testing.T) {
+	d := NewDDT(0, true)
+	d.Load(0x100, 4)
+	if dep, ok := d.Load(0x100, 4); ok {
+		t.Errorf("self dependence reported: %+v", dep)
+	}
+	// And the earliest annotation survives for a different load.
+	dep, ok := d.Load(0x100, 8)
+	if !ok || dep.SourcePC != 4 {
+		t.Errorf("dep after self re-read = %+v, ok=%v", dep, ok)
+	}
+}
+
+func TestDDTStoreBreaksRARChain(t *testing.T) {
+	d := NewDDT(0, true)
+	d.Load(0x100, 4)
+	d.Store(0x100, 100)
+	dep, ok := d.Load(0x100, 8)
+	if !ok || dep.Kind != DepRAW || dep.SourcePC != 100 {
+		t.Errorf("after store, dep = %+v (want RAW with the store)", dep)
+	}
+}
+
+func TestDDTRAWPriorityOverRAR(t *testing.T) {
+	// With a store resident, subsequent loads all see RAW and no load is
+	// recorded (Section 3.1's recording rule).
+	d := NewDDT(0, true)
+	d.Store(0x100, 100)
+	d.Load(0x100, 4)
+	dep, ok := d.Load(0x100, 8)
+	if !ok || dep.Kind != DepRAW {
+		t.Errorf("second load dep = %+v, want RAW", dep)
+	}
+}
+
+func TestDDTRAWOnlyMode(t *testing.T) {
+	d := NewDDT(0, false)
+	d.Load(0x100, 4)
+	if _, ok := d.Load(0x100, 8); ok {
+		t.Error("RAW-only DDT detected a RAR dependence")
+	}
+	d.Store(0x100, 100)
+	if dep, ok := d.Load(0x100, 12); !ok || dep.Kind != DepRAW {
+		t.Errorf("RAW-only DDT missed RAW: %+v, %v", dep, ok)
+	}
+	if d.Len() != 1 {
+		t.Errorf("RAW-only DDT allocated %d entries (loads must not allocate)", d.Len())
+	}
+}
+
+func TestDDTLRUEviction(t *testing.T) {
+	d := NewDDT(2, true)
+	d.Load(0x100, 4)  // A
+	d.Load(0x200, 8)  // B
+	d.Load(0x300, 12) // C evicts A (LRU)
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if d.Evictions() != 1 {
+		t.Errorf("evictions = %d", d.Evictions())
+	}
+	// A's annotation is gone: a new load of A sees nothing.
+	if _, ok := d.Load(0x100, 16); ok {
+		t.Error("evicted address still has annotation")
+	}
+}
+
+func TestDDTLRUTouchOnAccess(t *testing.T) {
+	d := NewDDT(2, true)
+	d.Load(0x100, 4) // A
+	d.Load(0x200, 8) // B
+	d.Load(0x100, 4) // touch A (self re-read still touches)
+	d.Load(0x300, 12)
+	// B should have been evicted, A retained.
+	if dep, ok := d.Load(0x100, 16); !ok || dep.SourcePC != 4 {
+		t.Errorf("A lost: %+v %v", dep, ok)
+	}
+	if _, ok := d.Load(0x200, 20); ok {
+		t.Error("B survived despite being LRU")
+	}
+}
+
+func TestDDTStoreEvictionAnomaly(t *testing.T) {
+	// The Section 5.6.2 anomaly: loads to many distinct addresses evict a
+	// store from a shared DDT, losing the RAW dependence.
+	d := NewDDT(4, true)
+	d.Store(0x100, 100)
+	for i := 0; i < 8; i++ {
+		d.Load(uint32(0x1000+i*4), uint32(200+i*4))
+	}
+	if dep, ok := d.Load(0x100, 300); ok {
+		t.Errorf("store should have been evicted, got %+v", dep)
+	}
+
+	// The split DDT fixes it: loads can't evict stores.
+	s := NewSplitDDT(4, 4)
+	s.Store(0x100, 100)
+	for i := 0; i < 8; i++ {
+		s.Load(uint32(0x1000+i*4), uint32(200+i*4))
+	}
+	dep, ok := s.Load(0x100, 300)
+	if !ok || dep.Kind != DepRAW || dep.SourcePC != 100 {
+		t.Errorf("split DDT lost the store: %+v, %v", dep, ok)
+	}
+}
+
+func TestSplitDDTStoreKillsLoadAnnotation(t *testing.T) {
+	s := NewSplitDDT(8, 8)
+	s.Load(0x100, 4)
+	s.Store(0x100, 100)
+	// After the store is evicted from the store half, the old load
+	// annotation must not resurface as a stale RAR source.
+	for i := 0; i < 16; i++ {
+		s.Store(uint32(0x2000+i*4), uint32(400+i*4))
+	}
+	dep, ok := s.Load(0x100, 8)
+	if ok && dep.Kind == DepRAR && dep.SourcePC == 4 {
+		t.Errorf("stale RAR annotation survived an intervening store: %+v", dep)
+	}
+}
+
+func TestSplitDDTDetectsBothKinds(t *testing.T) {
+	s := NewSplitDDT(16, 16)
+	s.Store(0x100, 100)
+	if dep, ok := s.Load(0x100, 4); !ok || dep.Kind != DepRAW {
+		t.Errorf("RAW: %+v %v", dep, ok)
+	}
+	s.Load(0x200, 8)
+	if dep, ok := s.Load(0x200, 12); !ok || dep.Kind != DepRAR || dep.SourcePC != 8 {
+		t.Errorf("RAR: %+v %v", dep, ok)
+	}
+}
+
+func TestDDTUnboundedNeverEvicts(t *testing.T) {
+	d := NewDDT(0, true)
+	for i := 0; i < 10_000; i++ {
+		d.Load(uint32(i*4), 4)
+	}
+	if d.Evictions() != 0 {
+		t.Errorf("unbounded DDT evicted %d", d.Evictions())
+	}
+	if d.Len() != 10_000 {
+		t.Errorf("len = %d", d.Len())
+	}
+}
+
+// TestQuickDDTCapacityInvariant: the DDT never holds more than capacity
+// entries, regardless of the access mix.
+func TestQuickDDTCapacityInvariant(t *testing.T) {
+	d := NewDDT(16, true)
+	f := func(ops []uint16) bool {
+		for i, raw := range ops {
+			addr := uint32(raw%64) * 4
+			pc := uint32((i % 32) * 4)
+			if raw&0x8000 != 0 {
+				d.Store(addr, pc)
+			} else {
+				d.Load(addr, pc)
+			}
+			if d.Len() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDDTSourceIsEarliest: over a random run with no stores, every
+// reported RAR source must be the first PC that touched the address since
+// the address became resident.
+func TestQuickDDTSourceIsEarliest(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := NewDDT(0, true)
+		first := map[uint32]uint32{}
+		for i, raw := range ops {
+			addr := uint32(raw%16) * 4
+			pc := uint32((i%8)*4 + 4)
+			dep, ok := d.Load(addr, pc)
+			want, seen := first[addr]
+			if !seen {
+				first[addr] = pc
+				continue
+			}
+			if want == pc {
+				// Self re-read: no dependence expected.
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || dep.SourcePC != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepKindString(t *testing.T) {
+	if DepRAW.String() != "RAW" || DepRAR.String() != "RAR" || DepNone.String() != "none" {
+		t.Error("DepKind strings wrong")
+	}
+}

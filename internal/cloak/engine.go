@@ -1,0 +1,239 @@
+package cloak
+
+// Mode selects which dependence kinds the mechanism exploits.
+type Mode uint8
+
+const (
+	// ModeRAW is the original cloaking/bypassing of Moshovos & Sohi
+	// (MICRO-30): only store→load dependences are detected and predicted.
+	ModeRAW Mode = iota
+	// ModeRAWRAR is this paper's combined mechanism: loads are also
+	// recorded in the DDT and load→load (RAR) dependences are predicted.
+	ModeRAWRAR
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeRAW {
+		return "RAW"
+	}
+	return "RAW+RAR"
+}
+
+// Config parameterises an Engine. Zero sizes select unbounded structures.
+type Config struct {
+	// DDTCapacity bounds the dependence detection table (entries =
+	// addresses). 0 is unbounded.
+	DDTCapacity int
+
+	// SplitDDT uses separate store and load tables, each of DDTCapacity
+	// entries, removing the eviction anomaly of Section 5.6.2.
+	SplitDDT bool
+
+	// DPNTSets and DPNTWays shape the PC-indexed prediction table.
+	// DPNTSets <= 0 models the infinite DPNT used for accuracy studies.
+	DPNTSets, DPNTWays int
+
+	// SFSets and SFWays shape the synonym file. SFSets <= 0 is unbounded.
+	SFSets, SFWays int
+
+	Mode       Mode
+	Confidence ConfKind
+	Merge      MergeKind
+}
+
+// DefaultConfig is the accuracy-study configuration of Section 5.3: a
+// 128-entry DDT, infinite DPNT and SF, RAW+RAR mode, 2-bit adaptive
+// confidence, incremental merging.
+func DefaultConfig() Config {
+	return Config{
+		DDTCapacity: 128,
+		Mode:        ModeRAWRAR,
+		Confidence:  Adaptive2Bit,
+		Merge:       MergeIncremental,
+	}
+}
+
+// TimingConfig is the performance-study configuration of Section 5.6.1:
+// 128-entry DDT, 8K 2-way DPNT, 1K 2-way synonym file.
+func TimingConfig(mode Mode) Config {
+	return Config{
+		DDTCapacity: 128,
+		DPNTSets:    4096,
+		DPNTWays:    2,
+		SFSets:      512,
+		SFWays:      2,
+		Mode:        mode,
+		Confidence:  Adaptive2Bit,
+		Merge:       MergeIncremental,
+	}
+}
+
+// Stats aggregates engine behaviour over a run. All load counters are
+// counts of dynamic (committed) loads.
+type Stats struct {
+	Loads  uint64
+	Stores uint64
+
+	// Detection: loads that experienced a visible dependence this
+	// instance (the Figure 5 metric).
+	LoadsWithRAW uint64
+	LoadsWithRAR uint64
+
+	// Prediction outcomes, attributed to the kind of the producer that
+	// supplied the speculative value (the Figure 6 metrics).
+	UsedRAW    uint64 // speculative value used, produced by a store
+	UsedRAR    uint64 // speculative value used, produced by a load
+	CorrectRAW uint64
+	CorrectRAR uint64
+	WrongRAW   uint64
+	WrongRAR   uint64
+
+	// ShadowChecks counts confidence-rebuilding verifications that did
+	// not supply a value to the pipeline.
+	ShadowChecks uint64
+
+	// NoValue counts consumer predictions that found no full SF entry.
+	NoValue uint64
+}
+
+// Covered returns the number of loads that received a correct speculative
+// value (any kind).
+func (s Stats) Covered() uint64 { return s.CorrectRAW + s.CorrectRAR }
+
+// Mispredicted returns the number of loads that used a wrong speculative
+// value (any kind).
+func (s Stats) Mispredicted() uint64 { return s.WrongRAW + s.WrongRAR }
+
+// LoadOutcome describes what the engine did for one dynamic load; the
+// experiment harness correlates it with value/address locality and value
+// prediction.
+type LoadOutcome struct {
+	// Dep is the dependence detected for this instance (DepNone if no
+	// dependence was visible in the DDT).
+	Dep DepKind
+	// Used reports that a speculative value was supplied.
+	Used bool
+	// Correct reports that the supplied value matched memory (valid only
+	// when Used).
+	Correct bool
+	// Kind is the producer kind of the supplied value (valid when Used).
+	Kind DepKind
+}
+
+// Engine is the functional cloaking/bypassing accuracy model: it consumes
+// the committed load/store stream in program order and tracks coverage
+// and misspeculation exactly as Sections 5.2–5.5 measure them. The
+// timing simulator uses the same DDT/DPNT/SynonymFile primitives but
+// drives them from pipeline stages instead.
+type Engine struct {
+	cfg      Config
+	detector Detector
+	dpnt     *DPNT
+	sf       *SynonymFile
+
+	stats Stats
+}
+
+// New returns an engine for the configuration.
+func New(cfg Config) *Engine {
+	var det Detector
+	if cfg.SplitDDT {
+		det = NewSplitDDT(cfg.DDTCapacity, cfg.DDTCapacity)
+	} else {
+		det = NewDDT(cfg.DDTCapacity, cfg.Mode == ModeRAWRAR)
+	}
+	return &Engine{
+		cfg:      cfg,
+		detector: det,
+		dpnt:     NewDPNT(cfg.DPNTSets, cfg.DPNTWays, cfg.Confidence, cfg.Merge),
+		sf:       NewSynonymFile(cfg.SFSets, cfg.SFWays),
+	}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// DPNT exposes the prediction table (for tests and the timing model).
+func (e *Engine) DPNT() *DPNT { return e.dpnt }
+
+// SF exposes the synonym file (for tests and the timing model).
+func (e *Engine) SF() *SynonymFile { return e.sf }
+
+// Store processes one committed store in program order.
+func (e *Engine) Store(pc, addr, value uint32) {
+	e.stats.Stores++
+	// Predict: a store marked as a producer deposits its value in the
+	// synonym file so predicted consumers can name it.
+	if p, ok := e.dpnt.Lookup(pc); ok && p.Producer {
+		e.sf.Write(p.Synonym, value, DepRAW, pc)
+	}
+	// Detect (at commit): record the store; this also breaks RAR chains
+	// through addr.
+	e.detector.Store(addr, pc)
+}
+
+// Load processes one committed load in program order and reports what the
+// mechanism did for it.
+func (e *Engine) Load(pc, addr, value uint32) LoadOutcome {
+	e.stats.Loads++
+	var out LoadOutcome
+
+	// Predict: the DPNT is consulted with the state established by
+	// *earlier* instances (Figure 4(b) actions 5–8).
+	pred, havePred := e.dpnt.Lookup(pc)
+	if havePred && (pred.Consumer || pred.ConsumerShadow) {
+		if entry, ok := e.sf.Read(pred.Synonym); ok && entry.Full {
+			correct := entry.Value == value
+			if pred.Consumer {
+				out.Used = true
+				out.Correct = correct
+				out.Kind = entry.Kind
+				if entry.Kind == DepRAR {
+					e.stats.UsedRAR++
+					if correct {
+						e.stats.CorrectRAR++
+					} else {
+						e.stats.WrongRAR++
+					}
+				} else {
+					e.stats.UsedRAW++
+					if correct {
+						e.stats.CorrectRAW++
+					} else {
+						e.stats.WrongRAW++
+					}
+				}
+			} else {
+				e.stats.ShadowChecks++
+			}
+			e.dpnt.VerifyConsumer(pc, correct)
+		} else {
+			e.stats.NoValue++
+		}
+	}
+
+	// Detect (at commit): probe the DDT, train the DPNT.
+	if dep, ok := e.detector.Load(addr, pc); ok {
+		out.Dep = dep.Kind
+		switch dep.Kind {
+		case DepRAW:
+			e.stats.LoadsWithRAW++
+		case DepRAR:
+			e.stats.LoadsWithRAR++
+		}
+		e.dpnt.RecordDependence(dep)
+	}
+
+	// Produce: a load marked as a RAR producer deposits the value it just
+	// read so its predicted sinks can name it. This happens after the
+	// consumer read above: a load can be the sink of one instance and the
+	// source for the next.
+	if havePred && pred.Producer {
+		e.sf.Write(pred.Synonym, value, DepRAR, pc)
+	}
+	return out
+}

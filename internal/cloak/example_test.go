@@ -1,0 +1,57 @@
+package cloak_test
+
+import (
+	"fmt"
+
+	"rarpred/internal/cloak"
+)
+
+// Example walks the full life of one RAR dependence: detection on the
+// first encounter, prediction and value delivery on the second — at a
+// different address, which is the point of PC-based prediction.
+func Example() {
+	engine := cloak.New(cloak.DefaultConfig())
+	const foo, bar = 0x100, 0x200 // two static loads
+
+	// First encounter: both loads read address 0x8000.
+	engine.Load(foo, 0x8000, 42)
+	out := engine.Load(bar, 0x8000, 42)
+	fmt.Println("first encounter:", out.Dep, "detected, used =", out.Used)
+
+	// Second encounter, at a *different* address.
+	engine.Load(foo, 0x9000, 77)
+	out = engine.Load(bar, 0x9000, 77)
+	fmt.Println("second encounter: used =", out.Used, "correct =", out.Correct,
+		"kind =", out.Kind)
+	// Output:
+	// first encounter: RAR detected, used = false
+	// second encounter: used = true correct = true kind = RAR
+}
+
+// ExampleDDT shows the earliest-source rule: with three loads of one
+// address, both later loads depend on the first.
+func ExampleDDT() {
+	ddt := cloak.NewDDT(128, true)
+	ddt.Load(0x8000, 0x100)
+	dep2, _ := ddt.Load(0x8000, 0x200)
+	dep3, _ := ddt.Load(0x8000, 0x300)
+	fmt.Printf("%s source %#x\n", dep2.Kind, dep2.SourcePC)
+	fmt.Printf("%s source %#x\n", dep3.Kind, dep3.SourcePC)
+	// Output:
+	// RAR source 0x100
+	// RAR source 0x100
+}
+
+// ExampleNewStaticEngine shows profile-guided (software) cloaking: the
+// DPNT is preloaded and no hardware detection runs.
+func ExampleNewStaticEngine() {
+	profile := cloak.NewProfile()
+	profile.Record(cloak.Dependence{Kind: cloak.DepRAR, SourcePC: 0x100, SinkPC: 0x200})
+
+	engine := cloak.NewStaticEngine(cloak.DefaultConfig(), profile, 1)
+	engine.Load(0x100, 0x8000, 5)
+	out := engine.Load(0x200, 0x8000, 5)
+	fmt.Println("covered on the very first encounter:", out.Used && out.Correct)
+	// Output:
+	// covered on the very first encounter: true
+}

@@ -1,0 +1,155 @@
+package cloak
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randomStream drives an engine with a pseudo-random but deterministic
+// mix of loads and stores derived from ops, over a small address space so
+// dependences actually form. It mirrors how the simulators feed engines.
+func driveRandom(e *Engine, ops []uint16) {
+	for i, op := range ops {
+		// Loads and stores get disjoint PC ranges, as in a real program
+		// (one static instruction is either a load or a store).
+		pc := uint32((op%37)*4 + 4)
+		addr := uint32(((op >> 6) % 61) * 4)
+		value := uint32(op>>2) ^ uint32(i)
+		if op&1 == 0 {
+			e.Load(pc, addr, value)
+		} else {
+			e.Store(pc+0x1000, addr, value)
+		}
+	}
+}
+
+// TestQuickStatsAccounting: the engine's counters stay mutually
+// consistent on arbitrary streams.
+func TestQuickStatsAccounting(t *testing.T) {
+	f := func(ops []uint16) bool {
+		e := New(DefaultConfig())
+		driveRandom(e, ops)
+		st := e.Stats()
+		usedTotal := st.UsedRAW + st.UsedRAR
+		if st.CorrectRAW+st.WrongRAW != st.UsedRAW {
+			return false
+		}
+		if st.CorrectRAR+st.WrongRAR != st.UsedRAR {
+			return false
+		}
+		if usedTotal > st.Loads {
+			return false
+		}
+		if st.LoadsWithRAW+st.LoadsWithRAR > st.Loads {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeterminism: the engine is a pure function of its input
+// stream.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := New(DefaultConfig())
+		b := New(DefaultConfig())
+		driveRandom(a, ops)
+		driveRandom(b, ops)
+		return a.Stats() == b.Stats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAdaptiveNeverMisspeculatesMore: on any stream, the 2-bit
+// predictor's misspeculations cannot exceed the 1-bit predictor's
+// (it only ever *withholds* values the 1-bit predictor would use).
+func TestQuickAdaptiveNeverMisspeculatesMore(t *testing.T) {
+	f := func(ops []uint16) bool {
+		cfg1 := DefaultConfig()
+		cfg1.Confidence = NonAdaptive1Bit
+		one := New(cfg1)
+		two := New(DefaultConfig())
+		driveRandom(one, ops)
+		driveRandom(two, ops)
+		return two.Stats().Mispredicted() <= one.Stats().Mispredicted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRAWModeSubset: the RAW-only engine never reports RAR activity
+// and its RAW detections are a subset situation of the combined engine's
+// behaviour on store-heavy streams.
+func TestQuickRAWModeNoRARActivity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		cfg := DefaultConfig()
+		cfg.Mode = ModeRAW
+		e := New(cfg)
+		driveRandom(e, ops)
+		st := e.Stats()
+		return st.LoadsWithRAR == 0 && st.UsedRAR == 0 && st.CorrectRAR == 0 && st.WrongRAR == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDetectionIndependentOfPredictionTables: detection happens in
+// the DDT alone, so engines that differ only in DPNT/SF geometry must
+// report identical dependence counts.
+func TestQuickDetectionIndependentOfPredictionTables(t *testing.T) {
+	f := func(ops []uint16) bool {
+		big := New(DefaultConfig())
+		smallCfg := DefaultConfig()
+		smallCfg.DPNTSets, smallCfg.DPNTWays = 4, 1
+		smallCfg.SFSets, smallCfg.SFWays = 2, 1
+		small := New(smallCfg)
+		driveRandom(big, ops)
+		driveRandom(small, ops)
+		bs, ss := big.Stats(), small.Stats()
+		return bs.LoadsWithRAW == ss.LoadsWithRAW && bs.LoadsWithRAR == ss.LoadsWithRAR
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLookupAgreesWithEngine: the externally visible DPNT.Lookup
+// (used by the timing simulator before calling Engine.Load) must agree
+// with the engine's internal decision: a consumer prediction with a full
+// SF entry is used, and without one nothing is used.
+func TestQuickLookupAgreesWithEngine(t *testing.T) {
+	f := func(ops []uint16) bool {
+		e := New(DefaultConfig())
+		for i, op := range ops {
+			pc := uint32((op%23)*4 + 4)
+			addr := uint32(((op >> 5) % 31) * 4)
+			value := uint32(i)
+			if op&1 == 0 {
+				pred, ok := e.DPNT().Lookup(pc)
+				wouldUse := false
+				if ok && pred.Consumer {
+					if entry, ok2 := e.SF().Read(pred.Synonym); ok2 && entry.Full {
+						wouldUse = true
+					}
+				}
+				out := e.Load(pc, addr, value)
+				if out.Used != wouldUse {
+					return false
+				}
+			} else {
+				e.Store(pc, addr, value)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package cloak
+
+import "rarpred/internal/container"
+
+// SRT is the Synonym Rename Table of Section 5.6.1: it associates a
+// synonym with the physical-register tag of the in-flight instruction
+// that will produce the group's value. Predicted producers allocate an
+// entry at rename; predicted consumers inspect the SRT and the Synonym
+// File in parallel — an SRT hit means the value still lives in the
+// register file (or is still being computed), an SF hit means the
+// producer has committed and deposited the value.
+//
+// Tags are opaque uint64s chosen by the pipeline (this repository's
+// timing model uses the producer's sequence number). An entry is released
+// when its owner commits, mirroring how a real SRT entry dies once the
+// synonym's value moves to the SF.
+type SRT struct {
+	table *container.Assoc[srtEntry]
+}
+
+type srtEntry struct {
+	tag   uint64
+	owner uint64 // sequence number of the producer that installed it
+	live  bool
+}
+
+// NewSRT returns a table with sets*ways entries (sets <= 0 = unbounded).
+func NewSRT(sets, ways int) *SRT {
+	return &SRT{table: container.NewAssoc[srtEntry](sets, ways)}
+}
+
+// Install points the synonym at an in-flight producer.
+func (t *SRT) Install(syn uint32, tag, owner uint64) {
+	e, _ := t.table.GetOrInsert(syn)
+	*e = srtEntry{tag: tag, owner: owner, live: true}
+}
+
+// Lookup returns the in-flight producer's tag for syn, if one is live.
+func (t *SRT) Lookup(syn uint32) (tag uint64, ok bool) {
+	e := t.table.Get(syn)
+	if e == nil || !e.live {
+		return 0, false
+	}
+	return e.tag, true
+}
+
+// Release drops the entry if it is still owned by the given producer
+// (a later producer of the same synonym keeps its own entry alive).
+func (t *SRT) Release(syn uint32, owner uint64) {
+	e := t.table.Peek(syn)
+	if e != nil && e.live && e.owner == owner {
+		e.live = false
+	}
+}
+
+// Len returns the number of live entries.
+func (t *SRT) Len() int {
+	n := 0
+	t.table.ForEach(func(_ uint32, e *srtEntry) {
+		if e.live {
+			n++
+		}
+	})
+	return n
+}

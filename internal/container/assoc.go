@@ -1,0 +1,146 @@
+// Package container provides the small hardware-table containers shared
+// by the predictors and caches: a set-associative LRU table and a
+// fully-associative LRU map.
+package container
+
+// Assoc is a set-associative, LRU-replaced table keyed by uint32, used to
+// model finite PC-, address- and synonym-indexed hardware structures.
+// Construct with NewAssoc; sets <= 0 selects an unbounded map-backed
+// table, which models "infinite" configurations in accuracy studies.
+type Assoc[V any] struct {
+	sets, ways int
+	lines      []line[V]
+	unbounded  map[uint32]*V
+	clock      uint64
+}
+
+type line[V any] struct {
+	key   uint32
+	valid bool
+	lru   uint64 // last-touch stamp; larger is more recent
+	val   V
+}
+
+// NewAssoc returns a table with the given geometry. Pass sets <= 0 for an
+// unbounded table; ways < 1 is treated as 1. sets is rounded up to a
+// power of two so the index is a mask.
+func NewAssoc[V any](sets, ways int) *Assoc[V] {
+	if sets <= 0 {
+		return &Assoc[V]{unbounded: make(map[uint32]*V)}
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	p := 1
+	for p < sets {
+		p <<= 1
+	}
+	return &Assoc[V]{sets: p, ways: ways, lines: make([]line[V], p*ways)}
+}
+
+// Capacity returns the number of entries the table can hold, or 0 for
+// unbounded tables.
+func (t *Assoc[V]) Capacity() int { return t.sets * t.ways }
+
+// Sets returns the (rounded) set count, 0 for unbounded tables.
+func (t *Assoc[V]) Sets() int { return t.sets }
+
+// Ways returns the associativity, 0 for unbounded tables.
+func (t *Assoc[V]) Ways() int { return t.ways }
+
+func (t *Assoc[V]) set(key uint32) []line[V] {
+	i := int(key) & (t.sets - 1)
+	return t.lines[i*t.ways : (i+1)*t.ways]
+}
+
+// Get returns the value stored under key, or nil. A hit refreshes the
+// entry's recency.
+func (t *Assoc[V]) Get(key uint32) *V {
+	if t.unbounded != nil {
+		return t.unbounded[key]
+	}
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			t.clock++
+			set[i].lru = t.clock
+			return &set[i].val
+		}
+	}
+	return nil
+}
+
+// Peek returns the value under key without refreshing recency.
+func (t *Assoc[V]) Peek(key uint32) *V {
+	if t.unbounded != nil {
+		return t.unbounded[key]
+	}
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			return &set[i].val
+		}
+	}
+	return nil
+}
+
+// GetOrInsert returns the value under key, allocating (and evicting the
+// set's LRU entry if necessary) when absent. inserted reports whether a
+// new entry was created; a new entry starts at the zero value of V.
+func (t *Assoc[V]) GetOrInsert(key uint32) (v *V, inserted bool) {
+	if t.unbounded != nil {
+		if v := t.unbounded[key]; v != nil {
+			return v, false
+		}
+		v := new(V)
+		t.unbounded[key] = v
+		return v, true
+	}
+	set := t.set(key)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			t.clock++
+			set[i].lru = t.clock
+			return &set[i].val, false
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	t.clock++
+	set[victim] = line[V]{key: key, valid: true, lru: t.clock}
+	return &set[victim].val, true
+}
+
+// ForEach visits every valid entry without touching recency. Iteration
+// order is unspecified.
+func (t *Assoc[V]) ForEach(f func(key uint32, v *V)) {
+	if t.unbounded != nil {
+		for k, v := range t.unbounded {
+			f(k, v)
+		}
+		return
+	}
+	for i := range t.lines {
+		if t.lines[i].valid {
+			f(t.lines[i].key, &t.lines[i].val)
+		}
+	}
+}
+
+// Len returns the number of valid entries.
+func (t *Assoc[V]) Len() int {
+	if t.unbounded != nil {
+		return len(t.unbounded)
+	}
+	n := 0
+	for i := range t.lines {
+		if t.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

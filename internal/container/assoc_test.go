@@ -1,0 +1,116 @@
+package container
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAssocLRU checks the generic table against a reference model.
+func TestQuickAssocLRU(t *testing.T) {
+	f := func(keys []uint8) bool {
+		table := NewAssoc[int](1, 4) // one set, 4 ways, pure LRU
+		var ref []uint32             // most recent first
+		for _, k := range keys {
+			key := uint32(k % 16)
+			v, _ := table.GetOrInsert(key)
+			*v = int(key)
+			// reference LRU update
+			for i, rk := range ref {
+				if rk == key {
+					ref = append(ref[:i], ref[i+1:]...)
+					break
+				}
+			}
+			ref = append([]uint32{key}, ref...)
+			if len(ref) > 4 {
+				ref = ref[:4]
+			}
+			// The table must hold exactly the reference-resident keys.
+			// (Collected via forEach, which does not touch LRU state —
+			// a get() would perturb recency and invalidate the model.)
+			got := map[uint32]bool{}
+			table.ForEach(func(k uint32, _ *int) { got[k] = true })
+			if len(got) != len(ref) {
+				return false
+			}
+			for _, rk := range ref {
+				if !got[rk] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssocUnbounded(t *testing.T) {
+	table := NewAssoc[int](0, 0)
+	for i := uint32(0); i < 1000; i++ {
+		v, inserted := table.GetOrInsert(i)
+		if !inserted {
+			t.Fatalf("key %d reported as existing", i)
+		}
+		*v = int(i)
+	}
+	if table.Len() != 1000 {
+		t.Errorf("len = %d", table.Len())
+	}
+	if v := table.Get(500); v == nil || *v != 500 {
+		t.Error("lost value in unbounded table")
+	}
+	if table.Capacity() != 0 {
+		t.Error("unbounded capacity should be 0")
+	}
+}
+
+func TestAssocAccessors(t *testing.T) {
+	table := NewAssoc[int](6, 2) // sets round up to 8
+	if table.Sets() != 8 || table.Ways() != 2 || table.Capacity() != 16 {
+		t.Errorf("geometry: sets=%d ways=%d cap=%d", table.Sets(), table.Ways(), table.Capacity())
+	}
+	unbounded := NewAssoc[int](0, 0)
+	if unbounded.Sets() != 0 || unbounded.Capacity() != 0 {
+		t.Error("unbounded geometry should be zero")
+	}
+}
+
+func TestAssocPeekDoesNotTouch(t *testing.T) {
+	table := NewAssoc[int](1, 2)
+	v, _ := table.GetOrInsert(1)
+	*v = 10
+	table.GetOrInsert(2)
+	// Peek(1) must not refresh 1's recency.
+	if got := table.Peek(1); got == nil || *got != 10 {
+		t.Fatal("peek lost value")
+	}
+	table.GetOrInsert(3) // evicts 1 (still LRU because peek is silent)
+	if table.Peek(1) != nil {
+		t.Error("Peek refreshed recency")
+	}
+	if table.Peek(99) != nil {
+		t.Error("Peek invented a value")
+	}
+	// Unbounded peek path.
+	u := NewAssoc[int](0, 0)
+	u.GetOrInsert(7)
+	if u.Peek(7) == nil || u.Peek(8) != nil {
+		t.Error("unbounded Peek wrong")
+	}
+}
+
+func TestAssocWaysDefaulted(t *testing.T) {
+	table := NewAssoc[int](4, 0) // ways < 1 treated as 1
+	if table.Ways() != 1 {
+		t.Errorf("ways = %d", table.Ways())
+	}
+}
+
+func TestAssocGetMissReturnsNil(t *testing.T) {
+	table := NewAssoc[int](2, 2)
+	if table.Get(5) != nil {
+		t.Error("miss returned a value")
+	}
+}

@@ -1,0 +1,119 @@
+package container
+
+// LRU is a fully-associative table with least-recently-used replacement,
+// keyed by uint32. It models fully-associative hardware structures (the
+// paper's fully-associative value predictor, the address-window tracker
+// of Section 2). Construct with NewLRU; capacity 0 means unbounded.
+type LRU[V any] struct {
+	capacity   int
+	entries    map[uint32]*lruNode[V]
+	head, tail *lruNode[V] // head = most recently used
+	evictions  uint64
+
+	// OnEvict, when non-nil, is called with each evicted key/value just
+	// before removal.
+	OnEvict func(key uint32, v *V)
+}
+
+type lruNode[V any] struct {
+	key        uint32
+	val        V
+	prev, next *lruNode[V]
+}
+
+// NewLRU returns an LRU with the given capacity (0 = unbounded).
+func NewLRU[V any](capacity int) *LRU[V] {
+	return &LRU[V]{capacity: capacity, entries: make(map[uint32]*lruNode[V])}
+}
+
+// Len returns the number of resident entries.
+func (l *LRU[V]) Len() int { return len(l.entries) }
+
+// Capacity returns the entry limit (0 = unbounded).
+func (l *LRU[V]) Capacity() int { return l.capacity }
+
+// Evictions returns the cumulative eviction count.
+func (l *LRU[V]) Evictions() uint64 { return l.evictions }
+
+func (l *LRU[V]) unlink(n *lruNode[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *LRU[V]) pushFront(n *lruNode[V]) {
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+// Get returns the value under key, refreshing its recency, or nil.
+func (l *LRU[V]) Get(key uint32) *V {
+	n := l.entries[key]
+	if n == nil {
+		return nil
+	}
+	if l.head != n {
+		l.unlink(n)
+		l.pushFront(n)
+	}
+	return &n.val
+}
+
+// Peek returns the value under key without refreshing recency, or nil.
+func (l *LRU[V]) Peek(key uint32) *V {
+	n := l.entries[key]
+	if n == nil {
+		return nil
+	}
+	return &n.val
+}
+
+// GetOrInsert returns the value under key, allocating (and evicting the
+// LRU entry if at capacity) when absent.
+func (l *LRU[V]) GetOrInsert(key uint32) (v *V, inserted bool) {
+	if n := l.entries[key]; n != nil {
+		if l.head != n {
+			l.unlink(n)
+			l.pushFront(n)
+		}
+		return &n.val, false
+	}
+	if l.capacity > 0 && len(l.entries) >= l.capacity {
+		victim := l.tail
+		if l.OnEvict != nil {
+			l.OnEvict(victim.key, &victim.val)
+		}
+		l.unlink(victim)
+		delete(l.entries, victim.key)
+		l.evictions++
+	}
+	n := &lruNode[V]{key: key}
+	l.entries[key] = n
+	l.pushFront(n)
+	return &n.val, true
+}
+
+// Remove deletes the entry under key, reporting whether it was resident.
+func (l *LRU[V]) Remove(key uint32) bool {
+	n := l.entries[key]
+	if n == nil {
+		return false
+	}
+	l.unlink(n)
+	delete(l.entries, key)
+	return true
+}

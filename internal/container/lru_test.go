@@ -1,0 +1,141 @@
+package container
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUBasic(t *testing.T) {
+	l := NewLRU[int](2)
+	v, inserted := l.GetOrInsert(1)
+	if !inserted {
+		t.Error("fresh key reported existing")
+	}
+	*v = 10
+	if got := l.Get(1); got == nil || *got != 10 {
+		t.Error("lost value")
+	}
+	if l.Get(2) != nil {
+		t.Error("phantom value")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	l := NewLRU[int](2)
+	l.GetOrInsert(1)
+	l.GetOrInsert(2)
+	l.Get(1)         // 1 is now MRU
+	l.GetOrInsert(3) // evicts 2
+	if l.Peek(2) != nil {
+		t.Error("2 should have been evicted")
+	}
+	if l.Peek(1) == nil || l.Peek(3) == nil {
+		t.Error("1 and 3 should be resident")
+	}
+	if l.Evictions() != 1 {
+		t.Errorf("evictions = %d", l.Evictions())
+	}
+}
+
+func TestLRUPeekDoesNotTouch(t *testing.T) {
+	l := NewLRU[int](2)
+	l.GetOrInsert(1)
+	l.GetOrInsert(2)
+	l.Peek(1)        // must NOT refresh 1
+	l.GetOrInsert(3) // evicts 1 (still LRU)
+	if l.Peek(1) != nil {
+		t.Error("Peek refreshed recency")
+	}
+}
+
+func TestLRUOnEvict(t *testing.T) {
+	l := NewLRU[int](1)
+	var evicted []uint32
+	l.OnEvict = func(k uint32, v *int) { evicted = append(evicted, k) }
+	v, _ := l.GetOrInsert(7)
+	*v = 70
+	l.GetOrInsert(8)
+	if len(evicted) != 1 || evicted[0] != 7 {
+		t.Errorf("evicted = %v", evicted)
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	l := NewLRU[int](4)
+	l.GetOrInsert(1)
+	l.GetOrInsert(2)
+	if !l.Remove(1) {
+		t.Error("Remove missed resident key")
+	}
+	if l.Remove(1) {
+		t.Error("Remove found removed key")
+	}
+	if l.Len() != 1 {
+		t.Errorf("len = %d", l.Len())
+	}
+	// List stays consistent: fill and evict through the removed slot.
+	l.GetOrInsert(3)
+	l.GetOrInsert(4)
+	l.GetOrInsert(5)
+	l.GetOrInsert(6)
+	if l.Len() != 4 {
+		t.Errorf("len = %d after refill", l.Len())
+	}
+}
+
+func TestLRUUnbounded(t *testing.T) {
+	l := NewLRU[int](0)
+	for i := uint32(0); i < 5000; i++ {
+		l.GetOrInsert(i)
+	}
+	if l.Len() != 5000 || l.Evictions() != 0 {
+		t.Errorf("len=%d evictions=%d", l.Len(), l.Evictions())
+	}
+}
+
+// TestQuickLRUModel compares against a reference MRU list.
+func TestQuickLRUModel(t *testing.T) {
+	f := func(keys []uint8) bool {
+		l := NewLRU[int](4)
+		var ref []uint32
+		for _, k := range keys {
+			key := uint32(k % 12)
+			l.GetOrInsert(key)
+			for i, rk := range ref {
+				if rk == key {
+					ref = append(ref[:i], ref[i+1:]...)
+					break
+				}
+			}
+			ref = append([]uint32{key}, ref...)
+			if len(ref) > 4 {
+				ref = ref[:4]
+			}
+			if l.Len() != len(ref) {
+				return false
+			}
+			for _, rk := range ref {
+				if l.Peek(rk) == nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUCapacityAccessor(t *testing.T) {
+	if NewLRU[int](7).Capacity() != 7 {
+		t.Error("capacity accessor")
+	}
+}
+
+func TestLRUGetMiss(t *testing.T) {
+	l := NewLRU[int](2)
+	if l.Get(9) != nil {
+		t.Error("miss returned value")
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rarpred/internal/cloak"
+	"rarpred/internal/funcsim"
+	"rarpred/internal/stats"
+	"rarpred/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ablmerge",
+		Title: "Ablation: synonym merge policy (incremental Chrysos/Emer " +
+			"vs full associative vs never; Section 5.1 discussion)",
+		Run: runAblMerge,
+	})
+	register(Experiment{
+		ID: "ablsplit",
+		Title: "Ablation: shared vs split DDT (the Section 5.6.2 eviction " +
+			"anomaly)",
+		Run: runAblSplit,
+	})
+	register(Experiment{
+		ID:    "abldpnt",
+		Title: "Ablation: DPNT capacity sweep (512 entries to infinite)",
+		Run:   runAblDPNT,
+	})
+}
+
+// ablCell is coverage/misspeculation for one configuration.
+type ablCell struct {
+	Coverage float64
+	Misp     float64
+}
+
+// AblationResult is a generic per-workload, per-variant accuracy table.
+type AblationResult struct {
+	Title    string
+	Variants []string
+	Rows     []struct {
+		Workload workload.Workload
+		Cells    []ablCell
+	}
+}
+
+// runVariants drives one run per workload with an engine per variant.
+func runVariants(opt Options, title string, variants []string,
+	mk func(variant int) cloak.Config) (*AblationResult, error) {
+
+	size := opt.size(workload.ReferenceSize)
+	type row = struct {
+		Workload workload.Workload
+		Cells    []ablCell
+	}
+	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (row, error) {
+		engines := make([]*cloak.Engine, len(variants))
+		for i := range variants {
+			engines[i] = cloak.New(mk(i))
+		}
+		sim.OnLoad = func(e funcsim.MemEvent) {
+			for _, eng := range engines {
+				eng.Load(e.PC, e.Addr, e.Value)
+			}
+		}
+		sim.OnStore = func(e funcsim.MemEvent) {
+			for _, eng := range engines {
+				eng.Store(e.PC, e.Addr, e.Value)
+			}
+		}
+		if err := sim.Run(opt.maxInsts()); err != nil {
+			return row{}, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		r := row{Workload: w, Cells: make([]ablCell, len(variants))}
+		for i, eng := range engines {
+			st := eng.Stats()
+			r.Cells[i] = ablCell{
+				Coverage: stats.Ratio(st.Covered(), st.Loads),
+				Misp:     stats.Ratio(st.Mispredicted(), st.Loads),
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Title: title, Variants: variants, Rows: rows}, nil
+}
+
+func runAblMerge(opt Options) (Result, error) {
+	variants := []string{"incremental", "full", "never"}
+	merges := []cloak.MergeKind{cloak.MergeIncremental, cloak.MergeFull, cloak.MergeNever}
+	return runVariants(opt, "Synonym merge policy", variants, func(i int) cloak.Config {
+		cfg := cloak.DefaultConfig()
+		cfg.Merge = merges[i]
+		return cfg
+	})
+}
+
+func runAblSplit(opt Options) (Result, error) {
+	variants := []string{"shared 128", "split 128+128"}
+	return runVariants(opt, "Shared vs split DDT", variants, func(i int) cloak.Config {
+		cfg := cloak.DefaultConfig()
+		cfg.SplitDDT = i == 1
+		return cfg
+	})
+}
+
+func runAblDPNT(opt Options) (Result, error) {
+	sizes := []int{512, 2048, 8192, 0}
+	variants := []string{"512", "2K", "8K", "inf"}
+	return runVariants(opt, "DPNT capacity", variants, func(i int) cloak.Config {
+		cfg := cloak.DefaultConfig()
+		if sizes[i] > 0 {
+			cfg.DPNTSets = sizes[i] / 2
+			cfg.DPNTWays = 2
+		}
+		return cfg
+	})
+}
+
+// String renders coverage and misspeculation per variant.
+func (r *AblationResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: %s\n", r.Title)
+	header := []string{"prog"}
+	for _, v := range r.Variants {
+		header = append(header, v+" cov", v+" misp")
+	}
+	t := stats.NewTable(header...)
+	for _, row := range r.Rows {
+		cells := []any{row.Workload.Abbrev}
+		for _, c := range row.Cells {
+			cells = append(cells, stats.Pct(c.Coverage), stats.Pct2(c.Misp))
+		}
+		t.Row(cells...)
+	}
+	sb.WriteString(t.String())
+	// Suite means per variant.
+	means := make([]float64, len(r.Variants))
+	for _, row := range r.Rows {
+		for i, c := range row.Cells {
+			means[i] += c.Coverage
+		}
+	}
+	sb.WriteString("mean coverage:")
+	for i, v := range r.Variants {
+		fmt.Fprintf(&sb, " %s %s", v, stats.Pct(means[i]/float64(len(r.Rows))))
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

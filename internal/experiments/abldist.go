@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rarpred/internal/funcsim"
+	"rarpred/internal/locality"
+	"rarpred/internal/stats"
+	"rarpred/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "abldist",
+		Title: "Extension: RAR dependence-distance distribution (why a " +
+			"128-entry DDT sees most dependences, Section 5.2)",
+		Run: runAblDist,
+	})
+}
+
+// DistRow is one workload's distance distribution.
+type DistRow struct {
+	Workload workload.Workload
+	Sinks    uint64
+	// CDF values at the DDT-relevant bounds.
+	CDF32, CDF128, CDF512, CDF2K float64
+	// P50/P90/P99 power-of-two distance bounds.
+	P50, P90, P99 int
+}
+
+// DistResult is the abldist outcome.
+type DistResult struct {
+	Rows []DistRow
+}
+
+func runAblDist(opt Options) (Result, error) {
+	size := opt.size(workload.ReferenceSize)
+	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (DistRow, error) {
+		d := locality.NewDistanceAnalyzer()
+		sim.OnLoad = func(e funcsim.MemEvent) { d.Load(e.PC, e.Addr) }
+		sim.OnStore = func(e funcsim.MemEvent) { d.Store(e.PC, e.Addr) }
+		if err := sim.Run(opt.maxInsts()); err != nil {
+			return DistRow{}, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		return DistRow{
+			Workload: w,
+			Sinks:    d.Sinks(),
+			CDF32:    d.CDF(32),
+			CDF128:   d.CDF(128),
+			CDF512:   d.CDF(512),
+			CDF2K:    d.CDF(2048),
+			P50:      d.Percentile(0.50),
+			P90:      d.Percentile(0.90),
+			P99:      d.Percentile(0.99),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DistResult{Rows: rows}, nil
+}
+
+// String renders the distance CDF at the Figure 5 DDT sizes.
+func (r *DistResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: RAR dependence distance (unique addresses between " +
+		"source and sink)\n")
+	t := stats.NewTable("prog", "sinks", "<32", "<128", "<512", "<2K", "p50", "p90", "p99")
+	for _, row := range r.Rows {
+		t.Row(row.Workload.Abbrev, row.Sinks,
+			stats.Pct(row.CDF32), stats.Pct(row.CDF128),
+			stats.Pct(row.CDF512), stats.Pct(row.CDF2K),
+			row.P50, row.P90, row.P99)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("short distances dominate: the reason moderate DDTs capture " +
+		"most RAR dependences in Figure 5.\n")
+	return sb.String()
+}

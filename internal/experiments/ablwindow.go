@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rarpred/internal/funcsim"
+	"rarpred/internal/locality"
+	"rarpred/internal/stats"
+	"rarpred/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ablwindow",
+		Title: "Extension: address-window sweep for RAR detection " +
+			"(generalising Figure 2's infinite vs 4K comparison)",
+		Run: runAblWindow,
+	})
+}
+
+// WindowSizes is the sweep; 0 is the infinite window.
+var WindowSizes = []int{64, 256, 1024, 4096, 16384, 0}
+
+// WindowRow holds, per window size, the fraction of loads that are RAR
+// sinks and their locality(1).
+type WindowRow struct {
+	Workload workload.Workload
+	// SinkFrac[i] is sink loads / all loads under WindowSizes[i].
+	SinkFrac []float64
+	// Locality1[i] is memory-dependence-locality(1) under WindowSizes[i].
+	Locality1 []float64
+}
+
+// WindowResult is the ablwindow outcome.
+type WindowResult struct {
+	Rows []WindowRow
+}
+
+func runAblWindow(opt Options) (Result, error) {
+	size := opt.size(workload.ReferenceSize)
+	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (WindowRow, error) {
+		analyzers := make([]*locality.RARLocality, len(WindowSizes))
+		for i, ws := range WindowSizes {
+			analyzers[i] = locality.NewRARLocality(ws)
+		}
+		var loads uint64
+		sim.OnLoad = func(e funcsim.MemEvent) {
+			loads++
+			for _, a := range analyzers {
+				a.Load(e.PC, e.Addr)
+			}
+		}
+		sim.OnStore = func(e funcsim.MemEvent) {
+			for _, a := range analyzers {
+				a.Store(e.PC, e.Addr)
+			}
+		}
+		if err := sim.Run(opt.maxInsts()); err != nil {
+			return WindowRow{}, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		row := WindowRow{Workload: w}
+		for _, a := range analyzers {
+			row.SinkFrac = append(row.SinkFrac, stats.Ratio(a.SinkLoads(), loads))
+			row.Locality1 = append(row.Locality1, a.Locality(1))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WindowResult{Rows: rows}, nil
+}
+
+// String renders the sweep: sinks detected and their regularity per
+// window size.
+func (r *WindowResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: RAR detection vs address-window size\n")
+	header := []string{"prog"}
+	for _, ws := range WindowSizes {
+		name := "inf"
+		if ws != 0 {
+			name = fmt.Sprint(ws)
+		}
+		header = append(header, name+" sinks", name+" loc1")
+	}
+	t := stats.NewTable(header...)
+	for _, row := range r.Rows {
+		cells := []any{row.Workload.Abbrev}
+		for i := range WindowSizes {
+			cells = append(cells, stats.Pct(row.SinkFrac[i]), stats.Pct(row.Locality1[i]))
+		}
+		t.Row(cells...)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("small windows see fewer, nearer dependences — and the " +
+		"paper's observation that shorter dependences are more regular " +
+		"shows as locality rising when the window shrinks.\n")
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 2 and Section 5). Each experiment is registered
+// under the paper's table/figure id (table51, fig2, fig5, fig6, fig7a,
+// fig7b, table52, fig9, fig10) plus this repository's ablations, and
+// prints rows/series in the paper's layout so results can be compared
+// side by side (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rarpred/internal/funcsim"
+	"rarpred/internal/workload"
+)
+
+// Options parameterises an experiment run.
+type Options struct {
+	// Size is the workload size parameter (0 selects each experiment's
+	// default: workload.ReferenceSize for accuracy studies,
+	// workload.TimingSize for the cycle-level studies).
+	Size int
+
+	// Workloads restricts the suite (nil = all 18 analogs).
+	Workloads []workload.Workload
+
+	// MaxInsts bounds each functional run as a safety net (0 = default).
+	MaxInsts uint64
+
+	// Parallelism bounds concurrent workload simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) workloads() []workload.Workload {
+	if o.Workloads != nil {
+		return o.Workloads
+	}
+	return workload.All()
+}
+
+func (o Options) size(def int) int {
+	if o.Size > 0 {
+		return o.Size
+	}
+	return def
+}
+
+func (o Options) maxInsts() uint64 {
+	if o.MaxInsts > 0 {
+		return o.MaxInsts
+	}
+	return 2_000_000_000
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is what every experiment produces: a rendered, paper-layout
+// report. Concrete result types expose the underlying numbers.
+type Result interface{ fmt.Stringer }
+
+// Experiment is one runnable reproduction of a paper table or figure.
+type Experiment struct {
+	// ID is the paper's identifier (e.g. "fig6") or an ablation id.
+	ID string
+	// Title describes what the paper reports there.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) (Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// forEachWorkload runs fn once per workload, in parallel, preserving
+// suite order in the returned slice. fn receives the workload and its
+// assembled program and returns an experiment-specific row.
+func forEachWorkload[T any](opt Options, size int, fn func(w workload.Workload, prog *funcsim.Sim) (T, error)) ([]T, error) {
+	ws := opt.workloads()
+	rows := make([]T, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, opt.parallelism())
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sim := funcsim.New(w.Program(size))
+			rows[i], errs[i] = fn(w, sim)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// meansByClass computes the SPECint, SPECfp and overall arithmetic means
+// of a metric extracted from each row.
+func meansByClass[T any](ws []workload.Workload, rows []T, metric func(T) float64) (intMean, fpMean, all float64) {
+	var si, sf, sa float64
+	var ni, nf int
+	for i, w := range ws {
+		v := metric(rows[i])
+		sa += v
+		if w.Class == workload.Int {
+			si += v
+			ni++
+		} else {
+			sf += v
+			nf++
+		}
+	}
+	if ni > 0 {
+		intMean = si / float64(ni)
+	}
+	if nf > 0 {
+		fpMean = sf / float64(nf)
+	}
+	if len(ws) > 0 {
+		all = sa / float64(len(ws))
+	}
+	return
+}

@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"rarpred/internal/cloak"
+	"rarpred/internal/funcsim"
+	"rarpred/internal/pipeline"
+	"rarpred/internal/stats"
+	"rarpred/internal/vpred"
+	"rarpred/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ablmemspec",
+		Title: "Extension: base-processor memory dependence speculation " +
+			"policies (no-speculation vs naive vs store sets [Chrysos/Emer])",
+		Run: runAblMemSpec,
+	})
+	register(Experiment{
+		ID: "ablrecovery",
+		Title: "Extension: value-misspeculation recovery (selective vs " +
+			"squash vs oracle; Section 5.6.1's equivalence claim)",
+		Run: runAblRecovery,
+	})
+	register(Experiment{
+		ID: "synergy",
+		Title: "Extension: cloaking/bypassing combined with last-value " +
+			"prediction (the Section 5.5 'potential synergy')",
+		Run: runSynergy,
+	})
+}
+
+// MemSpecRow is one workload's base performance under the three policies.
+type MemSpecRow struct {
+	Workload workload.Workload
+
+	NoSpecIPC, NaiveIPC, StoreSetsIPC float64
+	NaiveViolations                   uint64
+	StoreSetViolations                uint64
+}
+
+// MemSpecResult compares LSQ scheduling policies on the base processor.
+type MemSpecResult struct {
+	Rows []MemSpecRow
+}
+
+func runAblMemSpec(opt Options) (Result, error) {
+	size := opt.size(workload.TimingSize)
+	ws := opt.workloads()
+	rows := make([]MemSpecRow, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, opt.parallelism())
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			row := MemSpecRow{Workload: w}
+			for _, pol := range []pipeline.MemSpecPolicy{pipeline.NoSpec, pipeline.NaiveSpec, pipeline.StoreSets} {
+				cfg := pipeline.DefaultConfig()
+				cfg.MemSpec = pol
+				res, err := pipeline.RunProgram(w.Program(size), cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s/%s: %w", w.Name, pol, err)
+					return
+				}
+				switch pol {
+				case pipeline.NoSpec:
+					row.NoSpecIPC = res.IPC()
+				case pipeline.NaiveSpec:
+					row.NaiveIPC = res.IPC()
+					row.NaiveViolations = res.MemViolations
+				case pipeline.StoreSets:
+					row.StoreSetsIPC = res.IPC()
+					row.StoreSetViolations = res.MemViolations
+				}
+			}
+			rows[i] = row
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &MemSpecResult{Rows: rows}, nil
+}
+
+// String renders IPCs and violation counts.
+func (r *MemSpecResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: memory dependence speculation policies (base processor)\n")
+	t := stats.NewTable("prog", "nospec IPC", "naive IPC", "ssets IPC", "naive viol", "ssets viol")
+	for _, row := range r.Rows {
+		t.Row(row.Workload.Abbrev,
+			fmt.Sprintf("%.2f", row.NoSpecIPC),
+			fmt.Sprintf("%.2f", row.NaiveIPC),
+			fmt.Sprintf("%.2f", row.StoreSetsIPC),
+			row.NaiveViolations, row.StoreSetViolations)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("store sets retain naive speculation's performance while " +
+		"removing the violations naive speculation pays for.\n")
+	return sb.String()
+}
+
+// RecoveryRow is one workload's RAW+RAR speedup under each recovery model.
+type RecoveryRow struct {
+	Workload                  workload.Workload
+	Selective, Squash, Oracle float64 // speedups over the base processor
+	Skipped                   uint64  // oracle-suppressed wrong values
+}
+
+// RecoveryResult compares recovery policies.
+type RecoveryResult struct {
+	Rows []RecoveryRow
+}
+
+func runAblRecovery(opt Options) (Result, error) {
+	size := opt.size(workload.TimingSize)
+	ws := opt.workloads()
+	rows := make([]RecoveryRow, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, opt.parallelism())
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			base, err := pipeline.RunProgram(w.Program(size), pipeline.DefaultConfig())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			row := RecoveryRow{Workload: w}
+			for _, rec := range []pipeline.RecoveryPolicy{pipeline.Selective, pipeline.Squash, pipeline.Oracle} {
+				cfg := pipeline.DefaultConfig()
+				cc := cloak.TimingConfig(cloak.ModeRAWRAR)
+				cfg.Cloak = &cc
+				cfg.Bypassing = true
+				cfg.Recovery = rec
+				res, err := pipeline.RunProgram(w.Program(size), cfg)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				sp := speedup(base.Cycles, res.Cycles)
+				switch rec {
+				case pipeline.Selective:
+					row.Selective = sp
+				case pipeline.Squash:
+					row.Squash = sp
+				case pipeline.Oracle:
+					row.Oracle = sp
+					row.Skipped = res.SpecSkipped
+				}
+			}
+			rows[i] = row
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &RecoveryResult{Rows: rows}, nil
+}
+
+// String renders the three speedup columns.
+func (r *RecoveryResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: value-misspeculation recovery models (RAW+RAR)\n")
+	t := stats.NewTable("prog", "selective", "squash", "oracle", "suppressed")
+	for _, row := range r.Rows {
+		t.Row(row.Workload.Abbrev,
+			stats.Pct(row.Selective), stats.Pct(row.Squash), stats.Pct(row.Oracle),
+			row.Skipped)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("Section 5.6.1's claim: selective invalidation performs like the oracle.\n")
+	return sb.String()
+}
+
+// SynergyRow is one workload's coverage under cloaking, last-value
+// prediction, and the hybrid of both (a load is covered if either
+// mechanism supplies a correct value).
+type SynergyRow struct {
+	Workload workload.Workload
+	Cloak    float64
+	VP       float64
+	Hybrid   float64
+}
+
+// SynergyResult quantifies the Section 5.5 "potential synergy".
+type SynergyResult struct {
+	Rows []SynergyRow
+	// Means over the suite.
+	CloakMean, VPMean, HybridMean float64
+}
+
+func runSynergy(opt Options) (Result, error) {
+	size := opt.size(workload.ReferenceSize)
+	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (SynergyRow, error) {
+		engine := cloak.New(table52Config())
+		vp := vpred.NewLastValue(vpred.DefaultEntries)
+		var loads, cCloak, cVP, cHybrid uint64
+		sim.OnLoad = func(e funcsim.MemEvent) {
+			loads++
+			out := engine.Load(e.PC, e.Addr, e.Value)
+			_, vpCorrect := vp.Access(e.PC, e.Value)
+			cloakCorrect := out.Used && out.Correct
+			if cloakCorrect {
+				cCloak++
+			}
+			if vpCorrect {
+				cVP++
+			}
+			if cloakCorrect || vpCorrect {
+				cHybrid++
+			}
+		}
+		sim.OnStore = func(e funcsim.MemEvent) { engine.Store(e.PC, e.Addr, e.Value) }
+		if err := sim.Run(opt.maxInsts()); err != nil {
+			return SynergyRow{}, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		return SynergyRow{
+			Workload: w,
+			Cloak:    stats.Ratio(cCloak, loads),
+			VP:       stats.Ratio(cVP, loads),
+			Hybrid:   stats.Ratio(cHybrid, loads),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SynergyResult{Rows: rows}
+	_, _, res.CloakMean = meansByClass(opt.workloads(), rows, func(r SynergyRow) float64 { return r.Cloak })
+	_, _, res.VPMean = meansByClass(opt.workloads(), rows, func(r SynergyRow) float64 { return r.VP })
+	_, _, res.HybridMean = meansByClass(opt.workloads(), rows, func(r SynergyRow) float64 { return r.Hybrid })
+	return res, nil
+}
+
+// String renders per-program and mean coverage of each mechanism.
+func (r *SynergyResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: cloaking + last-value prediction hybrid coverage\n")
+	t := stats.NewTable("prog", "cloaking", "VP", "hybrid")
+	for _, row := range r.Rows {
+		t.Row(row.Workload.Abbrev,
+			stats.Pct(row.Cloak), stats.Pct(row.VP), stats.Pct(row.Hybrid))
+	}
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "means: cloaking %s, VP %s, hybrid %s — the approaches are complementary\n",
+		stats.Pct(r.CloakMean), stats.Pct(r.VPMean), stats.Pct(r.HybridMean))
+	return sb.String()
+}
+
+func init() {
+	register(Experiment{
+		ID: "ablprofile",
+		Title: "Extension: hardware-detected vs profile-guided (software) " +
+			"cloaking (Reinman et al., the paper's related work)",
+		Run: runAblProfile,
+	})
+}
+
+// ProfileRow compares hardware and software-guided coverage.
+type ProfileRow struct {
+	Workload workload.Workload
+	Hardware float64 // coverage with runtime DDT detection
+	Software float64 // coverage with a preloaded DPNT, no DDT
+	Pairs    int     // profiled dependence pairs above threshold
+}
+
+// ProfileResult is the ablprofile outcome.
+type ProfileResult struct {
+	Rows []ProfileRow
+}
+
+// profileMinCount drops one-off pairs, as a compiler would.
+const profileMinCount = 4
+
+func runAblProfile(opt Options) (Result, error) {
+	size := opt.size(workload.ReferenceSize)
+	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (ProfileRow, error) {
+		// Pass 1: profile (and measure hardware coverage on the same run).
+		collector := cloak.NewCollector(128)
+		hw := cloak.New(cloak.DefaultConfig())
+		sim.OnLoad = func(e funcsim.MemEvent) {
+			collector.Load(e.PC, e.Addr)
+			hw.Load(e.PC, e.Addr, e.Value)
+		}
+		sim.OnStore = func(e funcsim.MemEvent) {
+			collector.Store(e.PC, e.Addr)
+			hw.Store(e.PC, e.Addr, e.Value)
+		}
+		if err := sim.Run(opt.maxInsts()); err != nil {
+			return ProfileRow{}, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		// Pass 2: a fresh run under the software-guided engine.
+		profile := collector.Profile()
+		sw := cloak.NewStaticEngine(cloak.DefaultConfig(), profile, profileMinCount)
+		sim2 := funcsim.New(w.Program(size))
+		sim2.OnLoad = func(e funcsim.MemEvent) { sw.Load(e.PC, e.Addr, e.Value) }
+		sim2.OnStore = func(e funcsim.MemEvent) { sw.Store(e.PC, e.Addr, e.Value) }
+		if err := sim2.Run(opt.maxInsts()); err != nil {
+			return ProfileRow{}, fmt.Errorf("%s (software pass): %w", w.Name, err)
+		}
+		hwStats, swStats := hw.Stats(), sw.Stats()
+		return ProfileRow{
+			Workload: w,
+			Hardware: stats.Ratio(hwStats.Covered(), hwStats.Loads),
+			Software: stats.Ratio(swStats.Covered(), swStats.Loads),
+			Pairs:    len(profile.Pairs(profileMinCount)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ProfileResult{Rows: rows}, nil
+}
+
+// String renders hardware vs software-guided coverage.
+func (r *ProfileResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: hardware vs profile-guided (software) cloaking coverage\n")
+	t := stats.NewTable("prog", "hardware", "software", "pairs")
+	for _, row := range r.Rows {
+		t.Row(row.Workload.Abbrev,
+			stats.Pct(row.Hardware), stats.Pct(row.Software), row.Pairs)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("software-guided cloaking needs no DDT but is limited to " +
+		"profiled pairs (and profiles can go stale across inputs).\n")
+	return sb.String()
+}

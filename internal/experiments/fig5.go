@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rarpred/internal/cloak"
+	"rarpred/internal/funcsim"
+	"rarpred/internal/stats"
+	"rarpred/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig5",
+		Title: "Figure 5: fraction of loads with RAW or RAR dependences " +
+			"as a function of DDT size (32..2K)",
+		Run: runFig5,
+	})
+}
+
+// Fig5Sizes are the DDT sizes swept by Figure 5 (power-of-two steps).
+var Fig5Sizes = []int{32, 64, 128, 256, 512, 1024, 2048}
+
+// Fig5Point is the detected-dependence split at one DDT size.
+type Fig5Point struct {
+	DDTSize int
+	RAWFrac float64 // loads with a visible RAW dependence
+	RARFrac float64 // loads with a visible RAR dependence
+}
+
+// Fig5Row holds one workload's sweep.
+type Fig5Row struct {
+	Workload workload.Workload
+	Points   []Fig5Point
+}
+
+// Fig5Result reproduces Figure 5.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+func runFig5(opt Options) (Result, error) {
+	size := opt.size(workload.ReferenceSize)
+	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (Fig5Row, error) {
+		// One combined-DDT detector per size, all observing one run.
+		dets := make([]*cloak.DDT, len(Fig5Sizes))
+		raw := make([]uint64, len(Fig5Sizes))
+		rar := make([]uint64, len(Fig5Sizes))
+		for i, s := range Fig5Sizes {
+			dets[i] = cloak.NewDDT(s, true)
+		}
+		var loads uint64
+		sim.OnLoad = func(e funcsim.MemEvent) {
+			loads++
+			for i, d := range dets {
+				if dep, ok := d.Load(e.Addr, e.PC); ok {
+					if dep.Kind == cloak.DepRAW {
+						raw[i]++
+					} else {
+						rar[i]++
+					}
+				}
+			}
+		}
+		sim.OnStore = func(e funcsim.MemEvent) {
+			for _, d := range dets {
+				d.Store(e.Addr, e.PC)
+			}
+		}
+		if err := sim.Run(opt.maxInsts()); err != nil {
+			return Fig5Row{}, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		row := Fig5Row{Workload: w}
+		for i, s := range Fig5Sizes {
+			row.Points = append(row.Points, Fig5Point{
+				DDTSize: s,
+				RAWFrac: stats.Ratio(raw[i], loads),
+				RARFrac: stats.Ratio(rar[i], loads),
+			})
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Rows: rows}, nil
+}
+
+// Point returns the sweep point for a DDT size.
+func (r Fig5Row) Point(ddtSize int) (Fig5Point, bool) {
+	for _, p := range r.Points {
+		if p.DDTSize == ddtSize {
+			return p, true
+		}
+	}
+	return Fig5Point{}, false
+}
+
+// String renders one RAW/RAR/total triple per DDT size per program.
+func (r *Fig5Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: loads with visible dependences vs DDT size\n")
+	header := []string{"prog"}
+	for _, s := range Fig5Sizes {
+		header = append(header, fmt.Sprintf("%d RAW", s), fmt.Sprintf("%d RAR", s))
+	}
+	t := stats.NewTable(header...)
+	for _, row := range r.Rows {
+		cells := []any{row.Workload.Abbrev}
+		for _, p := range row.Points {
+			cells = append(cells, stats.Pct(p.RAWFrac), stats.Pct(p.RARFrac))
+		}
+		t.Row(cells...)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

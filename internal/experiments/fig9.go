@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"rarpred/internal/cloak"
+	"rarpred/internal/pipeline"
+	"rarpred/internal/stats"
+	"rarpred/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig9",
+		Title: "Figure 9: speedup of RAW and RAW+RAR cloaking/bypassing " +
+			"with selective and squash invalidation (naive memory " +
+			"dependence speculation baseline)",
+		Run: runFig9,
+	})
+	register(Experiment{
+		ID: "fig10",
+		Title: "Figure 10: speedup of RAW and RAW+RAR cloaking/bypassing " +
+			"when the base processor does not speculate on memory " +
+			"dependences",
+		Run: runFig10,
+	})
+}
+
+// Fig9Row is one workload's timing results.
+type Fig9Row struct {
+	Workload workload.Workload
+
+	BaseCycles uint64
+
+	// Speedups (positive = faster than base) for the four mechanisms of
+	// Figure 9. Fig10 rows only fill the Selective pair.
+	SelRAW    float64
+	SelRAWRAR float64
+	SqRAW     float64
+	SqRAWRAR  float64
+
+	// Diagnostics from the RAW+RAR selective run.
+	Covered float64 // covered loads fraction
+	IPCBase float64
+}
+
+// Fig9Result reproduces Figure 9 (or Figure 10 when NoSpec is set).
+type Fig9Result struct {
+	NoSpec bool
+	Rows   []Fig9Row
+
+	// Means over classes (arithmetic mean of percentage speedups, as the
+	// paper quotes: "on the average performance improvements are ...").
+	SelRAWInt, SelRAWFP, SelRAWAll          float64
+	SelRAWRARInt, SelRAWRARFP, SelRAWRARAll float64
+
+	// HMSelective is the harmonic-mean speedup of the selective RAW+RAR
+	// mechanism (the paper's "HM Selective" marker): the speedup implied
+	// by harmonically averaging normalized execution times.
+	HMSelective float64
+}
+
+// timingConfigs builds the four mechanism configurations.
+func timingConfig(mode cloak.Mode, rec pipeline.RecoveryPolicy, nospec bool) pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cc := cloak.TimingConfig(mode)
+	cfg.Cloak = &cc
+	cfg.Bypassing = true
+	cfg.Recovery = rec
+	if nospec {
+		cfg.MemSpec = pipeline.NoSpec
+	}
+	return cfg
+}
+
+func baseConfig(nospec bool) pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	if nospec {
+		cfg.MemSpec = pipeline.NoSpec
+	}
+	return cfg
+}
+
+func speedup(base, mech uint64) float64 {
+	if mech == 0 {
+		return 0
+	}
+	return float64(base)/float64(mech) - 1
+}
+
+func runFig9(opt Options) (Result, error) { return runTiming(opt, false) }
+
+func runFig10(opt Options) (Result, error) { return runTiming(opt, true) }
+
+func runTiming(opt Options, nospec bool) (Result, error) {
+	size := opt.size(workload.TimingSize)
+	ws := opt.workloads()
+	rows := make([]Fig9Row, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, opt.parallelism())
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = timingRow(w, size, nospec)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Fig9Result{NoSpec: nospec, Rows: rows}
+	res.SelRAWInt, res.SelRAWFP, res.SelRAWAll =
+		meansByClass(ws, rows, func(r Fig9Row) float64 { return r.SelRAW })
+	res.SelRAWRARInt, res.SelRAWRARFP, res.SelRAWRARAll =
+		meansByClass(ws, rows, func(r Fig9Row) float64 { return r.SelRAWRAR })
+	// Normalized execution times of the RAW+RAR selective mechanism.
+	times := make([]float64, len(rows))
+	for i, r := range rows {
+		times[i] = 1 / (1 + r.SelRAWRAR)
+	}
+	res.HMSelective = 1/stats.HarmonicMean(times) - 1
+	return res, nil
+}
+
+func timingRow(w workload.Workload, size int, nospec bool) (Fig9Row, error) {
+	row := Fig9Row{Workload: w}
+	// Each configuration re-assembles and re-runs the program; the
+	// simulators are deterministic so runs are directly comparable.
+	runOne := func(cfg pipeline.Config) (pipeline.Result, error) {
+		return pipeline.RunProgram(w.Program(size), cfg)
+	}
+	base, err := runOne(baseConfig(nospec))
+	if err != nil {
+		return row, fmt.Errorf("%s base: %w", w.Name, err)
+	}
+	row.BaseCycles = base.Cycles
+	row.IPCBase = base.IPC()
+
+	selRAW, err := runOne(timingConfig(cloak.ModeRAW, pipeline.Selective, nospec))
+	if err != nil {
+		return row, err
+	}
+	selBoth, err := runOne(timingConfig(cloak.ModeRAWRAR, pipeline.Selective, nospec))
+	if err != nil {
+		return row, err
+	}
+	row.SelRAW = speedup(base.Cycles, selRAW.Cycles)
+	row.SelRAWRAR = speedup(base.Cycles, selBoth.Cycles)
+	if selBoth.Insts > 0 {
+		row.Covered = float64(selBoth.SpecCorrect) / float64(selBoth.Insts)
+	}
+
+	if !nospec {
+		sqRAW, err := runOne(timingConfig(cloak.ModeRAW, pipeline.Squash, nospec))
+		if err != nil {
+			return row, err
+		}
+		sqBoth, err := runOne(timingConfig(cloak.ModeRAWRAR, pipeline.Squash, nospec))
+		if err != nil {
+			return row, err
+		}
+		row.SqRAW = speedup(base.Cycles, sqRAW.Cycles)
+		row.SqRAWRAR = speedup(base.Cycles, sqBoth.Cycles)
+	}
+	return row, nil
+}
+
+// String renders the speedup bars.
+func (r *Fig9Result) String() string {
+	var sb strings.Builder
+	if r.NoSpec {
+		sb.WriteString("Figure 10: speedups without memory dependence speculation\n")
+		t := stats.NewTable("prog", "RAW", "RAW+RAR", "base IPC", "RAW+RAR speedup")
+		for _, row := range r.Rows {
+			t.Row(row.Workload.Abbrev,
+				stats.Pct(row.SelRAW), stats.Pct(row.SelRAWRAR),
+				fmt.Sprintf("%.2f", row.IPCBase),
+				stats.Bar(row.SelRAWRAR/0.30, 15))
+		}
+		sb.WriteString(t.String())
+	} else {
+		sb.WriteString("Figure 9: speedups with naive memory dependence speculation\n")
+		t := stats.NewTable("prog", "Sel RAW", "Sel RAW+RAR", "Sq RAW", "Sq RAW+RAR", "base IPC", "Sel RAW+RAR speedup")
+		for _, row := range r.Rows {
+			t.Row(row.Workload.Abbrev,
+				stats.Pct(row.SelRAW), stats.Pct(row.SelRAWRAR),
+				stats.Pct(row.SqRAW), stats.Pct(row.SqRAWRAR),
+				fmt.Sprintf("%.2f", row.IPCBase),
+				stats.Bar(row.SelRAWRAR/0.30, 15))
+		}
+		sb.WriteString(t.String())
+	}
+	fmt.Fprintf(&sb, "means (selective): RAW INT %s FP %s ALL %s | RAW+RAR INT %s FP %s ALL %s | HM %s\n",
+		stats.Pct(r.SelRAWInt), stats.Pct(r.SelRAWFP), stats.Pct(r.SelRAWAll),
+		stats.Pct(r.SelRAWRARInt), stats.Pct(r.SelRAWRARFP), stats.Pct(r.SelRAWRARAll),
+		stats.Pct(r.HMSelective))
+	if r.NoSpec {
+		sb.WriteString("paper: RAW+RAR 9.8% (INT), 6.1% (FP)\n")
+	} else {
+		sb.WriteString("paper: RAW 4.28%/3.20%, RAW+RAR 6.44%/4.66% (INT/FP, selective)\n")
+	}
+	return sb.String()
+}

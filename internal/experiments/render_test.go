@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rarpred/internal/funcsim"
+	"rarpred/internal/locality"
+	"rarpred/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedWorkloads returns two deterministic workload descriptors for
+// rendering tests (no simulation happens; only metadata is used).
+func fixedWorkloads() (workload.Workload, workload.Workload) {
+	gcc, _ := workload.ByAbbrev("gcc")
+	tom, _ := workload.ByAbbrev("tom")
+	return gcc, tom
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("rendering changed; run `go test ./internal/experiments -run TestRender -update` if intended.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRenderTable51(t *testing.T) {
+	gcc, tom := fixedWorkloads()
+	r := &Table51Result{Rows: []Table51Row{
+		{Workload: gcc, Counts: funcsim.Counts{Insts: 1_500_000, Loads: 450_000, Stores: 50_000}},
+		{Workload: tom, Counts: funcsim.Counts{Insts: 2_000_000, Loads: 700_000, Stores: 100_000}},
+	}}
+	checkGolden(t, "table51", r.String())
+}
+
+func TestRenderFig2(t *testing.T) {
+	gcc, tom := fixedWorkloads()
+	r := &Fig2Result{Rows: []Fig2Row{
+		{Workload: gcc, SinkInf: 1000, SinkWin: 900,
+			Infinite: [locality.MaxDepth]float64{0.80, 0.90, 0.95, 0.99},
+			Windowed: [locality.MaxDepth]float64{0.82, 0.91, 0.96, 0.99}},
+		{Workload: tom, SinkInf: 2000, SinkWin: 0, // window sees no sinks
+			Infinite: [locality.MaxDepth]float64{0.99, 1, 1, 1},
+			Windowed: [locality.MaxDepth]float64{0.99, 1, 1, 1}},
+	}}
+	checkGolden(t, "fig2", r.String())
+}
+
+func TestRenderFig5(t *testing.T) {
+	gcc, tom := fixedWorkloads()
+	mk := func(base float64) []Fig5Point {
+		var pts []Fig5Point
+		for i, s := range Fig5Sizes {
+			pts = append(pts, Fig5Point{DDTSize: s,
+				RAWFrac: base + float64(i)*0.02, RARFrac: 0.2 - float64(i)*0.01})
+		}
+		return pts
+	}
+	r := &Fig5Result{Rows: []Fig5Row{
+		{Workload: gcc, Points: mk(0.3)},
+		{Workload: tom, Points: mk(0.05)},
+	}}
+	checkGolden(t, "fig5", r.String())
+}
+
+func TestRenderFig6(t *testing.T) {
+	gcc, tom := fixedWorkloads()
+	r := &Fig6Result{
+		Rows: []Fig6Row{
+			{Workload: gcc,
+				OneBit: Fig6Cell{CoverageRAW: 0.25, CoverageRAR: 0.30, MispRAW: 0.05, MispRAR: 0.08},
+				TwoBit: Fig6Cell{CoverageRAW: 0.22, CoverageRAR: 0.28, MispRAW: 0.004, MispRAR: 0.006}},
+			{Workload: tom,
+				OneBit: Fig6Cell{CoverageRAW: 0.05, CoverageRAR: 0.40, MispRAW: 0.01, MispRAR: 0.12},
+				TwoBit: Fig6Cell{CoverageRAW: 0.05, CoverageRAR: 0.35, MispRAW: 0.001, MispRAR: 0.002}},
+		},
+		MispIntTwoBit: 0.01, MispFPTwoBit: 0.003, MispAllTwoBit: 0.0065,
+		CovIntTwoBit: 0.50, CovFPTwoBit: 0.40, CovAllTwoBit: 0.45,
+	}
+	checkGolden(t, "fig6", r.String())
+}
+
+func TestRenderFig7(t *testing.T) {
+	gcc, tom := fixedWorkloads()
+	rows := []Fig7Row{
+		{Workload: gcc, LocalRAW: 0.10, LocalRAR: 0.05, LocalNone: 0.02,
+			CoverageRAW: 0.20, CoverageRAR: 0.30},
+		{Workload: tom, LocalRAW: 0.01, LocalRAR: 0.25, LocalNone: 0.20,
+			CoverageRAW: 0.08, CoverageRAR: 0.33},
+	}
+	checkGolden(t, "fig7a", (&Fig7Result{Value: false, Rows: rows}).String())
+	checkGolden(t, "fig7b", (&Fig7Result{Value: true, Rows: rows}).String())
+}
+
+func TestRenderTable52(t *testing.T) {
+	gcc, tom := fixedWorkloads()
+	r := &Table52Result{Rows: []Table52Row{
+		{Workload: gcc, CloakOnlyRAW: 0.02, CloakOnlyRAR: 0.45, VPOnly: 0.02},
+		{Workload: tom, CloakOnlyRAW: 0.08, CloakOnlyRAR: 0.16, VPOnly: 0.17},
+	}}
+	checkGolden(t, "table52", r.String())
+}
+
+func TestRenderFig9AndFig10(t *testing.T) {
+	gcc, tom := fixedWorkloads()
+	rows := []Fig9Row{
+		{Workload: gcc, BaseCycles: 100_000, SelRAW: 0.00, SelRAWRAR: 0.141,
+			SqRAW: -0.016, SqRAWRAR: 0.14, IPCBase: 1.48},
+		{Workload: tom, BaseCycles: 200_000, SelRAW: 0.001, SelRAWRAR: 0.002,
+			SqRAW: -0.009, SqRAWRAR: -0.026, IPCBase: 4.25},
+	}
+	r9 := &Fig9Result{Rows: rows,
+		SelRAWInt: 0.016, SelRAWFP: 0.025, SelRAWAll: 0.021,
+		SelRAWRARInt: 0.063, SelRAWRARFP: 0.030, SelRAWRARAll: 0.045}
+	checkGolden(t, "fig9", r9.String())
+	r10 := &Fig9Result{NoSpec: true, Rows: rows,
+		SelRAWInt: 0.017, SelRAWFP: 0.025, SelRAWAll: 0.022,
+		SelRAWRARInt: 0.089, SelRAWRARFP: 0.030, SelRAWRARAll: 0.056}
+	checkGolden(t, "fig10", r10.String())
+}
+
+func TestRenderAblation(t *testing.T) {
+	gcc, tom := fixedWorkloads()
+	r := &AblationResult{
+		Title:    "Synonym merge policy",
+		Variants: []string{"incremental", "full"},
+		Rows: []struct {
+			Workload workload.Workload
+			Cells    []ablCell
+		}{
+			{Workload: gcc, Cells: []ablCell{{0.50, 0.001}, {0.50, 0.001}}},
+			{Workload: tom, Cells: []ablCell{{0.41, 0.003}, {0.41, 0.003}}},
+		},
+	}
+	checkGolden(t, "ablation", r.String())
+}
+
+func TestRenderExtensions(t *testing.T) {
+	gcc, tom := fixedWorkloads()
+	ms := &MemSpecResult{Rows: []MemSpecRow{
+		{Workload: gcc, NoSpecIPC: 1.48, NaiveIPC: 1.48, StoreSetsIPC: 1.48,
+			NaiveViolations: 0, StoreSetViolations: 0},
+		{Workload: tom, NoSpecIPC: 4.20, NaiveIPC: 4.25, StoreSetsIPC: 4.25,
+			NaiveViolations: 12, StoreSetViolations: 1},
+	}}
+	checkGolden(t, "ablmemspec", ms.String())
+
+	rec := &RecoveryResult{Rows: []RecoveryRow{
+		{Workload: gcc, Selective: 0.16, Squash: 0.16, Oracle: 0.16, Skipped: 1},
+		{Workload: tom, Selective: 0.0, Squash: -0.014, Oracle: 0.0, Skipped: 122},
+	}}
+	checkGolden(t, "ablrecovery", rec.String())
+
+	syn := &SynergyResult{
+		Rows: []SynergyRow{
+			{Workload: gcc, Cloak: 0.50, VP: 0.05, Hybrid: 0.52},
+			{Workload: tom, Cloak: 0.41, VP: 0.34, Hybrid: 0.58},
+		},
+		CloakMean: 0.455, VPMean: 0.195, HybridMean: 0.55,
+	}
+	checkGolden(t, "synergy", syn.String())
+}
+
+func TestRenderProfile(t *testing.T) {
+	gcc, tom := fixedWorkloads()
+	r := &ProfileResult{Rows: []ProfileRow{
+		{Workload: gcc, Hardware: 0.50, Software: 0.50, Pairs: 4},
+		{Workload: tom, Hardware: 0.41, Software: 0.41, Pairs: 7},
+	}}
+	checkGolden(t, "ablprofile", r.String())
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rarpred/internal/funcsim"
+	"rarpred/internal/stats"
+	"rarpred/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table51",
+		Title: "Table 5.1: benchmark execution characteristics (IC, loads, stores)",
+		Run:   runTable51,
+	})
+}
+
+// Table51Row is one benchmark's dynamic execution characteristics.
+type Table51Row struct {
+	Workload workload.Workload
+	Counts   funcsim.Counts
+}
+
+// Table51Result reproduces Table 5.1 for the analog suite.
+type Table51Result struct {
+	Rows []Table51Row
+}
+
+func runTable51(opt Options) (Result, error) {
+	size := opt.size(workload.ReferenceSize)
+	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (Table51Row, error) {
+		if err := sim.Run(opt.maxInsts()); err != nil {
+			return Table51Row{}, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		return Table51Row{Workload: w, Counts: sim.Counts}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table51Result{Rows: rows}, nil
+}
+
+// String renders the table in the paper's layout (instruction counts in
+// millions; this reproduction runs smaller full programs instead of
+// sampled 100M-instruction runs).
+func (r *Table51Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 5.1: Benchmark Execution Characteristics (analog suite)\n")
+	t := stats.NewTable("Program", "Ab.", "IC(M)", "Loads", "Stores")
+	prevClass := workload.Class(255)
+	for _, row := range r.Rows {
+		if row.Workload.Class != prevClass {
+			if prevClass != 255 {
+				t.Rule()
+			}
+			prevClass = row.Workload.Class
+		}
+		t.Row(
+			row.Workload.Analog+" ("+row.Workload.Name+")",
+			row.Workload.Abbrev,
+			fmt.Sprintf("%.2f", float64(row.Counts.Insts)/1e6),
+			stats.Pct(row.Counts.LoadFrac()),
+			stats.Pct(row.Counts.StoreFrac()),
+		)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

@@ -1,0 +1,337 @@
+package funcsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rarpred/internal/asm"
+	"rarpred/internal/isa"
+)
+
+// exec runs a single-instruction program with preset registers and
+// returns the register file afterwards.
+func exec(t *testing.T, in isa.Inst, setup func(s *Sim)) *Sim {
+	t.Helper()
+	prog := &isa.Program{Insts: []isa.Inst{in, {Op: isa.OpHalt}}}
+	s := New(prog)
+	if setup != nil {
+		setup(s)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEveryOpcodeExecutes drives each opcode once and checks its primary
+// architectural effect, giving line coverage over the whole interpreter
+// switch and catching semantic regressions per operation.
+func TestEveryOpcodeExecutes(t *testing.T) {
+	fbits := func(f float32) uint32 { return math.Float32bits(f) }
+	type tc struct {
+		name  string
+		in    isa.Inst
+		setup func(*Sim)
+		check func(*testing.T, *Sim)
+	}
+	r := func(i int) isa.Reg { return isa.Reg(i) }
+	cases := []tc{
+		{"nop", isa.Inst{Op: isa.OpNop}, nil, func(t *testing.T, s *Sim) {
+			if s.Counts.Insts != 2 {
+				t.Error("nop not counted")
+			}
+		}},
+		{"add", isa.Inst{Op: isa.OpAdd, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 5, 7 },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 12 {
+					t.Errorf("add = %d", s.Reg[3])
+				}
+			}},
+		{"sub", isa.Inst{Op: isa.OpSub, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 5, 7 },
+			func(t *testing.T, s *Sim) {
+				if int32(s.Reg[3]) != -2 {
+					t.Errorf("sub = %d", int32(s.Reg[3]))
+				}
+			}},
+		{"mul", isa.Inst{Op: isa.OpMul, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = uint32(0xFFFFFFFF), 3 }, // -1 * 3
+			func(t *testing.T, s *Sim) {
+				if int32(s.Reg[3]) != -3 {
+					t.Errorf("mul = %d", int32(s.Reg[3]))
+				}
+			}},
+		{"div", isa.Inst{Op: isa.OpDiv, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = uint32(0xFFFFFFF9), 2 }, // -7/2
+			func(t *testing.T, s *Sim) {
+				if int32(s.Reg[3]) != -3 {
+					t.Errorf("div = %d", int32(s.Reg[3]))
+				}
+			}},
+		{"rem", isa.Inst{Op: isa.OpRem, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = uint32(0xFFFFFFF9), 2 },
+			func(t *testing.T, s *Sim) {
+				if int32(s.Reg[3]) != -1 {
+					t.Errorf("rem = %d", int32(s.Reg[3]))
+				}
+			}},
+		{"and", isa.Inst{Op: isa.OpAnd, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 0xF0F0, 0xFF00 },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 0xF000 {
+					t.Errorf("and = %#x", s.Reg[3])
+				}
+			}},
+		{"or", isa.Inst{Op: isa.OpOr, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 0xF0F0, 0x0F00 },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 0xFFF0 {
+					t.Errorf("or = %#x", s.Reg[3])
+				}
+			}},
+		{"xor", isa.Inst{Op: isa.OpXor, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 0xFF, 0x0F },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 0xF0 {
+					t.Errorf("xor = %#x", s.Reg[3])
+				}
+			}},
+		{"nor", isa.Inst{Op: isa.OpNor, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 0xFFFF0000, 0x0000FF00 },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 0x000000FF {
+					t.Errorf("nor = %#x", s.Reg[3])
+				}
+			}},
+		{"sll", isa.Inst{Op: isa.OpSll, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 1, 35 }, // shift amount masked to 3
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 8 {
+					t.Errorf("sll = %d (shift must mask to 5 bits)", s.Reg[3])
+				}
+			}},
+		{"srl", isa.Inst{Op: isa.OpSrl, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 0x80000000, 31 },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 1 {
+					t.Errorf("srl = %d", s.Reg[3])
+				}
+			}},
+		{"sra", isa.Inst{Op: isa.OpSra, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 0x80000000, 31 },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 0xFFFFFFFF {
+					t.Errorf("sra = %#x", s.Reg[3])
+				}
+			}},
+		{"slt", isa.Inst{Op: isa.OpSlt, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 0xFFFFFFFF, 0 }, // -1 < 0
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 1 {
+					t.Error("slt signed compare wrong")
+				}
+			}},
+		{"sltu", isa.Inst{Op: isa.OpSltu, Rd: r(3), Rs: r(1), Rt: r(2)},
+			func(s *Sim) { s.Reg[1], s.Reg[2] = 0xFFFFFFFF, 0 }, // max > 0 unsigned
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 0 {
+					t.Error("sltu unsigned compare wrong")
+				}
+			}},
+		{"andi", isa.Inst{Op: isa.OpAndi, Rd: r(3), Rs: r(1), Imm: 0xFF},
+			func(s *Sim) { s.Reg[1] = 0x1234 },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 0x34 {
+					t.Errorf("andi = %#x", s.Reg[3])
+				}
+			}},
+		{"ori", isa.Inst{Op: isa.OpOri, Rd: r(3), Rs: r(1), Imm: 0xF0},
+			func(s *Sim) { s.Reg[1] = 0x0F },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 0xFF {
+					t.Errorf("ori = %#x", s.Reg[3])
+				}
+			}},
+		{"xori", isa.Inst{Op: isa.OpXori, Rd: r(3), Rs: r(1), Imm: 0xFF},
+			func(s *Sim) { s.Reg[1] = 0x0F },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 0xF0 {
+					t.Errorf("xori = %#x", s.Reg[3])
+				}
+			}},
+		{"slti", isa.Inst{Op: isa.OpSlti, Rd: r(3), Rs: r(1), Imm: -1},
+			func(s *Sim) { s.Reg[1] = uint32(0xFFFFFFF0) }, // -16 < -1
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 1 {
+					t.Error("slti wrong")
+				}
+			}},
+		{"lui", isa.Inst{Op: isa.OpLui, Rd: r(3), Imm: 0x1234},
+			nil,
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 0x12340000 {
+					t.Errorf("lui = %#x", s.Reg[3])
+				}
+			}},
+		{"fadd", isa.Inst{Op: isa.OpFadd, Rd: isa.F(3), Rs: isa.F(1), Rt: isa.F(2)},
+			func(s *Sim) { s.Reg[isa.F(1)], s.Reg[isa.F(2)] = fbits(1.5), fbits(2.0) },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[isa.F(3)] != fbits(3.5) {
+					t.Error("fadd wrong")
+				}
+			}},
+		{"fneg", isa.Inst{Op: isa.OpFneg, Rd: isa.F(3), Rs: isa.F(1)},
+			func(s *Sim) { s.Reg[isa.F(1)] = fbits(2.5) },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[isa.F(3)] != fbits(-2.5) {
+					t.Error("fneg wrong")
+				}
+			}},
+		{"fabs", isa.Inst{Op: isa.OpFabs, Rd: isa.F(3), Rs: isa.F(1)},
+			func(s *Sim) { s.Reg[isa.F(1)] = fbits(-2.5) },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[isa.F(3)] != fbits(2.5) {
+					t.Error("fabs wrong")
+				}
+			}},
+		{"fmov", isa.Inst{Op: isa.OpFmov, Rd: isa.F(3), Rs: isa.F(1)},
+			func(s *Sim) { s.Reg[isa.F(1)] = fbits(7.25) },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[isa.F(3)] != fbits(7.25) {
+					t.Error("fmov wrong")
+				}
+			}},
+		{"fle", isa.Inst{Op: isa.OpFle, Rd: r(3), Rs: isa.F(1), Rt: isa.F(2)},
+			func(s *Sim) { s.Reg[isa.F(1)], s.Reg[isa.F(2)] = fbits(2.0), fbits(2.0) },
+			func(t *testing.T, s *Sim) {
+				if s.Reg[3] != 1 {
+					t.Error("fle wrong")
+				}
+			}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			s := exec(t, c.in, c.setup)
+			c.check(t, s)
+		})
+	}
+}
+
+func TestJalrLinksAndJumps(t *testing.T) {
+	p := asm.MustAssemble(`
+main:   li   r5, 16                 # address of 'target' (inst 4)
+        jalr r6, r5
+        halt
+        nop
+target: addi r7, r0, 9
+        halt`)
+	s := New(p)
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reg[isa.R7] != 9 {
+		t.Error("jalr did not reach target")
+	}
+	if s.Reg[isa.R6] != 8 {
+		t.Errorf("jalr link = %d, want 8", s.Reg[isa.R6])
+	}
+}
+
+func TestJumpTargets(t *testing.T) {
+	// j skips the halt; bgez falls through when negative.
+	p := asm.MustAssemble(`
+main:   li   r1, -5
+        bgez r1, bad
+        j    good
+bad:    halt
+good:   addi r2, r0, 1
+        halt`)
+	s := New(p)
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reg[isa.R2] != 1 {
+		t.Error("control flow took the wrong path")
+	}
+}
+
+func TestFPStoreLoadRoundTrip(t *testing.T) {
+	p := asm.MustAssemble(`
+        .data
+buf:    .space 2
+        .text
+main:   li   r1, 3
+        fcvt.w.s f1, r1
+        la   r2, buf
+        fsw  f1, 0(r2)
+        flw  f2, 0(r2)
+        fadd f3, f2, f2
+        halt`)
+	s := New(p)
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float32frombits(s.Reg[isa.F(3)]); got != 6.0 {
+		t.Errorf("fp round trip = %v", got)
+	}
+}
+
+func TestMisalignedLoadFaults(t *testing.T) {
+	p := asm.MustAssemble("main: li r1, 2\n lw r2, 0(r1)\n halt")
+	s := New(p)
+	if err := s.Run(10); err == nil {
+		t.Error("misaligned load did not fault")
+	}
+}
+
+// TestQuickNoPanicOnValidPrograms: the simulator must never panic on any
+// program that passes isa.Validate — it returns errors instead.
+func TestQuickNoPanicOnValidPrograms(t *testing.T) {
+	f := func(raw []uint32) bool {
+		insts := make([]isa.Inst, 0, len(raw)+1)
+		for _, w := range raw {
+			in := isa.Inst{
+				Op:  isa.Op(w % uint32(isa.NumOps)),
+				Rd:  isa.Reg((w >> 8) % isa.NumRegs),
+				Rs:  isa.Reg((w >> 14) % isa.NumRegs),
+				Rt:  isa.Reg((w >> 20) % isa.NumRegs),
+				Imm: int32(w>>4) % 64,
+			}
+			// Clamp control-flow targets into the text segment.
+			switch in.Op {
+			case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltz, isa.OpBgez:
+				in.Imm = int32(w%3) - 1 // -1, 0, +1 relative
+			case isa.OpJ, isa.OpJal:
+				in.Imm = int32(w % uint32(len(raw)+1))
+			}
+			insts = append(insts, in)
+		}
+		insts = append(insts, isa.Inst{Op: isa.OpHalt})
+		// Repair branch targets that fell off either end.
+		for i := range insts {
+			if insts[i].IsBranch() {
+				if t := i + 1 + int(insts[i].Imm); t < 0 || t >= len(insts) {
+					insts[i].Imm = 0
+				}
+			}
+		}
+		prog := &isa.Program{Insts: insts}
+		if err := prog.Validate(); err != nil {
+			return true // validation rejected it; nothing to run
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("simulator panicked: %v", r)
+			}
+		}()
+		s := New(prog)
+		_ = s.Run(5000) // errors (misalignment, runaway) are fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,492 @@
+// Package isa defines the instruction set architecture simulated by this
+// repository: a 32-bit, MIPS-I-like, word-granularity RISC machine.
+//
+// The ISA mirrors the machine the paper evaluates on (SPEC95 compiled for
+// MIPS-I): 32 integer registers with a hard-wired zero register, 32
+// floating-point registers, word-granularity loads and stores, delayed
+// nothing (no branch delay slots — the timing simulator models a modern
+// predicted front end instead), and the functional-unit latency classes
+// listed in Section 5.1 of the paper.
+//
+// Instructions are kept in decoded form (Inst) rather than as binary
+// words; the program counter is an instruction index scaled by 4 so that
+// instruction "addresses" look like MIPS text addresses to the dependence
+// prediction hardware, which is PC-indexed.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Registers 0..31 are the integer
+// file (R0 is hard-wired to zero); registers 32..63 are the floating-point
+// file F0..F31. Using a single 64-entry namespace keeps register renaming
+// and dependence tracking uniform across the integer and FP pipelines.
+type Reg uint8
+
+// NumRegs is the size of the unified architectural register namespace.
+const NumRegs = 64
+
+// Integer register aliases. R0 always reads as zero and writes to it are
+// discarded. R29 is conventionally the stack pointer and R31 the link
+// register, as on MIPS.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+)
+
+// F returns the unified-namespace name of floating point register i.
+func F(i int) Reg {
+	if i < 0 || i > 31 {
+		panic(fmt.Sprintf("isa: F(%d) out of range", i))
+	}
+	return Reg(32 + i)
+}
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= 32 }
+
+// String renders the register in assembly syntax (r7, f3).
+func (r Reg) String() string {
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", int(r)-32)
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// Op enumerates the operations of the ISA.
+type Op uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+
+	// Integer register-register arithmetic: Rd <- Rs op Rt.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpNor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt  // set if signed less-than
+	OpSltu // set if unsigned less-than
+
+	// Integer register-immediate arithmetic: Rd <- Rs op Imm.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSlli
+	OpSrli
+	OpSrai
+	OpLui // Rd <- Imm << 16
+
+	// Memory. Addresses are Rs + Imm, word aligned; memory is accessed at
+	// word granularity, matching the paper's word-granularity DDT.
+	OpLw  // Rd <- mem[Rs+Imm]
+	OpSw  // mem[Rs+Imm] <- Rt
+	OpFlw // Fd <- mem[Rs+Imm] (bit pattern reinterpreted as float32)
+	OpFsw // mem[Rs+Imm] <- Ft
+
+	// Control. Branch targets are PC-relative instruction-count offsets in
+	// Imm; jump targets are absolute instruction indices in Imm.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltz
+	OpBgez
+	OpJ
+	OpJal  // Rd (conventionally R31) <- return address
+	OpJr   // jump to Rs
+	OpJalr // Rd <- return address, jump to Rs
+
+	// Floating point arithmetic on the FP file: Fd <- Fs op Ft.
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFneg
+	OpFabs
+	OpFmov
+	OpFcvtWS // Fd <- float(Rs): convert integer to FP
+	OpFcvtSW // Rd <- int(Fs): convert FP to integer (truncating)
+	OpFeq    // Rd <- (Fs == Ft)
+	OpFlt    // Rd <- (Fs < Ft)
+	OpFle    // Rd <- (Fs <= Ft)
+
+	// OpHalt stops simulation.
+	OpHalt
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// Class partitions opcodes by the functional unit and scheduling behaviour
+// they require. Latencies follow Section 5.1 of the paper.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassFPAdd // add/sub/compare/convert/move
+	ClassFPMul
+	ClassFPDiv
+	ClassHalt
+)
+
+// Latency returns the execution latency, in cycles, of the class. Loads
+// report the post-address scheduling latency only; cache access time is
+// added by the memory system.
+func (c Class) Latency() int {
+	switch c {
+	case ClassIntMul:
+		return 4
+	case ClassIntDiv:
+		return 12
+	case ClassFPAdd:
+		return 2
+	case ClassFPMul:
+		return 4
+	case ClassFPDiv:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// format describes how an opcode uses the Inst fields, for execution,
+// disassembly and dependence analysis.
+type format uint8
+
+const (
+	fmtNone    format = iota
+	fmtRRR            // Rd <- Rs, Rt
+	fmtRRI            // Rd <- Rs, Imm
+	fmtRI             // Rd <- Imm
+	fmtLoad           // Rd <- mem[Rs+Imm]
+	fmtStore          // mem[Rs+Imm] <- Rt
+	fmtBranch         // compare Rs, Rt; PC-relative Imm
+	fmtBranchZ        // compare Rs with zero; PC-relative Imm
+	fmtJump           // absolute Imm
+	fmtJumpReg        // jump to Rs, optional link Rd
+)
+
+type opInfo struct {
+	name   string
+	class  Class
+	format format
+}
+
+var opTable = [numOps]opInfo{
+	OpNop:    {"nop", ClassNop, fmtNone},
+	OpAdd:    {"add", ClassIntALU, fmtRRR},
+	OpSub:    {"sub", ClassIntALU, fmtRRR},
+	OpMul:    {"mul", ClassIntMul, fmtRRR},
+	OpDiv:    {"div", ClassIntDiv, fmtRRR},
+	OpRem:    {"rem", ClassIntDiv, fmtRRR},
+	OpAnd:    {"and", ClassIntALU, fmtRRR},
+	OpOr:     {"or", ClassIntALU, fmtRRR},
+	OpXor:    {"xor", ClassIntALU, fmtRRR},
+	OpNor:    {"nor", ClassIntALU, fmtRRR},
+	OpSll:    {"sll", ClassIntALU, fmtRRR},
+	OpSrl:    {"srl", ClassIntALU, fmtRRR},
+	OpSra:    {"sra", ClassIntALU, fmtRRR},
+	OpSlt:    {"slt", ClassIntALU, fmtRRR},
+	OpSltu:   {"sltu", ClassIntALU, fmtRRR},
+	OpAddi:   {"addi", ClassIntALU, fmtRRI},
+	OpAndi:   {"andi", ClassIntALU, fmtRRI},
+	OpOri:    {"ori", ClassIntALU, fmtRRI},
+	OpXori:   {"xori", ClassIntALU, fmtRRI},
+	OpSlti:   {"slti", ClassIntALU, fmtRRI},
+	OpSlli:   {"slli", ClassIntALU, fmtRRI},
+	OpSrli:   {"srli", ClassIntALU, fmtRRI},
+	OpSrai:   {"srai", ClassIntALU, fmtRRI},
+	OpLui:    {"lui", ClassIntALU, fmtRI},
+	OpLw:     {"lw", ClassLoad, fmtLoad},
+	OpSw:     {"sw", ClassStore, fmtStore},
+	OpFlw:    {"flw", ClassLoad, fmtLoad},
+	OpFsw:    {"fsw", ClassStore, fmtStore},
+	OpBeq:    {"beq", ClassBranch, fmtBranch},
+	OpBne:    {"bne", ClassBranch, fmtBranch},
+	OpBlt:    {"blt", ClassBranch, fmtBranch},
+	OpBge:    {"bge", ClassBranch, fmtBranch},
+	OpBltz:   {"bltz", ClassBranch, fmtBranchZ},
+	OpBgez:   {"bgez", ClassBranch, fmtBranchZ},
+	OpJ:      {"j", ClassJump, fmtJump},
+	OpJal:    {"jal", ClassJump, fmtJump},
+	OpJr:     {"jr", ClassJump, fmtJumpReg},
+	OpJalr:   {"jalr", ClassJump, fmtJumpReg},
+	OpFadd:   {"fadd", ClassFPAdd, fmtRRR},
+	OpFsub:   {"fsub", ClassFPAdd, fmtRRR},
+	OpFmul:   {"fmul", ClassFPMul, fmtRRR},
+	OpFdiv:   {"fdiv", ClassFPDiv, fmtRRR},
+	OpFneg:   {"fneg", ClassFPAdd, fmtRRR},
+	OpFabs:   {"fabs", ClassFPAdd, fmtRRR},
+	OpFmov:   {"fmov", ClassFPAdd, fmtRRR},
+	OpFcvtWS: {"fcvt.w.s", ClassFPAdd, fmtRRR},
+	OpFcvtSW: {"fcvt.s.w", ClassFPAdd, fmtRRR},
+	OpFeq:    {"feq", ClassFPAdd, fmtRRR},
+	OpFlt:    {"flt", ClassFPAdd, fmtRRR},
+	OpFle:    {"fle", ClassFPAdd, fmtRRR},
+	OpHalt:   {"halt", ClassHalt, fmtNone},
+}
+
+// Name returns the assembler mnemonic of the opcode.
+func (op Op) Name() string {
+	if int(op) >= NumOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Class returns the scheduling class of the opcode.
+func (op Op) Class() Class {
+	if int(op) >= NumOps {
+		return ClassNop
+	}
+	return opTable[op].class
+}
+
+// OpByName maps assembler mnemonics back to opcodes. It reports false for
+// unknown mnemonics.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// Inst is one decoded instruction. Field use depends on the opcode's
+// format; unused fields are zero.
+type Inst struct {
+	Op  Op
+	Rd  Reg   // destination register
+	Rs  Reg   // first source register / base register / jump target register
+	Rt  Reg   // second source register / store data register
+	Imm int32 // immediate / displacement / branch offset / jump target
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (in Inst) IsLoad() bool { return in.Op.Class() == ClassLoad }
+
+// IsStore reports whether the instruction writes memory.
+func (in Inst) IsStore() bool { return in.Op.Class() == ClassStore }
+
+// IsMem reports whether the instruction accesses memory.
+func (in Inst) IsMem() bool { c := in.Op.Class(); return c == ClassLoad || c == ClassStore }
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsBranch() bool { return in.Op.Class() == ClassBranch }
+
+// IsJump reports whether the instruction is an unconditional jump.
+func (in Inst) IsJump() bool { return in.Op.Class() == ClassJump }
+
+// IsControl reports whether the instruction can redirect the PC.
+func (in Inst) IsControl() bool { return in.IsBranch() || in.IsJump() }
+
+// IsCall reports whether the instruction is a call (writes a link register).
+func (in Inst) IsCall() bool { return in.Op == OpJal || in.Op == OpJalr }
+
+// IsReturn reports whether the instruction is a conventional return
+// (an indirect jump through the link register without linking).
+func (in Inst) IsReturn() bool { return in.Op == OpJr && in.Rs == R31 }
+
+// Dest returns the destination register and whether the instruction writes
+// one. Writes to R0 are reported as no destination.
+func (in Inst) Dest() (Reg, bool) {
+	var d Reg
+	switch opTable[in.Op].format {
+	case fmtRRR, fmtRRI, fmtRI, fmtLoad:
+		d = in.Rd
+	case fmtJump:
+		if in.Op == OpJal {
+			d = in.Rd
+		} else {
+			return 0, false
+		}
+	case fmtJumpReg:
+		if in.Op == OpJalr {
+			d = in.Rd
+		} else {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	if d == R0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// Sources appends the source registers of the instruction to dst and
+// returns the extended slice. R0 is included when named; it always reads
+// zero but participates in dependence formatting.
+func (in Inst) Sources(dst []Reg) []Reg {
+	switch opTable[in.Op].format {
+	case fmtRRR:
+		dst = append(dst, in.Rs, in.Rt)
+	case fmtRRI, fmtLoad:
+		dst = append(dst, in.Rs)
+	case fmtStore:
+		dst = append(dst, in.Rs, in.Rt)
+	case fmtBranch:
+		dst = append(dst, in.Rs, in.Rt)
+	case fmtBranchZ:
+		dst = append(dst, in.Rs)
+	case fmtJumpReg:
+		dst = append(dst, in.Rs)
+	}
+	return dst
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	info := opTable[in.Op]
+	switch info.format {
+	case fmtNone:
+		return info.name
+	case fmtRRR:
+		return fmt.Sprintf("%s %s, %s, %s", info.name, in.Rd, in.Rs, in.Rt)
+	case fmtRRI:
+		return fmt.Sprintf("%s %s, %s, %d", info.name, in.Rd, in.Rs, in.Imm)
+	case fmtRI:
+		return fmt.Sprintf("%s %s, %d", info.name, in.Rd, in.Imm)
+	case fmtLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", info.name, in.Rd, in.Imm, in.Rs)
+	case fmtStore:
+		return fmt.Sprintf("%s %s, %d(%s)", info.name, in.Rt, in.Imm, in.Rs)
+	case fmtBranch:
+		return fmt.Sprintf("%s %s, %s, %+d", info.name, in.Rs, in.Rt, in.Imm)
+	case fmtBranchZ:
+		return fmt.Sprintf("%s %s, %+d", info.name, in.Rs, in.Imm)
+	case fmtJump:
+		if in.Op == OpJal {
+			return fmt.Sprintf("%s %d", info.name, in.Imm)
+		}
+		return fmt.Sprintf("%s %d", info.name, in.Imm)
+	case fmtJumpReg:
+		if in.Op == OpJalr {
+			return fmt.Sprintf("%s %s, %s", info.name, in.Rd, in.Rs)
+		}
+		return fmt.Sprintf("%s %s", info.name, in.Rs)
+	}
+	return info.name
+}
+
+// PCIndex converts a byte-style PC to an instruction index.
+func PCIndex(pc uint32) int { return int(pc / 4) }
+
+// IndexPC converts an instruction index to a byte-style PC.
+func IndexPC(i int) uint32 { return uint32(i) * 4 }
+
+// Program is a fully assembled unit: decoded text plus an initial data
+// image. Entry is the starting PC (byte-style).
+type Program struct {
+	Insts []Inst
+	Entry uint32
+
+	// Data is the initial data segment, loaded at DataBase before
+	// execution. Words are in host order (the machine is word-granular, so
+	// byte order never matters).
+	Data     []uint32
+	DataBase uint32
+
+	// Symbols optionally maps labels to values (instruction PCs or data
+	// addresses) for diagnostics.
+	Symbols map[string]uint32
+}
+
+// InstAt returns the instruction at byte-style PC. It reports false when
+// the PC falls outside the text segment.
+func (p *Program) InstAt(pc uint32) (Inst, bool) {
+	i := PCIndex(pc)
+	if i < 0 || i >= len(p.Insts) {
+		return Inst{}, false
+	}
+	return p.Insts[i], true
+}
+
+// Validate checks the static well-formedness invariants the simulators
+// rely on: every register field names a real register, and direct branch
+// and jump targets land inside the text segment. (Indirect jumps cannot
+// be checked statically.) Programs produced by the assembler always
+// validate; Validate guards hand-built or generated programs.
+func (p *Program) Validate() error {
+	n := len(p.Insts)
+	for i, in := range p.Insts {
+		if int(in.Op) >= NumOps {
+			return fmt.Errorf("isa: instruction %d: unknown opcode %d", i, in.Op)
+		}
+		if in.Rd >= NumRegs || in.Rs >= NumRegs || in.Rt >= NumRegs {
+			return fmt.Errorf("isa: instruction %d (%s): register out of range", i, in)
+		}
+		switch opTable[in.Op].format {
+		case fmtBranch, fmtBranchZ:
+			if t := i + 1 + int(in.Imm); t < 0 || t >= n {
+				return fmt.Errorf("isa: instruction %d (%s): branch target %d outside text", i, in, t)
+			}
+		case fmtJump:
+			if t := int(in.Imm); t < 0 || t >= n {
+				return fmt.Errorf("isa: instruction %d (%s): jump target %d outside text", i, in, t)
+			}
+		}
+	}
+	if int(p.Entry/4) >= n {
+		return fmt.Errorf("isa: entry point %#x outside text", p.Entry)
+	}
+	if p.DataBase%4 != 0 {
+		return fmt.Errorf("isa: misaligned data base %#x", p.DataBase)
+	}
+	return nil
+}

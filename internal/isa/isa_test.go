@@ -1,0 +1,265 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"},
+		{R31, "r31"},
+		{F(0), "f0"},
+		{F(31), "f31"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestFPanicsOutOfRange(t *testing.T) {
+	for _, i := range []int{-1, 32, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("F(%d) did not panic", i)
+				}
+			}()
+			F(i)
+		}()
+	}
+}
+
+func TestIsFP(t *testing.T) {
+	if R31.IsFP() {
+		t.Error("R31 reported as FP")
+	}
+	if !F(0).IsFP() {
+		t.Error("F0 not reported as FP")
+	}
+}
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if opTable[op].name == "" {
+			t.Errorf("op %d has no table entry", op)
+		}
+	}
+}
+
+func TestOpNamesUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); op < numOps; op++ {
+		name := op.Name()
+		if prev, dup := seen[name]; dup {
+			t.Errorf("ops %v and %v share name %q", prev, op, name)
+		}
+		seen[name] = op
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		got, ok := OpByName(op.Name())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v, true", op.Name(), got, ok, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted unknown mnemonic")
+	}
+}
+
+func TestClassLatencies(t *testing.T) {
+	// Section 5.1 latencies.
+	cases := []struct {
+		c    Class
+		want int
+	}{
+		{ClassIntALU, 1},
+		{ClassIntMul, 4},
+		{ClassIntDiv, 12},
+		{ClassFPAdd, 2},
+		{ClassFPMul, 4},
+		{ClassFPDiv, 12},
+		{ClassBranch, 1},
+	}
+	for _, c := range cases {
+		if got := c.c.Latency(); got != c.want {
+			t.Errorf("class %d latency = %d, want %d", c.c, got, c.want)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	lw := Inst{Op: OpLw, Rd: R1, Rs: R2}
+	sw := Inst{Op: OpSw, Rt: R1, Rs: R2}
+	br := Inst{Op: OpBne, Rs: R1, Rt: R2}
+	j := Inst{Op: OpJ}
+	if !lw.IsLoad() || lw.IsStore() || !lw.IsMem() {
+		t.Error("lw predicates wrong")
+	}
+	if !sw.IsStore() || sw.IsLoad() || !sw.IsMem() {
+		t.Error("sw predicates wrong")
+	}
+	if !br.IsBranch() || !br.IsControl() || br.IsJump() {
+		t.Error("bne predicates wrong")
+	}
+	if !j.IsJump() || !j.IsControl() || j.IsBranch() {
+		t.Error("j predicates wrong")
+	}
+	if !(Inst{Op: OpJal, Rd: R31}).IsCall() {
+		t.Error("jal not a call")
+	}
+	if !(Inst{Op: OpJr, Rs: R31}).IsReturn() {
+		t.Error("jr r31 not a return")
+	}
+	if (Inst{Op: OpJr, Rs: R5}).IsReturn() {
+		t.Error("jr r5 wrongly a return")
+	}
+}
+
+func TestDest(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		reg  Reg
+		want bool
+	}{
+		{Inst{Op: OpAdd, Rd: R3, Rs: R1, Rt: R2}, R3, true},
+		{Inst{Op: OpAdd, Rd: R0, Rs: R1, Rt: R2}, 0, false}, // writes to R0 discarded
+		{Inst{Op: OpLw, Rd: R7, Rs: R1}, R7, true},
+		{Inst{Op: OpSw, Rt: R7, Rs: R1}, 0, false},
+		{Inst{Op: OpBne, Rs: R1, Rt: R2}, 0, false},
+		{Inst{Op: OpJal, Rd: R31}, R31, true},
+		{Inst{Op: OpJ}, 0, false},
+		{Inst{Op: OpJr, Rs: R31}, 0, false},
+		{Inst{Op: OpJalr, Rd: R2, Rs: R5}, R2, true},
+		{Inst{Op: OpHalt}, 0, false},
+	}
+	for _, c := range cases {
+		reg, ok := c.in.Dest()
+		if ok != c.want || (ok && reg != c.reg) {
+			t.Errorf("%v.Dest() = %v, %v; want %v, %v", c.in, reg, ok, c.reg, c.want)
+		}
+	}
+}
+
+func TestSources(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []Reg
+	}{
+		{Inst{Op: OpAdd, Rd: R3, Rs: R1, Rt: R2}, []Reg{R1, R2}},
+		{Inst{Op: OpAddi, Rd: R3, Rs: R1}, []Reg{R1}},
+		{Inst{Op: OpLw, Rd: R3, Rs: R1}, []Reg{R1}},
+		{Inst{Op: OpSw, Rt: R3, Rs: R1}, []Reg{R1, R3}},
+		{Inst{Op: OpBne, Rs: R1, Rt: R2}, []Reg{R1, R2}},
+		{Inst{Op: OpBltz, Rs: R1}, []Reg{R1}},
+		{Inst{Op: OpJr, Rs: R31}, []Reg{R31}},
+		{Inst{Op: OpJ}, nil},
+		{Inst{Op: OpNop}, nil},
+	}
+	for _, c := range cases {
+		got := c.in.Sources(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("%v.Sources() = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v.Sources() = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Rd: R3, Rs: R1, Rt: R2}, "add r3, r1, r2"},
+		{Inst{Op: OpAddi, Rd: R3, Rs: R1, Imm: -4}, "addi r3, r1, -4"},
+		{Inst{Op: OpLw, Rd: R3, Rs: R1, Imm: 8}, "lw r3, 8(r1)"},
+		{Inst{Op: OpSw, Rt: R3, Rs: R1, Imm: 8}, "sw r3, 8(r1)"},
+		{Inst{Op: OpBne, Rs: R1, Rt: R2, Imm: -3}, "bne r1, r2, -3"},
+		{Inst{Op: OpBltz, Rs: R1, Imm: 2}, "bltz r1, +2"},
+		{Inst{Op: OpJr, Rs: R31}, "jr r31"},
+		{Inst{Op: OpFadd, Rd: F(1), Rs: F(2), Rt: F(3)}, "fadd f1, f2, f3"},
+		{Inst{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPCIndexRoundTrip(t *testing.T) {
+	f := func(i uint16) bool {
+		return PCIndex(IndexPC(int(i))) == int(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramInstAt(t *testing.T) {
+	p := &Program{Insts: []Inst{{Op: OpNop}, {Op: OpHalt}}}
+	if in, ok := p.InstAt(4); !ok || in.Op != OpHalt {
+		t.Errorf("InstAt(4) = %v, %v", in, ok)
+	}
+	if _, ok := p.InstAt(8); ok {
+		t.Error("InstAt(8) should be out of range")
+	}
+	if _, ok := p.InstAt(2); ok {
+		// misaligned PC truncates to index 0 by construction; InstAt treats
+		// it as instruction 0, which is in range.
+		t.Log("misaligned PC maps to a valid slot; acceptable")
+	}
+}
+
+func TestEveryOpHasParsableString(t *testing.T) {
+	// Disassembly should always produce the mnemonic first.
+	for op := Op(0); op < numOps; op++ {
+		in := Inst{Op: op, Rd: R1, Rs: R2, Rt: R3, Imm: 4}
+		s := in.String()
+		if !strings.HasPrefix(s, op.Name()) {
+			t.Errorf("String() of %v = %q does not start with mnemonic", op, s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Program{Insts: []Inst{
+		{Op: OpAddi, Rd: R1, Rs: R0, Imm: 5},
+		{Op: OpBne, Rs: R1, Rt: R0, Imm: -2},
+		{Op: OpJ, Imm: 0},
+		{Op: OpHalt},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good program rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    *Program
+	}{
+		{"bad opcode", &Program{Insts: []Inst{{Op: Op(200)}}}},
+		{"bad register", &Program{Insts: []Inst{{Op: OpAdd, Rd: Reg(99)}}}},
+		{"branch out of range", &Program{Insts: []Inst{{Op: OpBeq, Imm: 100}}}},
+		{"jump out of range", &Program{Insts: []Inst{{Op: OpJ, Imm: -1}}}},
+		{"entry out of range", &Program{Insts: []Inst{{Op: OpHalt}}, Entry: 64}},
+		{"misaligned data", &Program{Insts: []Inst{{Op: OpHalt}}, DataBase: 2}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

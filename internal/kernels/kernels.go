@@ -1,0 +1,573 @@
+// Package kernels provides classic algorithm kernels written in the
+// simulated ISA, with Go reference implementations. They validate the
+// whole stack end to end — assembler, functional simulator, and (through
+// determinism checks) the timing simulator — by checking *algorithmic
+// results* rather than microarchitectural counters: if quicksort sorts
+// and CRC32 matches the table-driven reference, the ISA semantics are
+// right.
+package kernels
+
+import (
+	"fmt"
+
+	"rarpred/internal/asm"
+	"rarpred/internal/funcsim"
+	"rarpred/internal/isa"
+)
+
+// Kernel is one validated program: a builder and a checker that inspects
+// the finished simulator state against a Go reference.
+type Kernel struct {
+	Name  string
+	Build func() *isa.Program
+	Check func(s *funcsim.Sim) error
+}
+
+// All returns the kernel suite.
+func All() []Kernel {
+	return []Kernel{
+		{Name: "quicksort", Build: Quicksort, Check: CheckQuicksort},
+		{Name: "sieve", Build: Sieve, Check: CheckSieve},
+		{Name: "matmul", Build: MatMul, Check: CheckMatMul},
+		{Name: "fibmemo", Build: FibMemo, Check: CheckFibMemo},
+		{Name: "bst", Build: BST, Check: CheckBST},
+		{Name: "crc32", Build: CRC32, Check: CheckCRC32},
+	}
+}
+
+// Run builds, executes and checks one kernel.
+func (k Kernel) Run(maxInsts uint64) error {
+	s := funcsim.New(k.Build())
+	if err := s.Run(maxInsts); err != nil {
+		return fmt.Errorf("kernels: %s: %w", k.Name, err)
+	}
+	if !s.Halted {
+		return fmt.Errorf("kernels: %s did not halt", k.Name)
+	}
+	return k.Check(s)
+}
+
+// sortN is the quicksort input size.
+const sortN = 512
+
+func sortInput() []uint32 {
+	vals := make([]uint32, sortN)
+	x := uint32(0x2545F491)
+	for i := range vals {
+		x = x*1664525 + 1013904223
+		vals[i] = x % 10000
+	}
+	return vals
+}
+
+// Quicksort sorts an array in place with a recursive quicksort
+// (Lomuto partition), exercising deep call/return chains, stack
+// save/restore traffic and data-dependent branches.
+func Quicksort() *isa.Program {
+	b := asm.NewBuilder()
+	b.WordInt("arr", intSlice(sortInput())...)
+
+	// main: qsort(&arr[0], &arr[n-1]); halt
+	b.Label("main")
+	b.La(isa.R4, "arr")                                   // lo
+	b.La(isa.R5, "arr")                                   //
+	b.RRI(isa.OpAddi, isa.R5, isa.R5, int32((sortN-1)*4)) // hi
+	b.Call("qsort")
+	b.Halt()
+
+	// qsort(r4 = lo, r5 = hi), clobbers r1-r3, r6-r9.
+	b.Label("qsort")
+	b.Br(isa.OpBge, isa.R4, isa.R5, "qdone") // lo >= hi: empty or single
+	// prologue: save ra, lo, hi
+	b.RRI(isa.OpAddi, isa.R29, isa.R29, -12)
+	b.Store(isa.OpSw, isa.R31, isa.R29, 0)
+	b.Store(isa.OpSw, isa.R4, isa.R29, 4)
+	b.Store(isa.OpSw, isa.R5, isa.R29, 8)
+
+	// Lomuto partition with pivot = *hi.
+	b.Load(isa.OpLw, isa.R6, isa.R5, 0) // pivot
+	b.Mv(isa.R7, isa.R4)                // i = lo (store slot)
+	b.Mv(isa.R8, isa.R4)                // j = lo (scan)
+	b.Label("ploop")
+	b.Br(isa.OpBge, isa.R8, isa.R5, "pdone")
+	b.Load(isa.OpLw, isa.R9, isa.R8, 0) // *j
+	b.Br(isa.OpBge, isa.R9, isa.R6, "pskip")
+	// swap *i, *j
+	b.Load(isa.OpLw, isa.R2, isa.R7, 0)
+	b.Store(isa.OpSw, isa.R9, isa.R7, 0)
+	b.Store(isa.OpSw, isa.R2, isa.R8, 0)
+	b.RRI(isa.OpAddi, isa.R7, isa.R7, 4)
+	b.Label("pskip")
+	b.RRI(isa.OpAddi, isa.R8, isa.R8, 4)
+	b.Jump("ploop")
+	b.Label("pdone")
+	// swap *i, *hi  (pivot into place)
+	b.Load(isa.OpLw, isa.R2, isa.R7, 0)
+	b.Load(isa.OpLw, isa.R3, isa.R5, 0)
+	b.Store(isa.OpSw, isa.R3, isa.R7, 0)
+	b.Store(isa.OpSw, isa.R2, isa.R5, 0)
+
+	// left: qsort(lo, i-4)
+	b.Load(isa.OpLw, isa.R4, isa.R29, 4)
+	b.RRI(isa.OpAddi, isa.R5, isa.R7, -4)
+	b.Store(isa.OpSw, isa.R7, isa.R29, 4) // keep i in the lo slot
+	b.Call("qsort")
+	// right: qsort(i+4, hi)
+	b.Load(isa.OpLw, isa.R4, isa.R29, 4) // i
+	b.RRI(isa.OpAddi, isa.R4, isa.R4, 4)
+	b.Load(isa.OpLw, isa.R5, isa.R29, 8)
+	b.Call("qsort")
+
+	b.Load(isa.OpLw, isa.R31, isa.R29, 0)
+	b.RRI(isa.OpAddi, isa.R29, isa.R29, 12)
+	b.Label("qdone")
+	b.Ret()
+
+	return mustProgram(b, "quicksort")
+}
+
+// CheckQuicksort verifies the array is the sorted reference.
+func CheckQuicksort(s *funcsim.Sim) error {
+	want := sortInput()
+	sortU32(want)
+	for i, w := range want {
+		got := s.Mem.MustLoad(asm.DataBase + uint32(i)*4)
+		if got != w {
+			return fmt.Errorf("arr[%d] = %d, want %d", i, got, w)
+		}
+	}
+	return nil
+}
+
+// sieveN is the sieve bound.
+const sieveN = 4096
+
+// Sieve marks composites in a byte-per-word array and counts primes.
+func Sieve() *isa.Program {
+	src := fmt.Sprintf(`
+        .data
+flags:  .space %d
+count:  .word 0
+        .text
+main:   li   r1, 2                  # candidate
+        li   r2, %d                 # bound
+        la   r3, flags
+outer:  slli r4, r1, 2
+        add  r4, r3, r4
+        lw   r5, 0(r4)              # composite?
+        bne  r5, r0, next
+        # prime: count++ and mark multiples
+        la   r6, count
+        lw   r7, 0(r6)
+        addi r7, r7, 1
+        sw   r7, 0(r6)
+        add  r8, r1, r1             # m = 2p
+mark:   bge  r8, r2, next
+        slli r9, r8, 2
+        add  r9, r3, r9
+        li   r10, 1
+        sw   r10, 0(r9)
+        add  r8, r8, r1
+        j    mark
+next:   addi r1, r1, 1
+        blt  r1, r2, outer
+        halt`, sieveN, sieveN)
+	return asm.MustAssemble(src)
+}
+
+// CheckSieve verifies the prime count below sieveN.
+func CheckSieve(s *funcsim.Sim) error {
+	want := uint32(0)
+	composite := make([]bool, sieveN)
+	for p := 2; p < sieveN; p++ {
+		if composite[p] {
+			continue
+		}
+		want++
+		for m := 2 * p; m < sieveN; m += p {
+			composite[m] = true
+		}
+	}
+	got := s.Mem.MustLoad(asm.DataBase + sieveN*4)
+	if got != want {
+		return fmt.Errorf("primes below %d = %d, want %d", sieveN, got, want)
+	}
+	return nil
+}
+
+// matN is the matrix dimension.
+const matN = 24
+
+func matInputs() (a, bm []uint32) {
+	g := uint32(7)
+	next := func() uint32 {
+		g = g*1664525 + 1013904223
+		return g % 17
+	}
+	a = make([]uint32, matN*matN)
+	bm = make([]uint32, matN*matN)
+	for i := range a {
+		a[i] = next()
+		bm[i] = next()
+	}
+	return
+}
+
+// MatMul computes C = A×B over small integers.
+func MatMul() *isa.Program {
+	a, bm := matInputs()
+	src := fmt.Sprintf(`
+main:   li   r1, 0                  # i
+li:     li   r2, 0                  # j
+lj:     li   r3, 0                  # k
+        li   r4, 0                  # acc
+lk:     # a[i][k]
+        li   r5, %d
+        mul  r6, r1, r5
+        add  r6, r6, r3
+        slli r6, r6, 2
+        la   r7, ma
+        add  r7, r7, r6
+        lw   r8, 0(r7)
+        # b[k][j]
+        mul  r6, r3, r5
+        add  r6, r6, r2
+        slli r6, r6, 2
+        la   r7, mb
+        add  r7, r7, r6
+        lw   r9, 0(r7)
+        mul  r8, r8, r9
+        add  r4, r4, r8
+        addi r3, r3, 1
+        blt  r3, r5, lk
+        # c[i][j] = acc
+        mul  r6, r1, r5
+        add  r6, r6, r2
+        slli r6, r6, 2
+        la   r7, mc
+        add  r7, r7, r6
+        sw   r4, 0(r7)
+        addi r2, r2, 1
+        blt  r2, r5, lj
+        addi r1, r1, 1
+        blt  r1, r5, li
+        halt`, matN)
+	full := "        .data\n" + wordsBlock("ma", a) + wordsBlock("mb", bm) +
+		fmt.Sprintf("mc:     .space %d\n", matN*matN) + "        .text\n" + src
+	return asm.MustAssemble(full)
+}
+
+// CheckMatMul verifies C against the Go product.
+func CheckMatMul(s *funcsim.Sim) error {
+	a, bm := matInputs()
+	base := asm.DataBase + uint32(2*matN*matN)*4
+	for i := 0; i < matN; i++ {
+		for j := 0; j < matN; j++ {
+			var want uint32
+			for k := 0; k < matN; k++ {
+				want += a[i*matN+k] * bm[k*matN+j]
+			}
+			got := s.Mem.MustLoad(base + uint32(i*matN+j)*4)
+			if got != want {
+				return fmt.Errorf("c[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// fibN is the fibonacci index (memoized through memory, mod 2^32).
+const fibN = 40
+
+// FibMemo computes fib(n) with a memo table in memory — every fib(k)
+// is stored once and re-read twice, a textbook RAW+RAR generator that
+// also has a checkable answer.
+func FibMemo() *isa.Program {
+	src := fmt.Sprintf(`
+        .data
+memo:   .space %d
+        .text
+main:   la   r1, memo
+        li   r2, 1
+        sw   r2, 4(r1)              # fib(1) = 1
+        li   r3, 2                  # k
+fk:     slli r4, r3, 2
+        add  r4, r1, r4
+        lw   r5, -4(r4)             # fib(k-1)
+        lw   r6, -8(r4)             # fib(k-2)
+        add  r7, r5, r6
+        sw   r7, 0(r4)
+        addi r3, r3, 1
+        li   r8, %d
+        blt  r3, r8, fk
+        halt`, fibN+1, fibN+1)
+	return asm.MustAssemble(src)
+}
+
+// CheckFibMemo verifies the memo table.
+func CheckFibMemo(s *funcsim.Sim) error {
+	var a, b uint32 = 0, 1
+	for k := 2; k <= fibN; k++ {
+		a, b = b, a+b
+		got := s.Mem.MustLoad(asm.DataBase + uint32(k)*4)
+		if got != b {
+			return fmt.Errorf("fib(%d) = %d, want %d", k, got, b)
+		}
+	}
+	return nil
+}
+
+// bstN keys are inserted, then all are looked up.
+const bstN = 256
+
+func bstKeys() []uint32 {
+	g := uint32(99)
+	keys := make([]uint32, bstN)
+	for i := range keys {
+		g = g*1664525 + 1013904223
+		keys[i] = g%65536 + 1 // nonzero
+	}
+	return keys
+}
+
+// BST builds an unbalanced binary search tree in an arena (insert) and
+// then sums the depths of all lookups — heavy pointer chasing with
+// writes, the gcc/li access pattern with a checkable answer.
+func BST() *isa.Program {
+	src := `
+main:   la   r16, keys
+        la   r17, arena
+        la   r18, nextfree
+        li   r19, 0                 # inserted count
+        li   r20, ` + fmt.Sprint(bstN) + `
+        # insert the first key as the root
+        lw   r1, 0(r16)
+        sw   r1, 0(r17)             # root.key
+        li   r2, 1
+        sw   r2, 0(r18)
+        li   r19, 1
+ins:    bge  r19, r20, lookups
+        slli r1, r19, 2
+        add  r1, r16, r1
+        lw   r2, 0(r1)              # key to insert
+        mv   r3, r17                # node = root
+walk:   lw   r4, 0(r3)              # node.key
+        bge  r2, r4, goright
+        lw   r5, 4(r3)              # left
+        beq  r5, r0, putleft
+        mv   r3, r5
+        j    walk
+goright:
+        lw   r5, 8(r3)              # right
+        beq  r5, r0, putright
+        mv   r3, r5
+        j    walk
+putleft:
+        call alloc
+        sw   r2, 0(r6)
+        sw   r6, 4(r3)
+        j    insdone
+putright:
+        call alloc
+        sw   r2, 0(r6)
+        sw   r6, 8(r3)
+insdone:
+        addi r19, r19, 1
+        j    ins
+
+# alloc -> r6 = &arena[nextfree*16]; nextfree++
+alloc:  lw   r7, 0(r18)
+        slli r6, r7, 4
+        add  r6, r17, r6
+        addi r7, r7, 1
+        sw   r7, 0(r18)
+        ret
+
+lookups:
+        li   r19, 0
+        la   r21, depthsum
+lkp:    bge  r19, r20, done
+        slli r1, r19, 2
+        add  r1, r16, r1
+        lw   r2, 0(r1)              # key
+        mv   r3, r17
+        li   r8, 0                  # depth
+find:   addi r8, r8, 1
+        lw   r4, 0(r3)              # node.key
+        beq  r4, r2, found
+        bge  r2, r4, fright
+        lw   r3, 4(r3)
+        j    find
+fright: lw   r3, 8(r3)
+        j    find
+found:  lw   r9, 0(r21)
+        add  r9, r9, r8
+        sw   r9, 0(r21)
+        addi r19, r19, 1
+        j    lkp
+done:   halt`
+	full := "        .data\n" + wordsBlock("keys", bstKeys()) +
+		fmt.Sprintf("arena:  .space %d\nnextfree: .word 0\ndepthsum: .word 0\n", bstN*4) +
+		"        .text\n" + src
+	return asm.MustAssemble(full)
+}
+
+// CheckBST verifies the summed lookup depths against a Go BST.
+func CheckBST(s *funcsim.Sim) error {
+	keys := bstKeys()
+	type node struct {
+		key         uint32
+		left, right *node
+	}
+	root := &node{key: keys[0]}
+	for _, k := range keys[1:] {
+		n := root
+		for {
+			if k >= n.key {
+				if n.right == nil {
+					n.right = &node{key: k}
+					break
+				}
+				n = n.right
+			} else {
+				if n.left == nil {
+					n.left = &node{key: k}
+					break
+				}
+				n = n.left
+			}
+		}
+	}
+	var want uint32
+	for _, k := range keys {
+		n, depth := root, uint32(0)
+		for {
+			depth++
+			if n.key == k {
+				break
+			}
+			if k >= n.key {
+				n = n.right
+			} else {
+				n = n.left
+			}
+		}
+		want += depth
+	}
+	// depthsum lives after keys (bstN words), arena (bstN*4 words) and
+	// nextfree (1 word).
+	addr := asm.DataBase + uint32(bstN+bstN*4+1)*4
+	got := s.Mem.MustLoad(addr)
+	if got != want {
+		return fmt.Errorf("depth sum = %d, want %d", got, want)
+	}
+	return nil
+}
+
+// crcLen is the CRC32 input length in words.
+const crcLen = 1024
+
+func crcInput() []uint32 {
+	g := uint32(0xABCD)
+	out := make([]uint32, crcLen)
+	for i := range out {
+		g = g*1664525 + 1013904223
+		out[i] = g
+	}
+	return out
+}
+
+// CRC32 computes a word-at-a-time CRC over the input using the standard
+// bitwise algorithm (IEEE polynomial, one word per outer step).
+func CRC32() *isa.Program {
+	src := fmt.Sprintf(`
+        .data
+%s
+result: .word 0
+        .text
+main:   la   r16, input
+        li   r17, %d                # words
+        li   r18, -1                # crc = 0xFFFFFFFF
+        li   r19, 0x04C11DB7        # polynomial (MSB-first)
+wloop:  lw   r1, 0(r16)
+        xor  r18, r18, r1
+        li   r2, 32                 # bits
+bloop:  srli r3, r18, 31
+        slli r18, r18, 1
+        beq  r3, r0, nofb
+        xor  r18, r18, r19
+nofb:   addi r2, r2, -1
+        bne  r2, r0, bloop
+        addi r16, r16, 4
+        addi r17, r17, -1
+        bne  r17, r0, wloop
+        la   r4, result
+        sw   r18, 0(r4)
+        halt`, wordsBlock("input", crcInput()), crcLen)
+	return asm.MustAssemble(src)
+}
+
+// CheckCRC32 verifies against the same algorithm in Go.
+func CheckCRC32(s *funcsim.Sim) error {
+	crc := ^uint32(0)
+	for _, w := range crcInput() {
+		crc ^= w
+		for b := 0; b < 32; b++ {
+			if crc&0x8000_0000 != 0 {
+				crc = crc<<1 ^ 0x04C11DB7
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	got := s.Mem.MustLoad(asm.DataBase + crcLen*4)
+	if got != crc {
+		return fmt.Errorf("crc = %#x, want %#x", got, crc)
+	}
+	return nil
+}
+
+// helpers
+
+func intSlice(v []uint32) []int32 {
+	out := make([]int32, len(v))
+	for i, x := range v {
+		out[i] = int32(x)
+	}
+	return out
+}
+
+func sortU32(v []uint32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j-1] > v[j]; j-- {
+			v[j-1], v[j] = v[j], v[j-1]
+		}
+	}
+}
+
+func wordsBlock(label string, vals []uint32) string {
+	out := label + ":\n"
+	for i := 0; i < len(vals); i += 8 {
+		end := i + 8
+		if end > len(vals) {
+			end = len(vals)
+		}
+		out += "        .word "
+		for j := i; j < end; j++ {
+			if j > i {
+				out += ", "
+			}
+			out += fmt.Sprint(vals[j])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func mustProgram(b *asm.Builder, name string) *isa.Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(fmt.Sprintf("kernels: %s: %v", name, err))
+	}
+	return p
+}

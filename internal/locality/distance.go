@@ -1,0 +1,167 @@
+package locality
+
+// DistanceAnalyzer measures RAR dependence *distances*: for each sink
+// load, the number of unique addresses touched between the source load's
+// (most recent) access to the shared address and the sink — exactly the
+// quantity the paper's "address window" bounds. The distribution explains
+// why a moderate DDT (128 entries) already sees most dependences
+// (Section 5.2): most RAR distances are short.
+//
+// Distances are computed with the classic O(log n) reuse-distance
+// algorithm: a Fenwick tree over access timestamps marks, for every
+// address, its most recent access time; the stack distance of an access
+// is the number of marked timestamps after the address's previous mark.
+type DistanceAnalyzer struct {
+	fen      *fenwick
+	last     map[uint32]int // address -> timestamp of most recent access
+	lastLoad map[uint32]uint32
+	time     int
+
+	// Histogram buckets: power-of-two upper bounds 2^0..2^(buckets-1),
+	// with the final bucket catching everything larger.
+	hist  []uint64
+	total uint64
+}
+
+const distanceBuckets = 22 // up to 2^21 unique addresses, then overflow
+
+// NewDistanceAnalyzer returns an empty analyzer.
+func NewDistanceAnalyzer() *DistanceAnalyzer {
+	return &DistanceAnalyzer{
+		fen:      newFenwick(1 << 10),
+		last:     make(map[uint32]int),
+		lastLoad: make(map[uint32]uint32),
+		hist:     make([]uint64, distanceBuckets),
+	}
+}
+
+// touch updates the recency structures for an access and returns the
+// stack distance to the previous access of addr (-1 if first touch).
+func (d *DistanceAnalyzer) touch(addr uint32) int {
+	d.time++
+	prev, seen := d.last[addr]
+	dist := -1
+	if seen {
+		// Unique addresses touched strictly after prev = marks in
+		// (prev, time).
+		dist = d.fen.sumRange(prev+1, d.time-1)
+		d.fen.add(prev, -1)
+	}
+	d.fen.ensure(d.time)
+	d.fen.add(d.time, 1)
+	d.last[addr] = d.time
+	return dist
+}
+
+// Store observes a committed store: it refreshes recency and breaks the
+// RAR chain through addr.
+func (d *DistanceAnalyzer) Store(pc, addr uint32) {
+	d.touch(addr)
+	delete(d.lastLoad, addr)
+}
+
+// Load observes a committed load. If a different static load touched the
+// address more recently than any store, the RAR distance is recorded.
+func (d *DistanceAnalyzer) Load(pc, addr uint32) {
+	dist := d.touch(addr)
+	srcPC, hasLoad := d.lastLoad[addr]
+	if hasLoad && srcPC != pc && dist >= 0 {
+		d.record(dist)
+	}
+	if !hasLoad {
+		d.lastLoad[addr] = pc
+	}
+}
+
+func (d *DistanceAnalyzer) record(dist int) {
+	d.total++
+	b := 0
+	for (1<<b) <= dist && b < distanceBuckets-1 {
+		b++
+	}
+	d.hist[b]++
+}
+
+// Sinks returns the number of recorded RAR sink instances.
+func (d *DistanceAnalyzer) Sinks() uint64 { return d.total }
+
+// CDF returns the fraction of RAR dependences with distance < bound.
+func (d *DistanceAnalyzer) CDF(bound int) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	var n uint64
+	for b := 0; b < distanceBuckets; b++ {
+		if 1<<b > bound {
+			break
+		}
+		n += d.hist[b]
+	}
+	return float64(n) / float64(d.total)
+}
+
+// Percentile returns the smallest power-of-two distance bound covering
+// at least frac of the dependences.
+func (d *DistanceAnalyzer) Percentile(frac float64) int {
+	if d.total == 0 {
+		return 0
+	}
+	want := uint64(frac * float64(d.total))
+	var n uint64
+	for b := 0; b < distanceBuckets; b++ {
+		n += d.hist[b]
+		if n >= want {
+			return 1 << b
+		}
+	}
+	return 1 << (distanceBuckets - 1)
+}
+
+// fenwick is a 1-indexed binary indexed tree over timestamps, grown on
+// demand.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+// ensure grows the tree to cover index i. A freshly appended node at
+// index idx covers the range (idx - lowbit(idx), idx]; position idx
+// itself has no value yet, so the node's initial value is the existing
+// sum over (idx - lowbit(idx), idx-1] — appending zeros would silently
+// corrupt later prefix sums.
+func (f *fenwick) ensure(i int) {
+	for len(f.tree) <= i {
+		idx := len(f.tree)
+		low := idx & (-idx)
+		v := f.sum(idx-1) - f.sum(idx-low)
+		f.tree = append(f.tree, v)
+	}
+}
+
+func (f *fenwick) add(i, v int) {
+	f.ensure(i)
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += v
+	}
+}
+
+// sum returns the prefix sum over [1, i].
+func (f *fenwick) sum(i int) int {
+	if i >= len(f.tree) {
+		i = len(f.tree) - 1
+	}
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// sumRange returns the sum over [lo, hi] (0 when lo > hi).
+func (f *fenwick) sumRange(lo, hi int) int {
+	if lo > hi {
+		return 0
+	}
+	return f.sum(hi) - f.sum(lo-1)
+}

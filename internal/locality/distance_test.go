@@ -1,0 +1,175 @@
+package locality
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFenwickBasic(t *testing.T) {
+	f := newFenwick(8)
+	f.add(3, 1)
+	f.add(5, 1)
+	f.add(7, 2)
+	if got := f.sum(4); got != 1 {
+		t.Errorf("sum(4) = %d", got)
+	}
+	if got := f.sum(8); got != 4 {
+		t.Errorf("sum(8) = %d", got)
+	}
+	if got := f.sumRange(4, 6); got != 1 {
+		t.Errorf("sumRange(4,6) = %d", got)
+	}
+	if got := f.sumRange(6, 4); got != 0 {
+		t.Errorf("empty range = %d", got)
+	}
+	f.add(5, -1)
+	if got := f.sum(8); got != 3 {
+		t.Errorf("after removal sum = %d", got)
+	}
+}
+
+// TestQuickFenwickMatchesNaive: grown-on-demand prefix sums match a
+// plain array, including across growth boundaries.
+func TestQuickFenwickMatchesNaive(t *testing.T) {
+	f := func(ops []uint16) bool {
+		fen := newFenwick(2)
+		naive := make([]int, 1)
+		for _, op := range ops {
+			i := int(op%512) + 1
+			for len(naive) <= i {
+				naive = append(naive, 0)
+			}
+			fen.add(i, 1)
+			naive[i]++
+			q := int(op>>9)%512 + 1
+			want := 0
+			for k := 1; k <= q && k < len(naive); k++ {
+				want += naive[k]
+			}
+			if fen.sum(q) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceSimplePairs(t *testing.T) {
+	d := NewDistanceAnalyzer()
+	// Adjacent pair: distance 0 (no unique addresses in between).
+	d.Load(4, 0x100)
+	d.Load(8, 0x100)
+	if d.Sinks() != 1 {
+		t.Fatalf("sinks = %d", d.Sinks())
+	}
+	if d.CDF(1) != 1 {
+		t.Errorf("CDF(1) = %v (distance-0 pair)", d.CDF(1))
+	}
+}
+
+func TestDistanceCountsUniqueIntervening(t *testing.T) {
+	d := NewDistanceAnalyzer()
+	d.Load(4, 0x100)
+	// Three unique intervening addresses, one touched twice.
+	d.Load(12, 0x200)
+	d.Load(12, 0x300)
+	d.Load(12, 0x200) // repeat: not a new unique address
+	d.Load(12, 0x400)
+	d.Load(8, 0x100) // sink: distance = 3 unique
+	if d.Sinks() != 1 {
+		t.Fatalf("sinks = %d", d.Sinks())
+	}
+	if d.CDF(2) != 0 {
+		t.Errorf("CDF(2) = %v, want 0 (distance is 3)", d.CDF(2))
+	}
+	if d.CDF(4) != 1 {
+		t.Errorf("CDF(4) = %v, want 1", d.CDF(4))
+	}
+}
+
+func TestDistanceStoreBreaksChain(t *testing.T) {
+	d := NewDistanceAnalyzer()
+	d.Load(4, 0x100)
+	d.Store(100, 0x100)
+	d.Load(8, 0x100)
+	if d.Sinks() != 0 {
+		t.Errorf("store did not break the chain: %d sinks", d.Sinks())
+	}
+}
+
+func TestDistanceSelfReread(t *testing.T) {
+	d := NewDistanceAnalyzer()
+	d.Load(4, 0x100)
+	d.Load(4, 0x100) // same static load: no pair
+	if d.Sinks() != 0 {
+		t.Errorf("self re-read recorded as sink")
+	}
+}
+
+func TestDistancePercentile(t *testing.T) {
+	d := NewDistanceAnalyzer()
+	// Ten distance-0 pairs and one large-distance pair.
+	for i := 0; i < 10; i++ {
+		addr := uint32(0x1000 + i*4)
+		d.Load(4, addr)
+		d.Load(8, addr)
+	}
+	d.Load(4, 0x9000)
+	for i := 0; i < 300; i++ {
+		d.Load(12, uint32(0x20000+i*4))
+	}
+	d.Load(8, 0x9000)
+	if p := d.Percentile(0.9); p > 2 {
+		t.Errorf("p90 = %d, want <= 2", p)
+	}
+	if p := d.Percentile(1.0); p < 256 {
+		t.Errorf("p100 = %d, want >= 256", p)
+	}
+}
+
+// TestDistanceMatchesWindowedDetection: the CDF at a window size must
+// approximate the fraction of infinite-window sinks a finite window
+// detects (they are the same quantity measured two ways, up to the LRU
+// vs exact-stack subtlety of the DDT's combined table).
+func TestDistanceMatchesWindowedDetection(t *testing.T) {
+	dist := NewDistanceAnalyzer()
+	win := NewRARLocality(64)
+	inf := NewRARLocality(0)
+	// A mix: adjacent pairs plus pairs separated by ~100 unique addrs.
+	g := uint32(12345)
+	for i := 0; i < 2000; i++ {
+		g = g*1664525 + 1013904223
+		shared := uint32(0x100000 + (g>>8)%512*4)
+		dist.Load(4, shared)
+		win.Load(4, shared)
+		inf.Load(4, shared)
+		if i%2 == 0 {
+			// far pair: stream 100 unique addresses first
+			for j := 0; j < 100; j++ {
+				a := uint32(0x900000 + uint32(i*100+j)*4)
+				dist.Load(12, a)
+				win.Load(12, a)
+				inf.Load(12, a)
+			}
+		}
+		dist.Load(8, shared)
+		win.Load(8, shared)
+		inf.Load(8, shared)
+	}
+	cdf := dist.CDF(64)
+	detected := float64(win.SinkLoads()) / float64(inf.SinkLoads())
+	diff := cdf - detected
+	if diff < -0.25 || diff > 0.25 {
+		t.Errorf("CDF(64) = %.2f vs windowed detection %.2f", cdf, detected)
+	}
+}
+
+func TestDistanceEmpty(t *testing.T) {
+	d := NewDistanceAnalyzer()
+	if d.CDF(128) != 0 || d.Percentile(0.5) != 0 {
+		t.Error("empty analyzer nonzero")
+	}
+}

@@ -1,0 +1,130 @@
+// Package locality implements the dependence-stream analyses of the
+// paper: RAR memory dependence locality (Section 2, Figure 2), address
+// locality (Section 5.4, Figure 7a) and value locality (Section 5.5,
+// Figure 7b).
+package locality
+
+import (
+	"rarpred/internal/cloak"
+)
+
+// MaxDepth is the deepest locality rank tracked (the paper plots n = 1..4).
+const MaxDepth = 4
+
+// RARLocality measures memory-dependence-locality(n): the probability
+// that a sink load's current RAR dependence was among the last n unique
+// RAR dependences experienced by previous executions of the same static
+// load (Section 2).
+//
+// Detection runs against an address window of the given size: a table
+// tracking the most recent windowSize unique addresses accessed (by loads
+// and stores); windowSize 0 models the infinite window of Figure 2(a).
+type RARLocality struct {
+	window *cloak.DDT
+
+	// history maps static sink-load PC to its MRU-ordered list of unique
+	// RAR source PCs, deepest MaxDepth.
+	history map[uint32][]uint32
+
+	hits  [MaxDepth]uint64 // hits[i]: dependence found at MRU rank i
+	total uint64           // dynamic sink loads (executions with a RAR dependence)
+}
+
+// NewRARLocality returns an analyzer with the given address-window size
+// (0 = infinite).
+func NewRARLocality(windowSize int) *RARLocality {
+	return &RARLocality{
+		window:  cloak.NewDDT(windowSize, true),
+		history: make(map[uint32][]uint32),
+	}
+}
+
+// Store feeds one committed store.
+func (l *RARLocality) Store(pc, addr uint32) { l.window.Store(addr, pc) }
+
+// Load feeds one committed load.
+func (l *RARLocality) Load(pc, addr uint32) {
+	dep, ok := l.window.Load(addr, pc)
+	if !ok || dep.Kind != cloak.DepRAR {
+		return
+	}
+	l.total++
+	hist := l.history[pc]
+	rank := -1
+	for i, src := range hist {
+		if src == dep.SourcePC {
+			rank = i
+			break
+		}
+	}
+	if rank >= 0 && rank < MaxDepth {
+		l.hits[rank]++
+	}
+	// Move-to-front update of the unique-dependence history.
+	if rank >= 0 {
+		hist = append(hist[:rank], hist[rank+1:]...)
+	} else if len(hist) >= MaxDepth {
+		hist = hist[:MaxDepth-1]
+	}
+	l.history[pc] = append([]uint32{dep.SourcePC}, hist...)
+}
+
+// SinkLoads returns the number of dynamic sink loads observed.
+func (l *RARLocality) SinkLoads() uint64 { return l.total }
+
+// Locality returns memory-dependence-locality(n) for n in 1..MaxDepth:
+// the fraction of sink loads whose dependence was within the last n
+// unique dependences. It returns 0 when no sink loads were observed.
+func (l *RARLocality) Locality(n int) float64 {
+	if l.total == 0 {
+		return 0
+	}
+	if n > MaxDepth {
+		n = MaxDepth
+	}
+	var h uint64
+	for i := 0; i < n; i++ {
+		h += l.hits[i]
+	}
+	return float64(h) / float64(l.total)
+}
+
+// LastMap tracks, per static load PC, the last observed word (an address
+// or a value) and reports whether consecutive executions repeat it. It
+// implements both address locality and value locality.
+type LastMap struct {
+	last    map[uint32]uint32
+	observe uint64
+	same    uint64
+}
+
+// NewLastMap returns an empty tracker.
+func NewLastMap() *LastMap {
+	return &LastMap{last: make(map[uint32]uint32)}
+}
+
+// Observe records one execution of the static load at pc with the given
+// word, and reports whether the word equals the previous execution's.
+// The first execution of a load reports false.
+func (m *LastMap) Observe(pc, word uint32) bool {
+	m.observe++
+	prev, seen := m.last[pc]
+	m.last[pc] = word
+	if seen && prev == word {
+		m.same++
+		return true
+	}
+	return false
+}
+
+// Fraction returns the fraction of observations that repeated the
+// previous word (the paper's "locality" metric, over all loads).
+func (m *LastMap) Fraction() float64 {
+	if m.observe == 0 {
+		return 0
+	}
+	return float64(m.same) / float64(m.observe)
+}
+
+// Counts returns (observations, repeats).
+func (m *LastMap) Counts() (uint64, uint64) { return m.observe, m.same }

@@ -1,0 +1,143 @@
+// Package mem implements the sparse, paged 32-bit address space backing
+// both the functional and the timing simulators.
+//
+// The machine is word-granular: all loads and stores move aligned 32-bit
+// words, matching the word-granularity Dependence Detection Table the
+// paper evaluates. Unmapped memory reads as zero; pages are allocated
+// lazily on first store.
+package mem
+
+import "fmt"
+
+const (
+	// PageWords is the number of 32-bit words per page (4 KiB pages).
+	PageWords = 1024
+	pageShift = 12 // log2(PageWords * 4)
+	pageMask  = PageWords - 1
+)
+
+type page [PageWords]uint32
+
+// Memory is a sparse word-addressable address space. The zero value is an
+// empty address space ready for use. Memory is not safe for concurrent
+// use; each simulator owns its own instance.
+type Memory struct {
+	pages map[uint32]*page
+
+	// last looked-up page, a cheap one-entry TLB that makes sequential
+	// sweeps (the common case in the workloads) avoid the map.
+	lastKey  uint32
+	lastPage *page
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*page)}
+}
+
+// AlignmentError reports a misaligned word access.
+type AlignmentError struct {
+	Addr uint32
+	Op   string
+}
+
+func (e *AlignmentError) Error() string {
+	return fmt.Sprintf("mem: misaligned %s at 0x%08x", e.Op, e.Addr)
+}
+
+func (m *Memory) lookup(key uint32) *page {
+	if m.lastPage != nil && m.lastKey == key {
+		return m.lastPage
+	}
+	p := m.pages[key]
+	if p != nil {
+		m.lastKey, m.lastPage = key, p
+	}
+	return p
+}
+
+// LoadWord returns the word at the aligned byte address addr.
+func (m *Memory) LoadWord(addr uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, &AlignmentError{Addr: addr, Op: "load"}
+	}
+	p := m.lookup(addr >> pageShift)
+	if p == nil {
+		return 0, nil
+	}
+	return p[(addr>>2)&pageMask], nil
+}
+
+// StoreWord writes the word at the aligned byte address addr.
+func (m *Memory) StoreWord(addr, value uint32) error {
+	if addr&3 != 0 {
+		return &AlignmentError{Addr: addr, Op: "store"}
+	}
+	key := addr >> pageShift
+	p := m.lookup(key)
+	if p == nil {
+		if m.pages == nil {
+			m.pages = make(map[uint32]*page)
+		}
+		p = new(page)
+		m.pages[key] = p
+		m.lastKey, m.lastPage = key, p
+	}
+	p[(addr>>2)&pageMask] = value
+	return nil
+}
+
+// MustLoad is LoadWord for addresses known to be aligned; it panics on a
+// misaligned address. It is used by internal machinery (program loading)
+// where misalignment is a programming error, not simulated-program error.
+func (m *Memory) MustLoad(addr uint32) uint32 {
+	v, err := m.LoadWord(addr)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MustStore is StoreWord for addresses known to be aligned.
+func (m *Memory) MustStore(addr, value uint32) {
+	if err := m.StoreWord(addr, value); err != nil {
+		panic(err)
+	}
+}
+
+// LoadImage copies words into memory starting at base, which must be
+// word aligned.
+func (m *Memory) LoadImage(base uint32, words []uint32) error {
+	if base&3 != 0 {
+		return &AlignmentError{Addr: base, Op: "image load"}
+	}
+	for i, w := range words {
+		if err := m.StoreWord(base+uint32(i)*4, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PageCount returns the number of resident (allocated) pages, a measure
+// of the simulated footprint.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Reset drops all pages, returning the address space to empty.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint32]*page)
+	m.lastPage = nil
+	m.lastKey = 0
+}
+
+// Clone returns a deep copy of the address space. The timing simulator
+// clones the post-load image so repeated runs of the same workload do not
+// re-assemble the program.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for k, p := range m.pages {
+		cp := *p
+		c.pages[k] = &cp
+	}
+	return c
+}

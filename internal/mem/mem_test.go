@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	for _, addr := range []uint32{0, 4, 0x1000_0000, 0xffff_fffc} {
+		v, err := m.LoadWord(addr)
+		if err != nil || v != 0 {
+			t.Errorf("LoadWord(%#x) = %d, %v; want 0, nil", addr, v, err)
+		}
+	}
+	if m.PageCount() != 0 {
+		t.Errorf("loads allocated %d pages", m.PageCount())
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	m := New()
+	m.MustStore(0x100, 42)
+	m.MustStore(0x104, 0xdeadbeef)
+	if got := m.MustLoad(0x100); got != 42 {
+		t.Errorf("got %d", got)
+	}
+	if got := m.MustLoad(0x104); got != 0xdeadbeef {
+		t.Errorf("got %#x", got)
+	}
+}
+
+func TestMisaligned(t *testing.T) {
+	m := New()
+	if _, err := m.LoadWord(2); err == nil {
+		t.Error("misaligned load succeeded")
+	}
+	if err := m.StoreWord(1, 0); err == nil {
+		t.Error("misaligned store succeeded")
+	}
+	var ae *AlignmentError
+	_, err := m.LoadWord(6)
+	if e, ok := err.(*AlignmentError); !ok {
+		t.Errorf("error type %T, want %T", err, ae)
+	} else if e.Addr != 6 {
+		t.Errorf("error addr %d", e.Addr)
+	}
+}
+
+func TestPageBoundary(t *testing.T) {
+	m := New()
+	// Last word of one page and first of the next.
+	base := uint32(PageWords * 4)
+	m.MustStore(base-4, 1)
+	m.MustStore(base, 2)
+	if m.MustLoad(base-4) != 1 || m.MustLoad(base) != 2 {
+		t.Error("page boundary crossing corrupts values")
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+}
+
+func TestLoadImage(t *testing.T) {
+	m := New()
+	words := []uint32{10, 20, 30}
+	if err := m.LoadImage(0x2000, words); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		if got := m.MustLoad(0x2000 + uint32(i)*4); got != w {
+			t.Errorf("word %d = %d, want %d", i, got, w)
+		}
+	}
+	if err := m.LoadImage(0x2001, words); err == nil {
+		t.Error("misaligned image load succeeded")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New()
+	m.MustStore(0x100, 7)
+	m.Reset()
+	if m.MustLoad(0x100) != 0 {
+		t.Error("Reset did not clear memory")
+	}
+	if m.PageCount() != 0 {
+		t.Error("Reset left pages resident")
+	}
+	// Memory is usable after Reset.
+	m.MustStore(0x100, 9)
+	if m.MustLoad(0x100) != 9 {
+		t.Error("memory unusable after Reset")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New()
+	m.MustStore(0x100, 7)
+	c := m.Clone()
+	c.MustStore(0x100, 8)
+	c.MustStore(0x200, 9)
+	if m.MustLoad(0x100) != 7 {
+		t.Error("clone writes leaked into original")
+	}
+	if m.MustLoad(0x200) != 0 {
+		t.Error("clone page allocation leaked into original")
+	}
+	if c.MustLoad(0x100) != 8 {
+		t.Error("clone lost its own write")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	if v, err := m.LoadWord(0x40); err != nil || v != 0 {
+		t.Errorf("zero-value load = %d, %v", v, err)
+	}
+	if err := m.StoreWord(0x40, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.MustLoad(0x40) != 5 {
+		t.Error("zero-value Memory store lost")
+	}
+}
+
+// TestQuickStoreLoad property: the last store to an address wins, and
+// stores never disturb other addresses.
+func TestQuickStoreLoad(t *testing.T) {
+	m := New()
+	shadow := map[uint32]uint32{}
+	f := func(rawAddr, val uint32) bool {
+		addr := rawAddr &^ 3
+		m.MustStore(addr, val)
+		shadow[addr] = val
+		// Validate a sample of previously written addresses.
+		n := 0
+		for a, want := range shadow {
+			if m.MustLoad(a) != want {
+				return false
+			}
+			if n++; n > 8 {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

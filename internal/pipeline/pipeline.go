@@ -1,0 +1,901 @@
+// Package pipeline is the cycle-level timing simulator of the paper's
+// base processor (Section 5.1): an 8-wide, 128-entry-window out-of-order
+// core with a 5-cycle front end, a 128-entry load/store scheduler with
+// naive memory dependence speculation, the Section 5.1 functional-unit
+// latencies and memory hierarchy, and the combined branch predictor —
+// plus the integrated cloaking/bypassing mechanism of Section 5.6.
+//
+// # Model
+//
+// The simulator executes the program functionally in order (reusing the
+// architectural simulator in internal/funcsim as the oracle) and computes
+// timing with a dataflow model: every dynamic instruction receives a
+// fetch slot (width-limited, redirected on mispredictions), enters the
+// window when an entry frees, begins execution when its operands, an
+// issue slot and (for memory operations) a scheduler port are available,
+// and completes after its class latency or memory access time. Register
+// values carry (ready, verify) timestamps so value-speculative chains can
+// be gated exactly as Section 5.6.1 describes: speculation in a register
+// dependence chain resolves as soon as its inputs resolve, and branches
+// with value-speculative inputs do not resolve (and thus cannot redirect
+// the front end) until their inputs verify.
+//
+// Value misspeculation recovery follows the paper's two models:
+// selective invalidation re-executes only dependent instructions — in
+// dataflow-timing terms, the mispredicted load's result simply becomes
+// available at its verification time, which is the behaviour the paper
+// measured as equivalent to an oracle that never speculates wrongly —
+// and squash invalidation restarts fetch after the mispredicted load.
+package pipeline
+
+import (
+	"fmt"
+
+	"rarpred/internal/bpred"
+	"rarpred/internal/cache"
+	"rarpred/internal/cloak"
+	"rarpred/internal/funcsim"
+	"rarpred/internal/isa"
+)
+
+// MemSpecPolicy selects how loads are scheduled against earlier stores.
+type MemSpecPolicy uint8
+
+const (
+	// NaiveSpec is the paper's baseline (Section 5.1, after [14]): a load
+	// may access memory even when preceding store addresses are unknown;
+	// it waits for stores *known* to conflict; stores post addresses and
+	// data out of order. A later-arriving conflicting store address
+	// squashes from the load.
+	NaiveSpec MemSpecPolicy = iota
+
+	// NoSpec makes loads wait until all preceding store addresses are
+	// known (the Figure 10 baseline).
+	NoSpec
+
+	// StoreSets is Chrysos & Emer's store-set predictor (ISCA-25, the
+	// paper's reference [5]): loads that were caught violating against a
+	// store are placed in that store's set and thereafter wait for the
+	// set's last store before issuing.
+	StoreSets
+)
+
+// String names the policy.
+func (p MemSpecPolicy) String() string {
+	switch p {
+	case NaiveSpec:
+		return "naive"
+	case NoSpec:
+		return "no-speculation"
+	}
+	return "store-sets"
+}
+
+// RecoveryPolicy selects value-misspeculation handling (Section 5.6.2).
+type RecoveryPolicy uint8
+
+const (
+	// Selective re-executes only the instructions that used a wrong
+	// value.
+	Selective RecoveryPolicy = iota
+	// Squash invalidates everything from the mispeculated instruction
+	// and re-fetches.
+	Squash
+	// Oracle never speculates when speculation would be wrong — the
+	// comparison point the paper uses to argue selective invalidation is
+	// sufficient ("selective invalidation offers performance similar to
+	// such a mechanism", Section 5.6.1).
+	Oracle
+)
+
+// String names the policy.
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case Selective:
+		return "selective"
+	case Squash:
+		return "squash"
+	}
+	return "oracle"
+}
+
+// Config parameterises one timing run.
+type Config struct {
+	// Width is fetch/issue/commit width (8 in the paper).
+	Width int
+	// WindowSize is the instruction window / re-order buffer (128).
+	WindowSize int
+	// LSQSize is the load/store scheduler capacity (128).
+	LSQSize int
+	// MemPorts bounds loads+stores scheduled per cycle (4).
+	MemPorts int
+	// FrontEndDepth is fetch-to-rename latency (5).
+	FrontEndDepth int
+
+	MemSpec  MemSpecPolicy
+	Recovery RecoveryPolicy
+
+	// Cloak enables cloaking/bypassing with the given configuration; nil
+	// runs the base processor.
+	Cloak *cloak.Config
+	// Bypassing links consumers of predicted loads directly to the
+	// producer's value (Section 3.2), saving the propagation cycle.
+	Bypassing bool
+
+	// MaxInsts bounds the run (0 = run to completion).
+	MaxInsts uint64
+
+	// SampleRatio enables the paper's sampling methodology (Table 5.1's
+	// "SR" column): simulate ObservationSize instructions in timing mode,
+	// then SampleRatio*ObservationSize instructions functionally — during
+	// which the I-cache, D-cache, branch predictors and cloaking tables
+	// keep training, exactly as Section 5.1 describes — and repeat.
+	// 0 disables sampling (every instruction is timed).
+	SampleRatio int
+
+	// ObservationSize is the timing-phase length when sampling (default
+	// 50,000 instructions, the paper's observation size).
+	ObservationSize uint64
+}
+
+// DefaultConfig is the Section 5.1 base processor.
+func DefaultConfig() Config {
+	return Config{
+		Width:         8,
+		WindowSize:    128,
+		LSQSize:       128,
+		MemPorts:      4,
+		FrontEndDepth: 5,
+		MemSpec:       NaiveSpec,
+		Recovery:      Selective,
+	}
+}
+
+// Result carries the timing outcome and diagnostic statistics.
+type Result struct {
+	Cycles uint64
+	Insts  uint64
+
+	Branches          uint64
+	BranchMispredicts uint64
+	MemViolations     uint64 // memory-order squashes (naive speculation)
+	StoreForwards     uint64
+
+	// Cloaking statistics (zero when Cloak == nil).
+	SpecUsed    uint64 // loads that obtained a speculative value
+	SpecCorrect uint64
+	SpecWrong   uint64
+	SpecSkipped uint64 // oracle recovery: wrong values never used
+	SpecRAW     uint64 // correct values produced by stores
+	SpecRAR     uint64 // correct values produced by loads
+
+	L1DMissRate float64
+	L1IMissRate float64
+	BranchAcc   float64
+
+	// TimedInsts counts instructions simulated in timing mode (equal to
+	// Insts unless sampling is enabled).
+	TimedInsts uint64
+}
+
+// IPC returns committed instructions per cycle over the timed phases.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TimedInsts) / float64(r.Cycles)
+}
+
+// EstimatedCycles extrapolates whole-program cycles from the timed
+// samples (Cycles itself when sampling is off).
+func (r Result) EstimatedCycles() uint64 {
+	if r.TimedInsts == 0 || r.TimedInsts == r.Insts {
+		return r.Cycles
+	}
+	return uint64(float64(r.Cycles) * float64(r.Insts) / float64(r.TimedInsts))
+}
+
+// slotCounter allocates per-cycle resource slots (issue width, memory
+// ports, commit width) with a lazily-reset ring.
+type slotCounter struct {
+	cycle []uint64
+	count []uint16
+	limit uint16
+}
+
+func newSlotCounter(limit, ring int) *slotCounter {
+	return &slotCounter{cycle: make([]uint64, ring), count: make([]uint16, ring), limit: uint16(limit)}
+}
+
+// reserve returns the first cycle >= t with a free slot and takes it.
+func (s *slotCounter) reserve(t uint64) uint64 {
+	for {
+		i := t % uint64(len(s.cycle))
+		if s.cycle[i] != t {
+			s.cycle[i] = t
+			s.count[i] = 0
+		}
+		if s.count[i] < s.limit {
+			s.count[i]++
+			return t
+		}
+		t++
+	}
+}
+
+// regState is the timing state of one architectural register.
+type regState struct {
+	ready  uint64 // cycle the value is available to dependents
+	verify uint64 // cycle the value is non-speculative (>= ready)
+}
+
+// storeRec tracks an in-flight store for memory dependence scheduling.
+type storeRec struct {
+	pc        uint32
+	addr      uint32
+	addrReady uint64
+	dataReady uint64
+	seq       uint64
+}
+
+// storeSetTable is the Chrysos/Emer predictor state: the store-set id
+// table (SSIT, PC indexed) and the last-fetched-store table (LFST, set
+// indexed).
+type storeSetTable struct {
+	ssit   map[uint32]uint32
+	lfst   map[uint32]storeRec
+	nextID uint32
+}
+
+func newStoreSetTable() *storeSetTable {
+	return &storeSetTable{ssit: make(map[uint32]uint32), lfst: make(map[uint32]storeRec)}
+}
+
+// lastStore returns the set's last store for a load PC, if the load has
+// an assigned set with a recorded store.
+func (t *storeSetTable) lastStore(loadPC uint32) (storeRec, bool) {
+	id, ok := t.ssit[loadPC>>2]
+	if !ok {
+		return storeRec{}, false
+	}
+	rec, ok := t.lfst[id]
+	return rec, ok
+}
+
+// recordStore notes a dispatched store in its set's LFST slot.
+func (t *storeSetTable) recordStore(rec storeRec) {
+	if id, ok := t.ssit[rec.pc>>2]; ok {
+		t.lfst[id] = rec
+	}
+}
+
+// train assigns the violating (store PC, load PC) pair to a common set,
+// using the Chrysos/Emer merge rule (both keep the smaller id).
+func (t *storeSetTable) train(storePC, loadPC uint32) {
+	sk, lk := storePC>>2, loadPC>>2
+	sid, sok := t.ssit[sk]
+	lid, lok := t.ssit[lk]
+	switch {
+	case !sok && !lok:
+		t.nextID++
+		t.ssit[sk], t.ssit[lk] = t.nextID, t.nextID
+	case sok && !lok:
+		t.ssit[lk] = sid
+	case !sok && lok:
+		t.ssit[sk] = lid
+	case sid != lid:
+		if sid < lid {
+			t.ssit[lk] = sid
+		} else {
+			t.ssit[sk] = lid
+		}
+	}
+}
+
+// Sim runs timing simulations. Create with New; one Sim per program run.
+type Sim struct {
+	cfg  Config
+	arch *funcsim.Sim
+	mem  *cache.Hierarchy
+	bp   *bpred.Predictor
+
+	engine *cloak.Engine
+	// srt is the Synonym Rename Table: in this timing model the "tag"
+	// installed for a synonym is the producer's value-ready cycle, which
+	// is exactly what a consumer resolving through the tag would observe.
+	srt *cloak.SRT
+
+	regs [isa.NumRegs]regState
+
+	issue   *slotCounter
+	ports   *slotCounter
+	commits *slotCounter
+
+	nextFetch      uint64 // earliest cycle the next instruction can fetch
+	fetchCount     uint16 // instructions fetched in nextFetch's cycle
+	lastFetchBlock uint32
+
+	commitRing []uint64 // commit time of the last WindowSize instructions
+	lsqRing    []uint64 // commit time of the last LSQSize memory operations
+	memOps     uint64
+	lastCommit uint64
+
+	stores    []storeRec // ring of the last LSQSize stores
+	storeHead int
+	ssets     *storeSetTable
+	seq       uint64
+
+	res Result
+
+	// per-step scratch, filled by funcsim observers
+	memEv    funcsim.MemEvent
+	sawLoad  bool
+	sawStore bool
+}
+
+// New prepares a timing simulation of prog.
+func New(prog *isa.Program, cfg Config) *Sim {
+	s := &Sim{
+		cfg:            cfg,
+		arch:           funcsim.New(prog),
+		mem:            cache.NewHierarchy(),
+		bp:             bpred.New(bpred.DefaultConfig()),
+		issue:          newSlotCounter(cfg.Width, 1<<14),
+		ports:          newSlotCounter(cfg.MemPorts, 1<<14),
+		commits:        newSlotCounter(cfg.Width, 1<<14),
+		commitRing:     make([]uint64, cfg.WindowSize),
+		lsqRing:        make([]uint64, cfg.LSQSize),
+		stores:         make([]storeRec, 0, cfg.LSQSize),
+		lastFetchBlock: ^uint32(0),
+	}
+	if cfg.Cloak != nil {
+		s.engine = cloak.New(*cfg.Cloak)
+		s.srt = cloak.NewSRT(0, 0)
+	}
+	if cfg.MemSpec == StoreSets {
+		s.ssets = newStoreSetTable()
+	}
+	s.arch.OnLoad = func(e funcsim.MemEvent) { s.memEv = e; s.sawLoad = true }
+	s.arch.OnStore = func(e funcsim.MemEvent) { s.memEv = e; s.sawStore = true }
+	return s
+}
+
+// Run simulates to completion (or cfg.MaxInsts) and returns the result.
+func (s *Sim) Run() (Result, error) {
+	obs := s.cfg.ObservationSize
+	if obs == 0 {
+		obs = 50_000
+	}
+	var phaseLeft uint64
+	timingPhase := true
+	if s.cfg.SampleRatio > 0 {
+		phaseLeft = obs
+	}
+	for !s.arch.Halted {
+		if s.cfg.MaxInsts != 0 && s.res.Insts >= s.cfg.MaxInsts {
+			break
+		}
+		if s.cfg.SampleRatio > 0 && phaseLeft == 0 {
+			if timingPhase {
+				timingPhase = false
+				phaseLeft = obs * uint64(s.cfg.SampleRatio)
+			} else {
+				timingPhase = true
+				phaseLeft = obs
+				// Re-enter timing with a quiet machine: stale register
+				// timestamps from the previous sample are all in the past.
+				s.redirect(s.lastCommit)
+			}
+		}
+		var err error
+		if timingPhase {
+			err = s.step()
+		} else {
+			err = s.stepFunctional()
+		}
+		if err != nil {
+			return s.res, err
+		}
+		if s.cfg.SampleRatio > 0 {
+			phaseLeft--
+		}
+	}
+	s.res.Cycles = s.lastCommit
+	s.res.Insts = s.arch.Counts.Insts
+	s.res.L1DMissRate = s.mem.L1D.MissRate()
+	s.res.L1IMissRate = s.mem.L1I.MissRate()
+	s.res.BranchAcc = s.bp.Accuracy()
+	return s.res, nil
+}
+
+// stepFunctional executes one instruction in functional-simulation mode:
+// no cycles pass, but the caches, branch predictors and cloaking tables
+// observe the instruction (the paper's functional-sampling semantics).
+func (s *Sim) stepFunctional() error {
+	pc := s.arch.PC
+	in, ok := s.arch.Prog.InstAt(pc)
+	if !ok {
+		return fmt.Errorf("pipeline: PC 0x%08x outside text", pc)
+	}
+	// I-cache training, one access per fetch block.
+	if block := pc &^ 15; block != s.lastFetchBlock {
+		s.lastFetchBlock = block
+		s.mem.FetchLatency(pc)
+	}
+	s.sawLoad, s.sawStore = false, false
+	if err := s.arch.Step(); err != nil {
+		return err
+	}
+	nextPC := s.arch.PC
+
+	switch {
+	case s.sawLoad:
+		s.mem.LoadLatency(s.memEv.Addr)
+		if s.engine != nil {
+			s.engineLoad(s.memEv, s.lastCommit)
+		}
+	case s.sawStore:
+		s.mem.StoreLatency(s.memEv.Addr, s.lastCommit)
+		if s.engine != nil {
+			if pred, ok := s.engine.DPNT().Lookup(s.memEv.PC); ok && pred.Producer {
+				s.srt.Install(pred.Synonym, s.lastCommit, s.seq)
+			}
+			s.engine.Store(s.memEv.PC, s.memEv.Addr, s.memEv.Value)
+		}
+	case in.IsBranch():
+		taken := nextPC != pc+4
+		predTaken := s.bp.PredictDirection(pc)
+		s.bp.UpdateDirection(pc, taken, predTaken)
+	case in.Op == isa.OpJal, in.Op == isa.OpJalr:
+		s.bp.PushReturn(pc + 4)
+		if in.Op == isa.OpJalr {
+			s.bp.UpdateIndirect(pc, nextPC)
+		}
+	case in.Op == isa.OpJr:
+		if in.IsReturn() {
+			s.bp.PopReturn()
+		} else {
+			s.bp.UpdateIndirect(pc, nextPC)
+		}
+	}
+	s.seq++
+	s.res.Insts++
+	return nil
+}
+
+// fetchSlot assigns the fetch cycle for the next instruction, honouring
+// width and I-cache latency.
+func (s *Sim) fetchSlot(pc uint32) uint64 {
+	// I-cache: charge extra latency when a fetch block misses.
+	block := pc &^ 15
+	if block != s.lastFetchBlock {
+		s.lastFetchBlock = block
+		if lat := s.mem.FetchLatency(pc); lat > 2 {
+			s.nextFetch += uint64(lat - 2)
+			s.fetchCount = 0
+		}
+	}
+	if s.fetchCount >= uint16(s.cfg.Width) {
+		s.nextFetch++
+		s.fetchCount = 0
+	}
+	s.fetchCount++
+	return s.nextFetch
+}
+
+// redirect restarts fetch at the given cycle (branch mispredict, squash).
+func (s *Sim) redirect(at uint64) {
+	if at+1 > s.nextFetch {
+		s.nextFetch = at + 1
+		s.fetchCount = 0
+		s.lastFetchBlock = ^uint32(0)
+	}
+}
+
+// windowEntry returns the cycle the instruction can occupy a window slot.
+func (s *Sim) windowEntry(decode uint64) uint64 {
+	// The entry used WindowSize instructions ago must have committed.
+	idx := int(s.seq) % s.cfg.WindowSize
+	free := s.commitRing[idx]
+	if decode < free {
+		return free
+	}
+	return decode
+}
+
+// lsqEntry additionally gates memory operations on a free load/store
+// scheduler slot: the entry used LSQSize memory operations ago must have
+// committed.
+func (s *Sim) lsqEntry(entry uint64) uint64 {
+	idx := int(s.memOps) % s.cfg.LSQSize
+	if free := s.lsqRing[idx]; entry < free {
+		entry = free
+	}
+	return entry
+}
+
+// retireMemOp records a memory operation's commit time in the LSQ ring.
+// commitAt is an upper bound set at issue time; exact commit times are
+// only known later, so the ring stores the instruction's completion,
+// which commit can never precede.
+func (s *Sim) retireMemOp(done uint64) {
+	s.lsqRing[int(s.memOps)%s.cfg.LSQSize] = done + 1
+	s.memOps++
+}
+
+// opTimes returns the max ready and verify times over the source regs.
+func (s *Sim) opTimes(in isa.Inst) (ready, verify uint64) {
+	var buf [3]isa.Reg
+	for _, r := range in.Sources(buf[:0]) {
+		if r == isa.R0 {
+			continue
+		}
+		if s.regs[r].ready > ready {
+			ready = s.regs[r].ready
+		}
+		if s.regs[r].verify > verify {
+			verify = s.regs[r].verify
+		}
+	}
+	return
+}
+
+// setDest records the destination register's timing.
+func (s *Sim) setDest(in isa.Inst, ready, verify uint64) {
+	if d, ok := in.Dest(); ok {
+		s.regs[d] = regState{ready: ready, verify: verify}
+	}
+}
+
+// priorStoreScan finds the latest earlier store to addr and the latest
+// address-ready time over all earlier stores still in the scheduler.
+func (s *Sim) priorStoreScan(addr uint32) (conflict *storeRec, maxAddrReady uint64) {
+	for i := range s.stores {
+		st := &s.stores[i]
+		if st.addrReady > maxAddrReady {
+			maxAddrReady = st.addrReady
+		}
+		if st.addr == addr && (conflict == nil || st.seq > conflict.seq) {
+			conflict = st
+		}
+	}
+	return
+}
+
+// recordStore inserts a store into the scheduler ring.
+func (s *Sim) recordStore(rec storeRec) {
+	if len(s.stores) < s.cfg.LSQSize {
+		s.stores = append(s.stores, rec)
+		return
+	}
+	s.stores[s.storeHead] = rec
+	s.storeHead = (s.storeHead + 1) % s.cfg.LSQSize
+}
+
+// step processes one dynamic instruction: functional execution via the
+// oracle, then timing.
+func (s *Sim) step() error {
+	pc := s.arch.PC
+	in, ok := s.arch.Prog.InstAt(pc)
+	if !ok {
+		return fmt.Errorf("pipeline: PC 0x%08x outside text", pc)
+	}
+
+	// --- Front end ---
+	fetch := s.fetchSlot(pc)
+	decode := fetch + uint64(s.cfg.FrontEndDepth)
+	entry := s.windowEntry(decode)
+
+	// --- Functional execution (oracle) ---
+	s.sawLoad, s.sawStore = false, false
+	prevPC := pc
+	if err := s.arch.Step(); err != nil {
+		return err
+	}
+	nextPC := s.arch.PC
+	_ = prevPC
+
+	// --- Timing by class ---
+	opReady, opVerify := s.opTimes(in)
+	var done, verify uint64
+
+	switch {
+	case in.IsLoad():
+		done, verify = s.timeLoad(in, entry, opReady, decode)
+	case in.IsStore():
+		s.timeStore(in, entry, decode)
+		done, verify = entry, opVerify // stores retire via the write buffer
+	case in.IsBranch():
+		done = s.issue.reserve(maxU64(entry, opReady)) + 1
+		// Control with value-speculative inputs cannot resolve until the
+		// inputs verify (Section 5.6.1).
+		resolve := maxU64(done, opVerify)
+		taken := nextPC != pc+4
+		predTaken := s.bp.PredictDirection(pc)
+		s.bp.UpdateDirection(pc, taken, predTaken)
+		s.res.Branches++
+		if predTaken != taken {
+			s.res.BranchMispredicts++
+			s.redirect(resolve)
+		}
+		verify = opVerify
+	case in.IsJump():
+		done = s.issue.reserve(maxU64(entry, opReady)) + 1
+		resolve := maxU64(done, opVerify)
+		switch in.Op {
+		case isa.OpJal:
+			s.bp.PushReturn(pc + 4)
+		case isa.OpJalr:
+			s.bp.PushReturn(pc + 4)
+			s.jumpIndirect(pc, nextPC, resolve)
+		case isa.OpJr:
+			if in.IsReturn() {
+				if s.bp.PopReturn() != nextPC {
+					s.res.BranchMispredicts++
+					s.redirect(resolve)
+				}
+			} else {
+				s.jumpIndirect(pc, nextPC, resolve)
+			}
+		}
+		s.setDest(in, done, opVerify)
+		verify = opVerify
+	case in.Op == isa.OpHalt:
+		done = entry
+		verify = opVerify
+	default: // ALU / FP
+		start := s.issue.reserve(maxU64(entry, opReady))
+		done = start + uint64(in.Op.Class().Latency())
+		verify = opVerify
+		s.setDest(in, done, verify)
+	}
+
+	if in.IsBranch() || in.Op == isa.OpHalt {
+		// no destination
+	} else if in.IsLoad() {
+		s.setDest(in, done, verify)
+	}
+
+	// The fetch unit delivers contiguous instructions: a taken control
+	// transfer ends the fetch group (the front end continues at the
+	// predicted target next cycle).
+	if in.IsControl() && nextPC != pc+4 {
+		if s.nextFetch <= fetch {
+			s.nextFetch = fetch + 1
+			s.fetchCount = 0
+		}
+	}
+
+	// --- Commit (in order, width-limited) ---
+	ct := maxU64(done+1, s.lastCommit)
+	ct = s.commits.reserve(ct)
+	if ct < s.lastCommit {
+		ct = s.lastCommit
+	}
+	s.lastCommit = ct
+	s.commitRing[int(s.seq)%s.cfg.WindowSize] = ct
+	s.seq++
+	s.res.Insts++
+	s.res.TimedInsts++
+	return nil
+}
+
+// jumpIndirect handles non-return indirect jump prediction.
+func (s *Sim) jumpIndirect(pc, target uint32, resolve uint64) {
+	if s.bp.PredictIndirect(pc) != target {
+		s.res.BranchMispredicts++
+		s.redirect(resolve)
+	}
+	s.bp.UpdateIndirect(pc, target)
+}
+
+// timeLoad computes a load's completion and verification times, handling
+// memory dependence speculation and cloaking.
+func (s *Sim) timeLoad(in isa.Inst, entry, opReady, decode uint64) (done, verify uint64) {
+	ev := s.memEv
+	entry = s.lsqEntry(entry)
+	addrReady := s.issue.reserve(maxU64(entry, opReady)) + 1 // agen
+	// One cycle through the load/store scheduler after agen, then a port.
+	port := s.ports.reserve(maxU64(addrReady+1, entry))
+
+	conflict, maxStoreAddr := s.priorStoreScan(ev.Addr)
+
+	memStart := port
+	violation := false
+	switch s.cfg.MemSpec {
+	case StoreSets:
+		// Wait for the predicted store set's last store, then behave like
+		// naive speculation; violations train the SSIT.
+		if pred, ok := s.ssets.lastStore(ev.PC); ok {
+			if pred.addrReady > memStart {
+				memStart = pred.addrReady
+			}
+		}
+		if conflict != nil {
+			if conflict.addrReady <= memStart {
+				t := maxU64(memStart, conflict.dataReady)
+				s.res.StoreForwards++
+				done = t + 1
+			} else {
+				violation = true
+				s.res.MemViolations++
+				s.ssets.train(conflict.pc, ev.PC)
+				detect := conflict.addrReady
+				s.redirect(detect)
+				restart := detect + 1 + uint64(s.cfg.FrontEndDepth)
+				done = maxU64(restart, conflict.dataReady) + 1
+			}
+		}
+	case NoSpec:
+		// Wait for every earlier store address.
+		memStart = maxU64(memStart, maxStoreAddr)
+		if conflict != nil {
+			// Forward once data is ready.
+			t := maxU64(memStart, conflict.dataReady)
+			s.res.StoreForwards++
+			done = t + 1
+		}
+	case NaiveSpec:
+		if conflict != nil {
+			if conflict.addrReady <= memStart {
+				// Known conflict: wait and forward (rule 2).
+				t := maxU64(memStart, conflict.dataReady)
+				s.res.StoreForwards++
+				done = t + 1
+			} else {
+				// The load issued before the conflicting store posted its
+				// address: memory-order violation, squash from the load.
+				violation = true
+				s.res.MemViolations++
+				detect := conflict.addrReady
+				s.redirect(detect)
+				// Re-executed load: re-fetch through the front end, then
+				// forward from the store.
+				restart := detect + 1 + uint64(s.cfg.FrontEndDepth)
+				done = maxU64(restart, conflict.dataReady) + 1
+			}
+		}
+	}
+	if done == 0 {
+		// Plain cache access.
+		done = memStart + uint64(s.mem.LoadLatency(ev.Addr))
+	}
+	verify = done
+
+	// --- Cloaking: predicted consumer loads obtain a speculative value
+	// at decode; verification happens when the memory access completes.
+	if s.engine != nil && !violation {
+		done = s.cloakLoad(in, ev, decode, done)
+	} else if s.engine != nil {
+		// Keep the engine's tables in sync even on violations.
+		s.engineLoad(ev, done)
+	}
+	s.retireMemOp(verify)
+	return done, verify
+}
+
+// cloakLoad consults the cloaking engine for a load and returns the
+// load's effective result-availability time.
+func (s *Sim) cloakLoad(in isa.Inst, ev funcsim.MemEvent, decode, memDone uint64) uint64 {
+	// Capture the prediction and the SF timing before the engine mutates
+	// its state for this access.
+	var specReady uint64
+	var predicted bool
+	if pred, ok := s.engine.DPNT().Lookup(ev.PC); ok && pred.Consumer {
+		if t, ok2 := s.srt.Lookup(pred.Synonym); ok2 {
+			predicted = true
+			specReady = maxU64(decode+1, t)
+			if s.cfg.Bypassing {
+				// Consumers link directly to the producer (Section 3.2).
+				specReady = maxU64(decode, t)
+			}
+		}
+	}
+	out := s.engineLoad(ev, memDone)
+	if !predicted || !out.Used {
+		return memDone
+	}
+	if !out.Correct && s.cfg.Recovery == Oracle {
+		// The oracle declines to speculate; no value is used and no
+		// recovery is needed.
+		s.res.SpecSkipped++
+		return memDone
+	}
+	s.res.SpecUsed++
+	if out.Correct {
+		s.res.SpecCorrect++
+		if out.Kind == cloak.DepRAR {
+			s.res.SpecRAR++
+		} else {
+			s.res.SpecRAW++
+		}
+		if specReady < memDone {
+			return specReady
+		}
+		return memDone
+	}
+	// Value misspeculation.
+	s.res.SpecWrong++
+	if s.cfg.Recovery == Squash {
+		// Invalidate everything from the mispeculated use: restart fetch
+		// after verification.
+		s.redirect(memDone)
+	}
+	// Selective: dependents re-execute with the correct value, i.e. the
+	// result is simply available at verification time.
+	return memDone
+}
+
+// engineLoad feeds a committed load to the cloak engine and updates the
+// synonym timing table for producer loads.
+func (s *Sim) engineLoad(ev funcsim.MemEvent, valueTime uint64) cloak.LoadOutcome {
+	var syn uint32
+	var isProd bool
+	if pred, ok := s.engine.DPNT().Lookup(ev.PC); ok && pred.Producer {
+		syn, isProd = pred.Synonym, true
+	}
+	out := s.engine.Load(ev.PC, ev.Addr, ev.Value)
+	if isProd {
+		// The producing load deposits its value when its memory access
+		// completes ("the value has to be fetched from memory by the
+		// first load", Section 3.1).
+		s.srt.Install(syn, valueTime, s.seq)
+	}
+	return out
+}
+
+// timeStore computes a store's scheduling and records it for dependence
+// checks; stores complete into the write buffer at commit.
+func (s *Sim) timeStore(in isa.Inst, entry, decode uint64) {
+	ev := s.memEv
+	entry = s.lsqEntry(entry)
+	// Address generation needs the base register; data needs Rt. Stores
+	// post address and data independently (rules 3 and 4).
+	baseReady := s.regs[in.Rs].ready
+	dataReady := s.regs[in.Rt].ready
+	if in.Rs == isa.R0 {
+		baseReady = 0
+	}
+	if in.Rt == isa.R0 {
+		dataReady = 0
+	}
+	addrReady := s.issue.reserve(maxU64(entry, baseReady)) + 1
+	port := s.ports.reserve(maxU64(addrReady+1, entry))
+	_ = s.mem.StoreLatency(ev.Addr, port)
+
+	rec := storeRec{
+		pc:        ev.PC,
+		addr:      ev.Addr,
+		addrReady: port,
+		dataReady: maxU64(dataReady, port),
+		seq:       s.seq,
+	}
+	s.recordStore(rec)
+	s.retireMemOp(rec.dataReady)
+	if s.ssets != nil {
+		s.ssets.recordStore(rec)
+	}
+
+	if s.engine != nil {
+		// Producer stores deposit their value once the data is known.
+		if pred, ok := s.engine.DPNT().Lookup(ev.PC); ok && pred.Producer {
+			s.srt.Install(pred.Synonym, maxU64(decode+1, dataReady), s.seq)
+		}
+		s.engine.Store(ev.PC, ev.Addr, ev.Value)
+	}
+}
+
+// Engine exposes the cloaking engine (nil for base runs).
+func (s *Sim) Engine() *cloak.Engine { return s.engine }
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunProgram is a convenience wrapper: simulate prog under cfg.
+func RunProgram(prog *isa.Program, cfg Config) (Result, error) {
+	return New(prog, cfg).Run()
+}

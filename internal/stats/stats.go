@@ -1,0 +1,205 @@
+// Package stats provides the small statistical and table-rendering
+// utilities shared by the experiment harness: means, ratios and the
+// fixed-width tables the experiments print in the paper's row/column
+// layout.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"unicode/utf8"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean of xs. It returns 0 for an empty
+// slice and NaN if any element is zero or negative (harmonic mean is only
+// defined for positive values). The paper reports speedup averages with
+// the harmonic mean of normalized execution times ("HM Selective").
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// GeoMean returns the geometric mean of xs, or 0 for an empty slice, and
+// NaN if any element is negative.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x < 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Ratio returns num/den, or 0 when den is 0. It exists because almost
+// every metric in the evaluation is a fraction over executed loads and
+// short runs can legitimately have zero denominators.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Pct formats a fraction as a percentage with one decimal, e.g. "42.3%".
+func Pct(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+// Pct2 formats a fraction as a percentage with two decimals; used for
+// misspeculation rates, which the paper reports on a log scale down to
+// 0.10%.
+func Pct2(frac float64) string {
+	return fmt.Sprintf("%.2f%%", frac*100)
+}
+
+// Table accumulates rows of cells and renders them with aligned columns.
+// The zero value is ready for use.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rule appends a horizontal rule row.
+func (t *Table) Rule() {
+	t.rows = append(t.rows, nil)
+}
+
+// String renders the table with space-padded, left-aligned first column
+// and right-aligned remaining columns.
+func (t *Table) String() string {
+	ncols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < ncols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			pad := widths[i] - utf8.RuneCountInString(c)
+			if i == 0 {
+				sb.WriteString(c)
+				sb.WriteString(strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString("  ")
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	total := 0
+	for i, w := range widths {
+		total += w
+		if i > 0 {
+			total += 2
+		}
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		if r == nil {
+			sb.WriteString(strings.Repeat("-", total))
+			sb.WriteByte('\n')
+			continue
+		}
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Bar renders a horizontal bar for a fraction of full scale, using eighth
+// blocks for sub-character resolution — the experiments print them next
+// to the numbers so figures read as figures. Negative fractions render a
+// left-pointing bar prefixed with '-'.
+func Bar(frac float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	neg := frac < 0
+	if neg {
+		frac = -frac
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	eighths := int(frac*float64(width)*8 + 0.5)
+	full := eighths / 8
+	rem := eighths % 8
+	var sb strings.Builder
+	if neg {
+		sb.WriteByte('-')
+	}
+	for i := 0; i < full; i++ {
+		sb.WriteRune('█')
+	}
+	if rem > 0 {
+		sb.WriteRune([]rune(" ▏▎▍▌▋▊▉")[rem])
+	}
+	return sb.String()
+}

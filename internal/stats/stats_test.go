@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if HarmonicMean(nil) != 0 {
+		t.Error("empty harmonic mean")
+	}
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("HM = %v", got)
+	}
+	got := HarmonicMean([]float64{2, 4})
+	if math.Abs(got-8.0/3.0) > 1e-12 {
+		t.Errorf("HM(2,4) = %v", got)
+	}
+	if !math.IsNaN(HarmonicMean([]float64{1, 0})) {
+		t.Error("HM with zero should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("GM(2,8) = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if !math.IsNaN(GeoMean([]float64{-1, 2})) {
+		t.Error("GM with negative should be NaN")
+	}
+}
+
+// TestQuickMeanOrdering: HM <= GM <= AM for positive inputs.
+func TestQuickMeanOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+		}
+		hm, gm, am := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		const eps = 1e-9
+		return hm <= gm+eps && gm <= am+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("zero denominator")
+	}
+	if Ratio(1, 4) != 0.25 {
+		t.Error("ratio")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.4232) != "42.3%" {
+		t.Errorf("Pct = %q", Pct(0.4232))
+	}
+	if Pct2(0.0035) != "0.35%" {
+		t.Errorf("Pct2 = %q", Pct2(0.0035))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("prog", "cov", "misp")
+	tb.Row("go", 12.5, "2.00%")
+	tb.Rule()
+	tb.Row("mean", 10.0, "1.00%")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "prog") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "12.50") {
+		t.Errorf("float formatting: %q", lines[2])
+	}
+	// All rendered rows share one width.
+	w := len(lines[0])
+	for _, l := range lines[1:] {
+		if len(l) > w+2 {
+			t.Errorf("ragged table: %q vs header %q", l, lines[0])
+		}
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	var tb Table
+	tb.Row("a", "b")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("headerless table has a rule:\n%s", out)
+	}
+	if !strings.Contains(out, "a") {
+		t.Errorf("missing row:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0, 10) != "" {
+		t.Errorf("zero bar = %q", Bar(0, 10))
+	}
+	if got := Bar(1, 4); got != "████" {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := Bar(0.5, 4); got != "██" {
+		t.Errorf("half bar = %q", got)
+	}
+	if got := Bar(-0.5, 4); got != "-██" {
+		t.Errorf("negative bar = %q", got)
+	}
+	if got := Bar(2.0, 2); got != "██" {
+		t.Errorf("clamped bar = %q", got)
+	}
+	if Bar(0.5, 0) != "" {
+		t.Error("zero width")
+	}
+	// Sub-character resolution: 1/8 of one cell.
+	if got := Bar(0.125, 1); got != "▏" {
+		t.Errorf("eighth bar = %q", got)
+	}
+}

@@ -1,0 +1,64 @@
+// Package vpred implements the last-value load value predictor used as
+// the comparison point in Section 5.5 of the paper (Lipasti, Wilkerson &
+// Shen's load value prediction, in its last-value form).
+//
+// The paper simulates a fully-associative, 16K-entry last-value predictor
+// and measures which loads it predicts correctly versus which loads
+// cloaking/bypassing covers.
+package vpred
+
+import "rarpred/internal/container"
+
+// DefaultEntries is the predictor size used in Section 5.5.
+const DefaultEntries = 16384
+
+// LastValue is a PC-indexed, fully-associative, LRU-replaced last-value
+// predictor. Construct with NewLastValue.
+type LastValue struct {
+	table *container.LRU[uint32]
+
+	lookups uint64
+	hits    uint64 // entry resident
+	correct uint64 // resident and value matched
+}
+
+// NewLastValue returns a predictor with the given capacity (0 =
+// unbounded).
+func NewLastValue(capacity int) *LastValue {
+	return &LastValue{table: container.NewLRU[uint32](capacity)}
+}
+
+// Access performs one predict-and-train step for a committed load:
+// it predicts the load's value from the table, compares against the
+// actual value, then trains the entry with the actual value.
+// predicted reports that an entry was resident; correct reports that the
+// predicted value matched.
+func (p *LastValue) Access(pc, value uint32) (predicted, correct bool) {
+	p.lookups++
+	e, inserted := p.table.GetOrInsert(pc >> 2)
+	if !inserted {
+		predicted = true
+		correct = *e == value
+		p.hits++
+		if correct {
+			p.correct++
+		}
+	}
+	*e = value
+	return predicted, correct
+}
+
+// Predict returns the value the predictor would supply for pc without
+// training, and whether an entry is resident.
+func (p *LastValue) Predict(pc uint32) (uint32, bool) {
+	e := p.table.Peek(pc >> 2)
+	if e == nil {
+		return 0, false
+	}
+	return *e, true
+}
+
+// Stats returns (lookups, resident-hits, correct predictions).
+func (p *LastValue) Stats() (lookups, hits, correct uint64) {
+	return p.lookups, p.hits, p.correct
+}

@@ -1,0 +1,89 @@
+package vpred
+
+import "testing"
+
+func TestFirstAccessNotPredicted(t *testing.T) {
+	p := NewLastValue(16)
+	predicted, _ := p.Access(4, 10)
+	if predicted {
+		t.Error("cold entry predicted")
+	}
+}
+
+func TestLastValueRepeats(t *testing.T) {
+	p := NewLastValue(16)
+	p.Access(4, 10)
+	predicted, correct := p.Access(4, 10)
+	if !predicted || !correct {
+		t.Errorf("repeat value: predicted=%v correct=%v", predicted, correct)
+	}
+	predicted, correct = p.Access(4, 11)
+	if !predicted || correct {
+		t.Errorf("changed value: predicted=%v correct=%v", predicted, correct)
+	}
+	// Trains to the new value.
+	_, correct = p.Access(4, 11)
+	if !correct {
+		t.Error("did not train to the new value")
+	}
+}
+
+func TestSeparatePCs(t *testing.T) {
+	p := NewLastValue(16)
+	p.Access(4, 10)
+	p.Access(8, 20)
+	if _, correct := p.Access(4, 10); !correct {
+		t.Error("pc 4 lost its value")
+	}
+	if _, correct := p.Access(8, 20); !correct {
+		t.Error("pc 8 lost its value")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	p := NewLastValue(2)
+	p.Access(4, 1)
+	p.Access(8, 2)
+	p.Access(12, 3) // evicts pc 4
+	if predicted, _ := p.Access(4, 1); predicted {
+		t.Error("evicted entry still predicted")
+	}
+}
+
+func TestPredictDoesNotTrain(t *testing.T) {
+	p := NewLastValue(16)
+	p.Access(4, 10)
+	if v, ok := p.Predict(4); !ok || v != 10 {
+		t.Errorf("Predict = %d, %v", v, ok)
+	}
+	if _, ok := p.Predict(8); ok {
+		t.Error("Predict invented an entry")
+	}
+	// Predict must not have trained pc 8.
+	if predicted, _ := p.Access(8, 5); predicted {
+		t.Error("Predict allocated an entry")
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := NewLastValue(16)
+	p.Access(4, 10) // miss
+	p.Access(4, 10) // hit correct
+	p.Access(4, 11) // hit wrong
+	lookups, hits, correct := p.Stats()
+	if lookups != 3 || hits != 2 || correct != 1 {
+		t.Errorf("stats = %d %d %d", lookups, hits, correct)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewLastValue(0)
+	for i := uint32(0); i < 1000; i++ {
+		p.Access(i*4, i)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if _, correct := p.Access(i*4, i); !correct {
+			t.Fatalf("pc %d lost value in unbounded predictor", i*4)
+		}
+	}
+}

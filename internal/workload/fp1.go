@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"fmt"
+
+	"rarpred/internal/isa"
+)
+
+func init() {
+	register(Workload{
+		Name:   "tom_like",
+		Abbrev: "tom",
+		Analog: "101.tomcatv",
+		Class:  FP,
+		Description: "2D mesh relaxation: a 5-point Jacobi sweep whose neighbour " +
+			"loads re-read each element across iterations (RAR), relaxation " +
+			"coefficients re-loaded twice per point (covered RAR), per-row " +
+			"residual read-modify-writes (RAW)",
+		build: buildTomLike,
+	})
+	register(Workload{
+		Name:   "swm_like",
+		Abbrev: "swm",
+		Analog: "102.swim",
+		Class:  FP,
+		Description: "shallow-water model: three field arrays read through " +
+			"overlapping stencils into disjoint new fields (RAR-dominant), " +
+			"with physics constants re-loaded by each flux term (covered RAR)",
+		build: buildSwmLike,
+	})
+	register(Workload{
+		Name:   "su2_like",
+		Abbrev: "su2",
+		Analog: "103.su2cor",
+		Class:  FP,
+		Description: "lattice propagator: complex multiply-accumulate where each " +
+			"lattice element is loaded as right operand and re-loaded as the " +
+			"next element's left operand (RAR), coupling constants re-read " +
+			"(covered RAR)",
+		build: buildSu2Like,
+	})
+}
+
+// fpConstPrologue sets up f28 = 0.25 and f29 = 0.5 without any FP data.
+const fpConstPrologue = `
+        li   r1, 1
+        fcvt.w.s f30, r1
+        li   r1, 4
+        fcvt.w.s f27, r1
+        fdiv f28, f30, f27          # 0.25
+        li   r1, 2
+        fcvt.w.s f27, r1
+        fdiv f29, f30, f27          # 0.5
+`
+
+// buildTomLike emits the 101.tomcatv analog: Jacobi relaxation on a 64x64
+// mesh, ping-ponging between two grids. Per point: five neighbour loads
+// (cross-iteration RAR, mostly mispredicted — they feed the Figure 2
+// locality and Figure 6 non-adaptive misspeculation streams), two reloads
+// of the long-lived relaxation coefficients rx/ry (adjacent same-address
+// RAR: the covered stream), and a per-row residual RMW (covered RAW).
+func buildTomLike(n int) *isa.Program {
+	sweeps := scaled(18, n)
+	grid := floatWords(0x5EED0101, 4096, 97, 0.125)
+	src := fmt.Sprintf(`
+        .data
+%s
+gb:     .space 4096
+resid:  .space 64
+coef:   .float 0.23, 0.27           # rx, ry: long-lived, never written
+        .text
+main:   %s
+        li   r22, %d                # sweeps
+        la   r16, ga
+        la   r17, gb
+        la   r18, coef
+sweep:  li   r9, 1                  # j = 1..62
+jloop:  slli r1, r9, 8
+        add  r2, r16, r1            # src row
+        add  r3, r17, r1            # dst row
+        la   r4, resid
+        slli r5, r9, 2
+        add  r4, r4, r5             # &resid[j]
+        li   r10, 1                 # i = 1..62
+iloop:  slli r5, r10, 2
+        add  r6, r2, r5             # &src[j][i]
+        flw  f1, -4(r6)             # west   (cross-iteration RAR)
+        flw  f2, 0(r6)              # centre
+        flw  f3, 4(r6)              # east
+        flw  f4, -256(r6)           # north  (row-distance RAR)
+        flw  f5, 256(r6)            # south
+        flw  f10, 0(r18)            # rx: first reader
+        flw  f11, 0(r18)            # rx again: adjacent RAR, always correct
+        flw  f12, 4(r18)            # ry: first reader
+        flw  f13, 4(r18)            # ry again: adjacent RAR
+        fadd f6, f1, f3
+        fmul f6, f6, f10
+        fadd f7, f4, f5
+        fmul f7, f7, f12
+        fadd f6, f6, f7
+        fmul f11, f11, f13
+        fadd f6, f6, f11
+        fmul f6, f6, f28
+        fadd f6, f6, f2
+        fmul f6, f6, f29
+        add  r7, r3, r5
+        fsw  f6, 0(r7)              # dst (disjoint array)
+        flw  f8, 0(r4)              # row residual: RMW (covered RAW)
+        fadd f8, f8, f6
+        fsw  f8, 0(r4)
+        addi r10, r10, 1
+        li   r5, 63
+        bne  r10, r5, iloop
+        addi r9, r9, 1
+        li   r5, 63
+        bne  r9, r5, jloop
+        # convergence norm: the checker re-reads the fresh grid in pairs;
+        # each element is read as the right operand and re-read next
+        # iteration as the left (1:1 RAR on varying data — the stream
+        # cloaking covers but last-value prediction cannot)
+        li   r10, 0
+        li   r9, 4094
+norm:   slli r5, r10, 2
+        add  r6, r17, r5
+        flw  f1, 0(r6)              # b[m]   (consumer of last iter's read)
+        flw  f2, 4(r6)              # b[m+1] (producer for next iter)
+        fsub f1, f1, f2
+        fmul f1, f1, f1
+        fadd f20, f20, f1
+        addi r10, r10, 1
+        bne  r10, r9, norm
+        mv   r5, r16                # ping-pong the grids
+        mv   r16, r17
+        mv   r17, r5
+        addi r22, r22, -1
+        bne  r22, r0, sweep
+        halt
+`, wordsDirective("ga", grid), fpConstPrologue, sweeps)
+	return mustBuild("tom_like", src)
+}
+
+// buildSwmLike emits the 102.swim analog: three 64x64 fields (u, v, p)
+// advanced into three new fields. Each point reads overlapping stencils
+// from all three source fields (RAR between the terms' static loads) and
+// reloads the physics constants per flux term (covered RAR).
+func buildSwmLike(n int) *isa.Program {
+	sweeps := scaled(9, n)
+	u := floatWords(0x5EED0102, 4096, 89, 0.0625)
+	v := floatWords(0x5EED0103, 4096, 89, 0.0625)
+	p := floatWords(0x5EED0104, 4096, 89, 0.25)
+	src := fmt.Sprintf(`
+        .data
+%s
+%s
+%s
+un:     .space 4096
+vn:     .space 4096
+pn:     .space 4096
+phys:   .float 0.9, 0.03, 4.7       # gravity, dt, fsdx: long-lived
+        .text
+main:   %s
+        li   r22, %d
+        la   r18, phys
+        la   r12, u
+        la   r13, v
+        la   r14, p
+        la   r24, un
+        la   r25, vn
+        la   r26, pn
+sweep:  li   r9, 1                  # j = 1..62
+jloop:  slli r1, r9, 8
+        li   r10, 1                 # i = 1..62
+iloop:  slli r5, r10, 2
+        add  r6, r1, r5             # word offset of (j,i)
+        add  r2, r12, r6
+        add  r3, r13, r6
+        add  r4, r14, r6
+        # u-momentum: reads u east/west, p east/west, v centre
+        flw  f1, -4(r2)             # u west
+        flw  f2, 4(r2)              # u east
+        flw  f3, -4(r4)             # p west
+        flw  f4, 4(r4)              # p east
+        flw  f5, 0(r3)              # v centre
+        flw  f10, 0(r18)            # gravity
+        flw  f11, 4(r18)            # dt
+        fsub f6, f2, f1
+        fsub f7, f4, f3
+        fmul f7, f7, f10
+        fadd f6, f6, f7
+        fmul f6, f6, f11
+        fadd f6, f6, f5
+        add  r7, r24, r6
+        fsw  f6, 0(r7)
+        # v-momentum: re-reads v centre (RAR with the u-term's read),
+        # p north/south, u centre
+        flw  f1, 0(r3)              # v centre again: near RAR
+        flw  f2, -256(r4)           # p north
+        flw  f3, 256(r4)            # p south
+        flw  f4, 0(r2)              # u centre
+        flw  f12, 0(r18)            # gravity again: covered RAR
+        flw  f13, 8(r18)            # fsdx
+        fsub f5, f3, f2
+        fmul f5, f5, f12
+        fmul f5, f5, f13
+        fadd f5, f5, f1
+        fadd f5, f5, f4
+        add  r7, r25, r6
+        fsw  f5, 0(r7)
+        # continuity: re-reads u west/east and v centre (RAR), dt again
+        flw  f1, -4(r2)             # u west again: RAR
+        flw  f2, 4(r2)              # u east again: RAR
+        flw  f3, 0(r4)              # p centre
+        flw  f14, 4(r18)            # dt again: covered RAR
+        fsub f4, f2, f1
+        fmul f4, f4, f14
+        fsub f4, f3, f4
+        add  r7, r26, r6
+        fsw  f4, 0(r7)
+        addi r10, r10, 1
+        li   r5, 63
+        bne  r10, r5, iloop
+        addi r9, r9, 1
+        li   r5, 63
+        bne  r9, r5, jloop
+        # total-energy check: paired re-reads of the fresh height field
+        # (1:1 RAR on values that change every sweep)
+        li   r10, 0
+        li   r9, 4094
+energy: slli r5, r10, 2
+        add  r6, r26, r5
+        flw  f1, 0(r6)              # pn[m]
+        flw  f2, 4(r6)              # pn[m+1]
+        fmul f1, f1, f2
+        fadd f20, f20, f1
+        addi r10, r10, 1
+        bne  r10, r9, energy
+        # ping-pong all three fields
+        mv   r5, r12
+        mv   r12, r24
+        mv   r24, r5
+        mv   r5, r13
+        mv   r13, r25
+        mv   r25, r5
+        mv   r5, r14
+        mv   r14, r26
+        mv   r26, r5
+        addi r22, r22, -1
+        bne  r22, r0, sweep
+        halt
+`, wordsDirective("u", u), wordsDirective("v", v), wordsDirective("p", p),
+		fpConstPrologue, sweeps)
+	return mustBuild("swm_like", src)
+}
+
+// buildSu2Like emits the 103.su2cor analog: a complex multiply-accumulate
+// over a 2048-element interleaved (re, im) lattice. Element k+1 is loaded
+// as the right operand and re-loaded next iteration as the left operand
+// (stable one-iteration RAR), and the coupling constant is re-read by the
+// normalisation term (covered RAR). Accumulators live in memory per block
+// (RAW).
+func buildSu2Like(n int) *isa.Program {
+	passes := scaled(40, n)
+	lattice := floatWords(0x5EED0105, 4096, 83, 0.03125)
+	src := fmt.Sprintf(`
+        .data
+%s
+corr:   .space 32                   # per-block correlation accumulators
+beta:   .float 1.75                 # coupling constant
+        .text
+main:   %s
+        li   r22, %d
+        la   r18, beta
+pass:   la   r16, lat
+        li   r9, 2047               # elements - 1
+        li   r10, 0                 # element index
+eloop:  slli r1, r10, 3
+        add  r2, r16, r1            # &lat[k]
+        flw  f1, 0(r2)              # lat[k].re  (left: RAR with last iter's right)
+        flw  f2, 4(r2)              # lat[k].im
+        flw  f3, 8(r2)              # lat[k+1].re (right)
+        flw  f4, 12(r2)             # lat[k+1].im
+        flw  f10, 0(r18)            # beta
+        flw  f11, 0(r18)            # beta again: covered RAR
+        # complex product (f5 + i f6) = conj(a) * b * beta
+        fmul f5, f1, f3
+        fmul f7, f2, f4
+        fadd f5, f5, f7
+        fmul f5, f5, f10
+        fmul f6, f1, f4
+        fmul f7, f2, f3
+        fsub f6, f6, f7
+        fmul f6, f6, f11
+        # accumulate the correlation sum (fixed-address RMW: covered RAW)
+        la   r4, corr
+        flw  f8, 0(r4)
+        fadd f8, f8, f5
+        fadd f8, f8, f6
+        fsw  f8, 0(r4)
+        addi r10, r10, 1
+        bne  r10, r9, eloop
+        addi r22, r22, -1
+        bne  r22, r0, pass
+        halt
+`, wordsDirective("lat", lattice), fpConstPrologue, passes)
+	return mustBuild("su2_like", src)
+}

@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"fmt"
+
+	"rarpred/internal/isa"
+)
+
+func init() {
+	register(Workload{
+		Name:   "hyd_like",
+		Abbrev: "hyd",
+		Analog: "104.hydro2d",
+		Class:  FP,
+		Description: "hydrodynamics: stencil sweep whose gas constants are " +
+			"re-read per cell by the flux and EOS terms (RAR with perfect " +
+			"address and value locality — value prediction's best case)",
+		build: buildHydLike,
+	})
+	register(Workload{
+		Name:   "mgd_like",
+		Abbrev: "mgd",
+		Analog: "107.mgrid",
+		Class:  FP,
+		Description: "multigrid restriction: a 27-point 3D stencil re-reads every " +
+			"fine-grid element from many static loads (dense RAR), writing a " +
+			"disjoint coarse grid",
+		build: buildMgdLike,
+	})
+	register(Workload{
+		Name:   "apl_like",
+		Abbrev: "apl",
+		Analog: "110.applu",
+		Class:  FP,
+		Description: "banded lower-triangular solve: the forward sweep reads " +
+			"x[i-1] written one iteration earlier (near RAW), band " +
+			"coefficients re-read by the pivot check (RAR); quantised data " +
+			"gives value prediction an edge",
+		build: buildAplLike,
+	})
+}
+
+// buildHydLike emits the 104.hydro2d analog. A 1D hydro sweep over 4096
+// cells: per cell a 3-point stencil on density, and both the flux term
+// and the equation-of-state term reload the same gas constants (gamma,
+// dt, courant). The constants never change, so these loads have perfect
+// address and value locality — reproducing the paper's observation that
+// 104.hydro2d is where last-value prediction shines (VP 49.94%).
+func buildHydLike(n int) *isa.Program {
+	sweeps := scaled(24, n)
+	// Coarse density values: lots of repeats, so even the stencil loads
+	// exhibit value locality.
+	rho := floatWords(0x5EED0106, 4096, 7, 0.5)
+	src := fmt.Sprintf(`
+        .data
+%s
+rnew:   .space 4096
+gas:    .float 1.4, 0.02, 0.8       # gamma, dt, courant
+        .text
+main:   %s
+        li   r22, %d
+        la   r16, rho
+        la   r17, rnew
+        la   r18, gas
+sweep:  li   r10, 1                 # i = 1..4094
+        li   r9, 4095
+cell:   slli r5, r10, 2
+        add  r6, r16, r5            # &rho[i]
+        # flux term
+        flw  f1, -4(r6)             # rho[i-1] (cross-iteration RAR)
+        flw  f2, 0(r6)              # rho[i]
+        flw  f3, 4(r6)              # rho[i+1]
+        flw  f10, 0(r18)            # gamma
+        flw  f11, 4(r18)            # dt
+        fsub f4, f3, f1
+        fmul f4, f4, f10
+        fmul f4, f4, f11
+        # equation of state re-reads the same constants (covered RAR with
+        # perfect value locality)
+        flw  f12, 0(r18)            # gamma again
+        flw  f13, 4(r18)            # dt again
+        flw  f14, 8(r18)            # courant
+        fmul f5, f2, f12
+        fmul f5, f5, f13
+        fadd f5, f5, f14
+        fadd f4, f4, f5
+        fmul f4, f4, f28
+        add  r7, r17, r5
+        fsw  f4, 0(r7)
+        addi r10, r10, 1
+        bne  r10, r9, cell
+        mv   r5, r16                # ping-pong
+        mv   r16, r17
+        mv   r17, r5
+        addi r22, r22, -1
+        bne  r22, r0, sweep
+        halt
+`, wordsDirective("rho", rho), fpConstPrologue, sweeps)
+	return mustBuild("hyd_like", src)
+}
+
+// buildMgdLike emits the 107.mgrid analog: restriction of a 16x16x16 fine
+// grid to an 8x8x8 coarse grid with a 27-point kernel. Every fine element
+// is read by many distinct static loads across neighbouring coarse cells
+// (dense RAR stream); the coarse grid is disjoint so RAW is negligible,
+// and the smoothing weights are re-read per cell (covered RAR).
+func buildMgdLike(n int) *isa.Program {
+	passes := scaled(120, n)
+	fine := floatWords(0x5EED0107, 4096, 61, 0.0625)
+	src := fmt.Sprintf(`
+        .data
+%s
+coarse: .space 512
+wt:     .float 0.5, 0.25, 0.125     # centre, face, edge weights
+        .text
+main:   %s
+        li   r22, %d
+pass:   la   r16, fine
+        la   r17, coarse
+        la   r18, wt
+        li   r9, 1                  # ck = 1..6 (coarse z)
+zloop:  li   r10, 1                 # cj
+yloop:  li   r11, 1                 # ci
+xloop:  # fine origin (2ck, 2cj, 2ci): byte offset = ck*2048 + cj*128 + ci*8
+        slli r1, r9, 11
+        slli r2, r10, 7
+        add  r1, r1, r2
+        slli r2, r11, 3
+        add  r1, r1, r2
+        add  r6, r16, r1            # &fine[2k][2j][2i]
+        flw  f10, 0(r18)            # centre weight
+        flw  f11, 4(r18)            # face weight
+        flw  f12, 8(r18)            # edge weight
+        flw  f1, 0(r6)              # centre
+        fmul f1, f1, f10
+        # six faces (x±1, y±16, z±256 elements)
+        flw  f2, 4(r6)
+        flw  f3, -4(r6)
+        fadd f2, f2, f3
+        flw  f3, 64(r6)
+        flw  f4, -64(r6)
+        fadd f3, f3, f4
+        fadd f2, f2, f3
+        flw  f3, 1024(r6)
+        flw  f4, -1024(r6)
+        fadd f3, f3, f4
+        fadd f2, f2, f3
+        fmul f2, f2, f11
+        fadd f1, f1, f2
+        # four edges in the xy plane; weights re-read (covered RAR)
+        flw  f13, 8(r18)            # edge weight again
+        flw  f3, 68(r6)
+        flw  f4, 60(r6)
+        fadd f3, f3, f4
+        flw  f4, -60(r6)
+        fadd f3, f3, f4
+        flw  f4, -68(r6)
+        fadd f3, f3, f4
+        fmul f3, f3, f13
+        fadd f1, f1, f3
+        # coarse store (disjoint array)
+        slli r2, r9, 6
+        slli r3, r10, 3
+        add  r2, r2, r3
+        add  r2, r2, r11
+        slli r2, r2, 2
+        add  r2, r17, r2
+        fsw  f1, 0(r2)
+        addi r11, r11, 1
+        li   r1, 7
+        bne  r11, r1, xloop
+        addi r10, r10, 1
+        li   r1, 7
+        bne  r10, r1, yloop
+        addi r9, r9, 1
+        li   r1, 7
+        bne  r9, r1, zloop
+        # relaxation: damp the fine grid in place so values evolve between
+        # passes (adjacent RMW: covered RAW on varying data)
+        li   r10, 0
+        li   r9, 4096
+relax:  slli r5, r10, 2
+        add  r6, r16, r5
+        flw  f1, 0(r6)              # fine[m]: RMW read
+        fmul f1, f1, f29
+        fadd f1, f1, f28
+        fsw  f1, 0(r6)
+        addi r10, r10, 8            # touch every 8th word
+        blt  r10, r9, relax
+        # coarse norm: paired re-reads of the fresh coarse grid
+        li   r10, 0
+        li   r9, 510
+cnorm:  slli r5, r10, 2
+        add  r6, r17, r5
+        flw  f1, 0(r6)              # coarse[m]
+        flw  f2, 4(r6)              # coarse[m+1]
+        fsub f1, f1, f2
+        fadd f20, f20, f1
+        addi r10, r10, 1
+        bne  r10, r9, cnorm
+        addi r22, r22, -1
+        bne  r22, r0, pass
+        halt
+`, wordsDirective("fine", fine), fpConstPrologue, passes)
+	return mustBuild("mgd_like", src)
+}
+
+// buildAplLike emits the 110.applu analog: repeated forward sweeps of a
+// banded lower-triangular solve x[i] = (b[i] - l[i]*x[i-1]) * dinv[i].
+// The x[i-1] load reads the value stored one iteration earlier (near RAW,
+// detectable and covered), and the pivot check re-reads dinv[i] (near
+// RAR). Band data is quantised so loaded values repeat (value prediction
+// does well, as the paper reports for 110.applu).
+func buildAplLike(n int) *isa.Program {
+	sweeps := scaled(38, n)
+	b := floatWords(0x5EED0108, 2048, 5, 0.25)
+	l := floatWords(0x5EED0109, 2048, 3, 0.25)
+	src := fmt.Sprintf(`
+        .data
+%s
+%s
+dinv:   .float 0.5
+x:      .space 2048
+        .text
+main:   %s
+        li   r22, %d
+        la   r15, b
+        la   r14, l
+        la   r16, x
+        la   r18, dinv
+sweep:  li   r10, 1
+        li   r9, 2048
+        # x[0] = b[0]
+        flw  f1, 0(r15)
+        fsw  f1, 0(r16)
+fwd:    slli r5, r10, 2
+        add  r2, r15, r5
+        flw  f1, 0(r2)              # b[i] (stream)
+        add  r2, r14, r5
+        flw  f2, 0(r2)              # l[i] (stream)
+        add  r6, r16, r5
+        flw  f3, -4(r6)             # x[i-1]: near RAW with last store
+        flw  f10, 0(r18)            # dinv
+        fmul f2, f2, f3
+        fsub f1, f1, f2
+        fmul f1, f1, f10
+        fsw  f1, 0(r6)              # x[i]
+        # pivot check re-reads dinv (covered RAR)
+        flw  f11, 0(r18)
+        fmul f4, f1, f11
+        fadd f20, f20, f4
+        addi r10, r10, 1
+        bne  r10, r9, fwd
+        addi r22, r22, -1
+        bne  r22, r0, sweep
+        halt
+`, wordsDirective("b", b), wordsDirective("l", l), fpConstPrologue, sweeps)
+	return mustBuild("apl_like", src)
+}

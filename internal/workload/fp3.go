@@ -1,0 +1,382 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"rarpred/internal/isa"
+)
+
+func init() {
+	register(Workload{
+		Name:   "trb_like",
+		Abbrev: "trb",
+		Analog: "125.turb3d",
+		Class:  FP,
+		Description: "FFT-style butterfly stages over an in-place complex array: " +
+			"twiddle factors re-read per butterfly (covered RAR), in-place " +
+			"stores give stride-dependent RAW distances",
+		build: buildTrbLike,
+	})
+	register(Workload{
+		Name:   "aps_like",
+		Abbrev: "aps",
+		Analog: "141.apsi",
+		Class:  FP,
+		Description: "column physics: radiation and convection routines sweep the " +
+			"same column arrays (RAR at column distance), tendency updates " +
+			"read-modify-write the state (RAW), solar constants re-read",
+		build: buildApsLike,
+	})
+	register(Workload{
+		Name:   "fp_like",
+		Abbrev: "fp*",
+		Analog: "145.fpppp",
+		Class:  FP,
+		Description: "giant straight-line basic block over a scratch area: " +
+			"hundreds of static loads re-read a small hot set (dense covered " +
+			"RAR/RAW) and a colder wide set (address locality without visible " +
+			"dependence — the fpppp anomaly of Figure 7a)",
+		build: buildFpLike,
+	})
+	register(Workload{
+		Name:   "wav_like",
+		Abbrev: "wav",
+		Analog: "146.wave5",
+		Class:  FP,
+		Description: "particle-in-cell push: neighbouring particles interpolate " +
+			"from the same field cells (RAR), periodic charge deposits " +
+			"read-modify-write the field (RAW)",
+		build: buildWavLike,
+	})
+}
+
+// buildTrbLike emits the 125.turb3d analog: four butterfly stages per
+// pass over a 1024-element complex array, updated in place. The twiddle
+// factor is read twice per butterfly (covered RAR with high value
+// locality — the paper reports 125.turb3d as a value-prediction winner);
+// partner elements re-read values stored `span` iterations earlier, so
+// RAW visibility depends on the stage stride (a DDT-size gradient).
+func buildTrbLike(n int) *isa.Program {
+	passes := scaled(16, n)
+	data := floatWords(0x5EED0125, 2048, 9, 0.25)
+	tw := floatWords(0x5EED0126, 64, 4, 0.25)
+	// Four stages with span in complex elements; each stage sweeps
+	// butterflies (x[i], x[i+span]).
+	var stages strings.Builder
+	for s, span := range []int{1, 8, 64, 256} {
+		byteSpan := span * 8
+		count := 1024 - span - 1
+		fmt.Fprintf(&stages, `
+        # stage %d: span %d elements
+        la   r16, fftx
+        la   r18, twid
+        li   r10, 0
+        li   r9, %d
+st%d:    slli r5, r10, 3
+        add  r6, r16, r5            # &x[i]
+        flw  f1, 0(r6)              # x[i].re (RAW with stage stores)
+        flw  f2, 4(r6)              # x[i].im
+        flw  f3, %d(r6)             # x[i+span].re
+        flw  f4, %d(r6)             # x[i+span].im
+        srli r7, r10, 3
+        andi r7, r7, 63
+        slli r7, r7, 2
+        add  r7, r18, r7
+        flw  f10, 0(r7)             # twiddle
+        flw  f11, 0(r7)             # twiddle again: covered RAR
+        fmul f5, f3, f10
+        fmul f6, f4, f11
+        fadd f7, f1, f5
+        fadd f8, f2, f6
+        fsub f1, f1, f5
+        fsub f2, f2, f6
+        fsw  f7, 0(r6)              # in-place update
+        fsw  f8, 4(r6)
+        fsw  f1, %d(r6)
+        fsw  f2, %d(r6)
+        addi r10, r10, 1
+        bne  r10, r9, st%d
+`, s, span, count, s, byteSpan, byteSpan+4, byteSpan, byteSpan+4, s)
+	}
+	src := fmt.Sprintf(`
+        .data
+%s
+%s
+        .text
+main:   li   r22, %d
+pass:   %s
+        addi r22, r22, -1
+        bne  r22, r0, pass
+        halt
+`, wordsDirective("fftx", data), wordsDirective("twid", tw), passes, stages.String())
+	return mustBuild("trb_like", src)
+}
+
+// buildApsLike emits the 141.apsi analog: 32 atmosphere columns of 32
+// levels. Per column, the radiation routine reads temperature and
+// moisture and writes tendencies; the convection routine re-reads the
+// same column (RAR at ~column distance, sensitive to DDT size); the
+// update loop applies tendencies with read-modify-writes (RAW); solar
+// constants are re-read by both routines (covered RAR).
+func buildApsLike(n int) *isa.Program {
+	steps := scaled(70, n)
+	temp := floatWords(0x5EED0141, 1024, 41, 0.125)
+	moist := floatWords(0x5EED0142, 1024, 17, 0.0625)
+	src := fmt.Sprintf(`
+        .data
+%s
+%s
+tend:   .space 32
+solar:  .float 1.36, 0.4            # constant flux, albedo
+        .text
+main:   %s
+        li   r22, %d                # time steps
+step:   li   r20, 0                 # column
+cloop:  slli r1, r20, 7             # column offset (32 levels * 4)
+        la   r16, temp
+        add  r16, r16, r1
+        la   r17, moist
+        add  r17, r17, r1
+        la   r15, tend
+        la   r18, solar
+        # radiation: read t, q; write tendency
+        li   r10, 0
+        li   r9, 32
+rad:    slli r5, r10, 2
+        add  r6, r16, r5
+        flw  f1, 0(r6)              # t[k]  (PC1)
+        add  r7, r17, r5
+        flw  f2, 0(r7)              # q[k]  (PC2)
+        flw  f10, 0(r18)            # solar flux
+        flw  f11, 0(r18)            # solar flux again: covered RAR
+        fmul f3, f1, f10
+        fmul f4, f2, f11
+        fsub f3, f3, f4
+        add  r8, r15, r5
+        fsw  f3, 0(r8)              # tend[k]
+        addi r10, r10, 1
+        bne  r10, r9, rad
+        # convection: re-read the column (RAR at distance ~1 column)
+        li   r10, 1
+conv:   slli r5, r10, 2
+        add  r6, r16, r5
+        flw  f1, 0(r6)              # t[k]  (PC3): RAR with PC1
+        flw  f2, -4(r6)             # t[k-1] (PC4): RAR
+        flw  f12, 4(r18)            # albedo
+        fsub f3, f1, f2
+        fmul f3, f3, f12
+        add  r8, r15, r5
+        flw  f4, 0(r8)              # tend[k]: RAW with radiation store
+        fadd f4, f4, f3
+        fsw  f4, 0(r8)
+        addi r10, r10, 1
+        bne  r10, r9, conv
+        # update: t[k] += dt * tend[k] (RMW on t, RAW read of tend)
+        li   r10, 0
+upd:    slli r5, r10, 2
+        add  r8, r15, r5
+        flw  f3, 0(r8)              # tend[k]: RAW with convection store
+        add  r6, r16, r5
+        flw  f1, 0(r6)              # t[k]: RMW read
+        fmul f3, f3, f28
+        fadd f1, f1, f3
+        fsw  f1, 0(r6)              # t[k] store
+        flw  f2, 0(r6)              # stability check re-read: covered RAW
+        fadd f20, f20, f2           # on values that change every step
+        addi r10, r10, 1
+        bne  r10, r9, upd
+        addi r20, r20, 1
+        li   r1, 32
+        bne  r20, r1, cloop
+        addi r22, r22, -1
+        bne  r22, r0, step
+        halt
+`, wordsDirective("temp", temp), wordsDirective("moist", moist),
+		fpConstPrologue, steps)
+	return mustBuild("aps_like", src)
+}
+
+// buildFpLike emits the 145.fpppp analog: one giant straight-line basic
+// block (fpppp's signature) of several hundred static memory operations
+// over a 256-word scratch area. 60%% of the references target a 48-word
+// hot set (short reuse distances: dense, covered RAW and RAR), the rest
+// spread over the full area (reuse distance beyond a 128-entry DDT:
+// address locality with no visible dependence — the Figure 7a anomaly
+// the paper calls out for 145.fpppp).
+func buildFpLike(n int) *isa.Program {
+	iters := scaled(1600, n)
+	scratch := floatWords(0x5EED0145, 256, 997, 0.00173)
+	g := lcg(0x5EED0146)
+	var block strings.Builder
+	for i := 0; i < 420; i++ {
+		r := g.next()
+		freg := 1 + (i % 6)
+		switch {
+		case r%16 < 11: // load: 60% hot set, 40% cold set
+			var off uint32
+			if r%5 < 3 {
+				off = (r >> 8) % 48 // hot: stored every iteration, varying
+			} else {
+				off = 48 + (r>>8)%208 // cold: static data, wide reuse distance
+			}
+			fmt.Fprintf(&block, "        flw  f%d, %d(r16)\n", freg, off*4)
+			// Contractive blends keep the dataflow bounded.
+			if i%3 == 0 {
+				fmt.Fprintf(&block, "        fmul f7, f7, f29\n")
+				fmt.Fprintf(&block, "        fmul f10, f%d, f28\n", freg)
+				fmt.Fprintf(&block, "        fadd f7, f7, f10\n")
+			} else {
+				fmt.Fprintf(&block, "        fmul f8, f8, f29\n")
+				fmt.Fprintf(&block, "        fmul f10, f%d, f28\n", freg)
+				fmt.Fprintf(&block, "        fadd f8, f8, f10\n")
+			}
+		case r%16 < 14: // store: hot set only, value varies per iteration
+			off := (r >> 8) % 48
+			fmt.Fprintf(&block, "        fadd f10, f7, f8\n")
+			fmt.Fprintf(&block, "        fmul f10, f10, f28\n")
+			fmt.Fprintf(&block, "        fadd f10, f10, f9\n")
+			fmt.Fprintf(&block, "        fsw  f10, %d(r16)\n", off*4)
+		default: // FP compute only
+			fmt.Fprintf(&block, "        fmul f7, f7, f28\n")
+			fmt.Fprintf(&block, "        fadd f8, f8, f29\n")
+		}
+	}
+	src := fmt.Sprintf(`
+        .data
+%s
+        .text
+main:   %s
+        li   r22, %d
+        la   r16, scratch
+blk:    fcvt.w.s f9, r22            # per-iteration perturbation
+        fmul f9, f9, f28
+        fmul f9, f9, f28
+        fadd f7, f28, f9            # reset accumulators: bounded but
+        fadd f8, f29, f9            # different every iteration
+%s
+        addi r22, r22, -1
+        bne  r22, r0, blk
+        halt
+`, wordsDirective("scratch", scratch), fpConstPrologue, iters, block.String())
+	return mustBuild("fp_like", src)
+}
+
+// buildWavLike emits the 146.wave5 analog: a particle-in-cell push over
+// 4096 particles and a 512-cell field. Particle positions are correlated
+// with their index, so neighbouring particles interpolate from the same
+// field cells (RAR between the two interpolation loads across particles);
+// every 8th particle deposits charge back into the field (RMW RAW and
+// RAR chain breaks); the time step and charge-to-mass constants are
+// re-read per particle (covered RAR).
+func buildWavLike(n int) *isa.Program {
+	const particles = 4096
+	steps := scaled(14, n)
+	// Particles live on a linked cell list (the standard particle-in-cell
+	// organisation): node = {x, v, next, pad}. The list order is a single
+	// scrambled cycle so the walker visits every particle.
+	part := make([]uint32, particles*4)
+	g := lcg(0x5EED0147)
+	chain := scramble(particles, 0x5EED0150)
+	for k := 0; k < particles; k++ {
+		i := int(chain[k])
+		succ := chain[(k+1)%particles]
+		x := float32(i%512) + float32(g.next()%997)*0.0009
+		v := float32(g.next()%997)*0.0007 - 0.35
+		part[i*4] = f32bits(x)
+		part[i*4+1] = f32bits(v)
+		part[i*4+2] = dataBase + succ*16
+	}
+	partHead := dataBase + chain[0]*16
+	field := floatWords(0x5EED0148, 512, 997, 0.0023)
+	bfield := floatWords(0x5EED0149, 512, 997, 0.0017)
+	phi := floatWords(0x5EED014A, 512, 997, 0.0031)
+	src := fmt.Sprintf(`
+        .data
+%s
+fpad0:  .space 8                    # guards the field from particle stores
+%s
+fpad1:  .space 8
+%s
+fpad2:  .space 8
+%s
+fpad3:  .space 8                    # guards phi[c+1] from the constants
+consts: .float 0.05, 1.5            # dt, q/m
+        .text
+main:   %s
+        li   r22, %d                # steps
+        la   r18, consts
+step:   li   r16, %d                # head of the particle list
+        la   r17, field
+        li   r10, 0
+        li   r9, %d
+ploop:  mv   r6, r16                # current particle node
+        flw  f1, 0(r6)              # x
+        flw  f2, 4(r6)              # v
+        lw   r15, 8(r6)             # next-particle peek (RAR producer)
+        add  r23, r23, r15
+        # cell index c = int(x) & 511
+        fcvt.s.w r7, f1
+        andi r7, r7, 511
+        slli r7, r7, 2
+        add  r7, r17, r7
+        # electric-field interpolation: neighbouring particles land in
+        # adjacent cells, so field[c] re-reads what field[c+1] read one
+        # particle earlier (a 1:1 RAR pair over values that evolve with
+        # the deposits — covered by cloaking, missed by value prediction)
+        flw  f3, 0(r7)              # efield[c]
+        flw  f4, 4(r7)              # efield[c+1] (producer)
+        # magnetic-field interpolation: a second such pair
+        la   r12, bfield
+        sub  r13, r7, r17
+        add  r12, r12, r13
+        flw  f15, 0(r12)            # bfield[c]
+        flw  f16, 4(r12)            # bfield[c+1] (producer)
+        # potential interpolation: a third pair; the data is static but
+        # continuous, so consecutive executions of each static load see
+        # different values — covered by cloaking, missed by last-value
+        # prediction
+        la   r14, phi
+        add  r14, r14, r13
+        flw  f17, 0(r14)            # phi[c]
+        flw  f18, 4(r14)            # phi[c+1] (producer)
+        flw  f10, 0(r18)            # dt
+        flw  f11, 4(r18)            # q/m
+        flw  f12, 0(r18)            # dt again: covered RAR
+        fadd f5, f3, f4
+        fadd f5, f5, f15
+        fadd f5, f5, f16
+        fadd f5, f5, f17
+        fsub f5, f5, f18
+        fmul f5, f5, f29
+        fmul f5, f5, f11
+        fmul f5, f5, f10
+        fadd f2, f2, f5             # v += accel*dt
+        fmul f6, f2, f12
+        fadd f1, f1, f6             # x += v*dt
+        fsw  f1, 0(r6)
+        fsw  f2, 4(r6)
+        # every 32nd particle deposits charge (RMW on the field)
+        andi r8, r10, 31
+        bne  r8, r0, nodep
+        flw  f13, 0(r7)             # efield[c]: RMW read (RAW)
+        fmul f14, f11, f28
+        fadd f13, f13, f14
+        fsw  f13, 0(r7)
+        flw  f13, 0(r12)            # bfield[c]: RMW too, so both fields
+        fmul f14, f14, f29          # keep evolving
+        fadd f13, f13, f14
+        fsw  f13, 0(r12)
+nodep:  lw   r16, 8(r6)             # advance via the covered next re-read:
+                                    # the cell-list chase collapses under
+                                    # RAR cloaking
+        addi r10, r10, 1
+        bne  r10, r9, ploop
+        addi r22, r22, -1
+        bne  r22, r0, step
+        halt
+`, wordsDirective("part", part), wordsDirective("field", field),
+		wordsDirective("bfield", bfield), wordsDirective("phi", phi),
+		fpConstPrologue, steps, partHead, particles)
+	return mustBuild("wav_like", src)
+}

@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"fmt"
+
+	"rarpred/internal/isa"
+)
+
+func init() {
+	register(Workload{
+		Name:   "go_like",
+		Abbrev: "go",
+		Analog: "099.go",
+		Class:  Int,
+		Description: "board game engine: moves are stored onto a board and two " +
+			"evaluation functions re-read the same neighbourhoods (RAR), with " +
+			"register save/restore stack traffic (RAW)",
+		build: buildGoLike,
+	})
+	register(Workload{
+		Name:   "m88_like",
+		Abbrev: "m88",
+		Analog: "124.m88ksim",
+		Class:  Int,
+		Description: "CPU simulator: fetch/dispatch re-reads each encoded " +
+			"instruction word in its handler (RAR) and interprets against a " +
+			"small register array that is constantly rewritten (RAW)",
+		build: buildM88Like,
+	})
+	register(Workload{
+		Name:   "gcc_like",
+		Abbrev: "gcc",
+		Analog: "126.gcc",
+		Class:  Int,
+		Description: "compiler passes: analyze and emit both visit every IR " +
+			"node (Figure 3 idiom) — emit re-reads the fields and chases the " +
+			"list through a covered next-pointer re-read (RAR); constant " +
+			"folding rewrites values (RAW, chain breaks)",
+		build: buildGccLike,
+	})
+}
+
+// buildGoLike emits the 099.go analog. A 32x32 board receives a stream of
+// stones; after each placement, eval_neigh and eval_terr read the same
+// four neighbours (RAR pairs between the two functions' static loads)
+// while the centre read in eval_terr sees the placement store (RAW).
+func buildGoLike(n int) *isa.Program {
+	moves := scaled(34000, n)
+	src := fmt.Sprintf(`
+        .data
+board:  .space 1024
+        .text
+main:   li   r20, 88172645          # LCG state
+        la   r21, board
+        li   r22, %d                # moves
+        li   r16, 0                 # score (callee-saved: spilled values vary)
+move:   li   r1, 1664525
+        mul  r20, r20, r1
+        li   r1, 1013904223
+        add  r20, r20, r1
+        xor  r20, r20, r16          # the engine picks moves based on the
+                                    # evaluation: board reads feed the
+                                    # next move's address chain
+        srli r2, r20, 8
+        andi r2, r2, 1023
+        slli r2, r2, 2
+        add  r24, r21, r2           # r24 = &board[pos]
+        andi r3, r20, 3
+        addi r3, r3, 1
+        sw   r3, 0(r24)             # place stone
+        mv   r4, r24
+        call eval_neigh
+        add  r16, r16, r2
+        mv   r4, r24
+        call eval_terr
+        add  r16, r16, r2
+        addi r22, r22, -1
+        bne  r22, r0, move
+        la   r1, board
+        sw   r16, 0(r1)
+        halt
+
+# eval_neigh(r4 = &cell) -> r2: sums the four orthogonal neighbours.
+eval_neigh:
+        addi sp, sp, -8
+        sw   ra, 0(sp)
+        sw   r16, 4(sp)
+        lw   r16, -4(r4)            # west
+        lw   r5, 4(r4)              # east
+        add  r2, r16, r5
+        lw   r5, -128(r4)           # north (32-word rows)
+        add  r2, r2, r5
+        lw   r5, 128(r4)            # south
+        add  r2, r2, r5
+        lw   r16, 4(sp)
+        lw   ra, 0(sp)
+        addi sp, sp, 8
+        ret
+
+# eval_terr(r4 = &cell) -> r2: re-reads the same neighbours plus the
+# centre; its neighbour loads form RAR pairs with eval_neigh's.
+eval_terr:
+        addi sp, sp, -8
+        sw   ra, 0(sp)
+        sw   r16, 4(sp)
+        lw   r16, 0(r4)             # centre: RAW with the placement store
+        lw   r5, -4(r4)             # west: RAR with eval_neigh
+        add  r2, r16, r5
+        lw   r5, 4(r4)
+        add  r2, r2, r5
+        lw   r5, -128(r4)
+        add  r2, r2, r5
+        lw   r5, 128(r4)
+        sub  r2, r2, r5
+        lw   r16, 4(sp)
+        lw   ra, 0(sp)
+        addi sp, sp, 8
+        ret
+`, moves)
+	return mustBuild("go_like", src)
+}
+
+// buildM88Like emits the 124.m88ksim analog: an interpreter over a fixed
+// trace of 2048 encoded instructions. The dispatch loop fetches the
+// instruction word; every handler fetches it *again* to crack operand
+// fields — the classic double-fetch that gives interpreters their RAR
+// streams — and reads/writes a 16-entry simulated register array (RAW).
+func buildM88Like(n int) *isa.Program {
+	const codeLen = 2048
+	passes := scaled(36, n)
+	code := words(0x5EED0188, codeLen, 0)
+	src := fmt.Sprintf(`
+        .data
+regs:   .space 16
+state:  .word 0, 1, 7
+%s
+        .text
+main:   li   r22, %d                # passes over the trace
+        li   r23, 0
+        la   r19, regs
+pass:   li   r20, 0                 # ip
+        la   r21, code
+iloop:  slli r1, r20, 2
+        add  r1, r21, r1
+        lw   r2, 0(r1)              # fetch (source of the RAR pairs)
+        srli r3, r2, 28
+        andi r3, r3, 3
+        beq  r3, r0, op_add
+        addi r4, r3, -1
+        beq  r4, r0, op_ld
+        addi r4, r3, -2
+        beq  r4, r0, op_mul
+        j    op_xor
+
+op_add: lw   r5, 0(r1)              # re-fetch: RAR with the dispatch fetch
+        srli r16, r5, 30            # instruction length bit (from re-fetch)
+        andi r16, r16, 1
+        srli r6, r5, 24
+        andi r6, r6, 15
+        srli r7, r5, 20
+        andi r7, r7, 15
+        srli r8, r5, 16
+        andi r8, r8, 15
+        slli r7, r7, 2
+        add  r7, r19, r7
+        lw   r9, 0(r7)              # regs[rs]
+        slli r8, r8, 2
+        add  r8, r19, r8
+        lw   r10, 0(r8)             # regs[rt]
+        add  r9, r9, r10
+        slli r6, r6, 2
+        add  r6, r19, r6
+        sw   r9, 0(r6)              # regs[rd] — RAW producer
+        j    inext
+
+op_ld:  lw   r5, 0(r1)              # re-fetch
+        srli r16, r5, 30            # instruction length bit
+        andi r16, r16, 1
+        srli r6, r5, 24
+        andi r6, r6, 15
+        andi r9, r5, 0xffff         # immediate
+        slli r6, r6, 2
+        add  r6, r19, r6
+        sw   r9, 0(r6)
+        j    inext
+
+op_mul: lw   r5, 0(r1)              # re-fetch
+        srli r6, r5, 24
+        andi r6, r6, 15
+        srli r7, r5, 20
+        andi r7, r7, 15
+        slli r7, r7, 2
+        add  r7, r19, r7
+        lw   r9, 0(r7)
+        mul  r9, r9, r9
+        slli r6, r6, 2
+        add  r6, r19, r6
+        sw   r9, 0(r6)
+        j    inext
+
+op_xor: lw   r5, 0(r1)              # re-fetch
+        srli r6, r5, 24
+        andi r6, r6, 15
+        srli r8, r5, 16
+        andi r8, r8, 15
+        slli r8, r8, 2
+        add  r8, r19, r8
+        lw   r10, 0(r8)
+        xor  r10, r10, r5
+        slli r6, r6, 2
+        add  r6, r19, r6
+        sw   r10, 0(r6)
+
+        # Simulator bookkeeping, shared by all paths: a cycle counter that
+        # is read-modify-written every instruction (a stable, predictable
+        # RAW pair) and mode flags read here and re-read by the trap check
+        # (a stable RAR pair; the flags are effectively read-only).
+inext:  la   r11, state
+        lw   r12, 0(r11)            # cycles: RAW with the sw below
+        addi r12, r12, 1
+        sw   r12, 0(r11)
+        lw   r13, 4(r11)            # mode flags (read-only)
+        beq  r13, r0, nohook
+        lw   r14, 8(r11)            # hook word
+        add  r23, r23, r14
+nohook: lw   r15, 4(r11)            # trap check re-reads flags: RAR
+        add  r23, r23, r15
+        # variable-length decode: the next ip depends on the re-fetched
+        # instruction word, putting the (RAR-covered) re-fetch on the
+        # fetch-address critical path
+        addi r20, r20, 1
+        add  r20, r20, r16
+        li   r1, %d
+        blt  r20, r1, iloop
+        addi r22, r22, -1
+        bne  r22, r0, pass
+        halt
+`, wordsDirective("code", code), passes, codeLen)
+	return mustBuild("m88_like", src)
+}
+
+// buildGccLike emits the 126.gcc analog: an arena of 4096 IR nodes linked
+// in a scrambled order. Three passes walk the list each round; the fold
+// pass occasionally rewrites a node's value (RAW and RAR-chain breaks),
+// while the scan and emit passes re-read op/value/next fields written
+// long ago (RAR between the passes' static loads).
+func buildGccLike(n int) *isa.Program {
+	const nodes = 4096
+	rounds := scaled(26, n)
+	// Node layout: 4 words = {op, value, next, pad}. The arena is the
+	// first data block, so node i sits at DataBase + i*16 and next
+	// pointers can be absolute addresses.
+	perm := scramble(nodes, 0x5EED0126)
+	vals := words(0x5EED0127, nodes, 256)
+	arena := make([]uint32, nodes*4)
+	for k := 0; k < nodes; k++ {
+		i := int(perm[k])
+		succ := perm[(k+1)%nodes]
+		arena[i*4+0] = vals[i] % 7         // op
+		arena[i*4+1] = vals[i]             // value
+		arena[i*4+2] = nodeAddr(int(succ)) // next
+		arena[i*4+3] = 0
+	}
+	head := nodeAddr(int(perm[0]))
+	src := fmt.Sprintf(`
+        .data
+%s
+        .text
+# The optimizer runs two passes over each IR node, the paper's Figure 3
+# shape: while (l) { analyze(l); emit(l); l = l->next; }. The analyze
+# reads are the earliest (RAR producers); the emit pass re-reads the same
+# fields and, crucially, advances the walk through its own next-field
+# re-read — a RAR sink. With cloaking the sink loads (including the
+# pointer chase itself) resolve at decode time and the traversal
+# collapses onto the front end.
+main:   li   r22, %d                # rounds
+round:  li   r4, %d                 # walker = head
+        li   r9, %d                 # nodes this round
+nloop:  # analyze: first reader of all three fields
+        lw   r5, 0(r4)              # op        (PC-A1, producer)
+        lw   r6, 4(r4)              # value     (PC-A2, producer)
+        lw   r8, 8(r4)              # next peek (PC-A3, producer)
+        add  r23, r23, r5
+        addi r7, r5, -3
+        bne  r7, r0, nofold
+        slli r6, r6, 1
+        addi r6, r6, 1
+        sw   r6, 4(r4)              # constant fold (RAW for emit)
+nofold: add  r23, r23, r6
+        # emit: re-reads the node and advances via the covered next load
+        lw   r5, 0(r4)              # op: RAR sink, covered
+        lw   r6, 4(r4)              # value: RAR/RAW sink
+        xor  r23, r23, r5
+        add  r23, r23, r6
+        lw   r4, 8(r4)              # next: RAR sink — the critical chase
+        addi r9, r9, -1
+        bne  r9, r0, nloop
+        addi r22, r22, -1
+        bne  r22, r0, round
+        halt
+`, wordsDirective("arena", arena), rounds, head, nodes)
+	return mustBuild("gcc_like", src)
+}
+
+// nodeAddr returns the absolute address of arena node i (the arena is the
+// first block in the data segment).
+func nodeAddr(i int) uint32 { return dataBase + uint32(i)*16 }
+
+// dataBase mirrors asm.DataBase without importing it in every literal.
+const dataBase = 0x1000_0000
+
+// scramble returns a deterministic pseudo-random permutation of [0, n).
+func scramble(n int, seed uint32) []uint32 {
+	g := lcg(seed)
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(g.next() % uint32(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"fmt"
+
+	"rarpred/internal/isa"
+)
+
+func init() {
+	register(Workload{
+		Name:   "com_like",
+		Abbrev: "com",
+		Analog: "129.compress",
+		Class:  Int,
+		Description: "LZW-style compressor: hash-table probes and inserts over a " +
+			"skewed symbol stream (RAW-dominant), read-modify-write output " +
+			"counters (RAW), almost no load-load sharing",
+		build: buildComLike,
+	})
+	register(Workload{
+		Name:   "li_like",
+		Abbrev: "li",
+		Analog: "130.li",
+		Class:  Int,
+		Description: "lisp interpreter: eval and the accounting pass touch " +
+			"every cons cell (RAR, including the covered cdr chase); the " +
+			"environment array is read-modify-written by LET/GET/INC forms " +
+			"(RAW); small literals repeat (value locality)",
+		build: buildLiLike,
+	})
+	register(Workload{
+		Name:   "ijp_like",
+		Abbrev: "ijp",
+		Analog: "132.ijpeg",
+		Class:  Int,
+		Description: "block image transform: row and column passes over a block " +
+			"buffer (near RAW), a constant quantisation table read by two loops " +
+			"(RAR, high value locality — the case where value prediction wins)",
+		build: buildIjpLike,
+	})
+}
+
+// buildComLike emits the 129.compress analog. A skewed symbol stream is
+// hashed against a 1024-entry (key, code) table: probes read entries that
+// recent inserts wrote (near RAW), and the output length is a
+// read-modify-write counter (perfectly predictable RAW). Like the
+// original, almost no location is read twice without an intervening
+// store, so RAR dependences are rare.
+func buildComLike(n int) *isa.Program {
+	const inputLen = 8192
+	passes := scaled(11, n)
+	// Skewed symbols: small alphabet so hash slots are re-touched soon.
+	input := words(0x5EED0129, inputLen, 29)
+	src := fmt.Sprintf(`
+        .data
+htab:   .space 2048                 # 1024 entries x {key, code}
+outlen: .word 0
+nextcode: .word 256
+%s
+        .text
+main:   li   r22, %d                # passes
+pass:   la   r21, input
+        li   r20, %d                # symbols left
+        li   r18, 0                 # prev code
+csym:   lw   r1, 0(r21)             # next symbol (streaming, no reuse)
+        addi r21, r21, 4
+        # h = ((prev << 4) ^ sym) & 1023
+        slli r2, r18, 4
+        xor  r2, r2, r1
+        andi r2, r2, 1023
+        slli r2, r2, 3
+        la   r3, htab
+        add  r3, r3, r2             # &htab[h]
+        # probe: key match?
+        slli r4, r18, 8
+        or   r4, r4, r1             # probe key
+        lw   r5, 0(r3)              # key: RAW with recent insert
+        bne  r5, r4, cmiss
+        lw   r18, 4(r3)             # code: RAW with recent insert
+        j    cnext
+cmiss:  # insert new entry and emit prev code
+        sw   r4, 0(r3)
+        la   r6, nextcode
+        lw   r7, 0(r6)              # RMW: RAW
+        sw   r7, 4(r3)
+        addi r7, r7, 1
+        andi r7, r7, 4095
+        sw   r7, 0(r6)
+        la   r6, outlen
+        lw   r8, 0(r6)              # RMW: RAW
+        addi r8, r8, 1
+        sw   r8, 0(r6)
+        mv   r18, r1
+cnext:  addi r20, r20, -1
+        bne  r20, r0, csym
+        addi r22, r22, -1
+        bne  r22, r0, pass
+        halt
+`, wordsDirective("input", input), passes, inputLen)
+	return mustBuild("com_like", src)
+}
+
+// buildLiLike emits the 130.li analog: an interpreter over a cons-cell
+// form list. SET and GET forms read-modify-write a 64-slot environment
+// (RAW-dominant, like the original's RAW 31%% / RAR 1%% split); cell
+// values are small integers, so repeated values give the value predictor
+// something to work with.
+func buildLiLike(n int) *isa.Program {
+	const cells = 2048
+	rounds := scaled(28, n)
+	// Cell layout: {form, next}. form packs op (2 bits) | slot (6 bits) |
+	// literal (8 bits).
+	ops := words(0x5EED0130, cells, 0)
+	cellsData := make([]uint32, cells*2)
+	for i := 0; i < cells; i++ {
+		op := ops[i] % 4
+		slot := (ops[i] >> 8) % 64
+		lit := (ops[i] >> 16) % 16 // small literals repeat: value locality
+		cellsData[i*2] = op<<14 | slot<<8 | lit
+		next := uint32(i+1) % cells
+		cellsData[i*2+1] = dataBase + next*8
+	}
+	src := fmt.Sprintf(`
+        .data
+%s
+env:    .space 64
+acc:    .word 0
+        .text
+# The interpreter touches each cell twice, Figure 3 style: eval reads
+# the form and peeks the cdr (producers); the accounting pass re-reads
+# the form and advances via its own cdr re-read (RAR sinks, covered).
+main:   li   r22, %d                # rounds
+        la   r19, env
+round:  li   r4, %d                 # head cell
+        li   r9, %d                 # cells per round
+eloop:  lw   r5, 0(r4)              # form word (producer)
+        lw   r3, 4(r4)              # cdr peek  (producer)
+        add  r23, r23, r3
+        srli r6, r5, 14
+        andi r6, r6, 3              # op
+        srli r7, r5, 8
+        andi r7, r7, 63             # slot
+        andi r8, r5, 255            # literal
+        slli r7, r7, 2
+        add  r7, r19, r7            # &env[slot]
+        beq  r6, r0, f_let
+        addi r1, r6, -1
+        beq  r1, r0, f_get
+        addi r1, r6, -2
+        beq  r1, r0, f_inc
+        # f_add: acc += env[slot] + lit
+        lw   r2, 0(r7)              # env read: RAW with LET/INC stores
+        add  r23, r23, r2
+        add  r23, r23, r8
+        j    enext
+f_let:  sw   r8, 0(r7)              # bind env[slot] = lit ...
+        lw   r2, 0(r7)              # ... body uses the binding: near RAW
+        add  r23, r23, r2
+        lw   r3, 0(r4)              # body re-reads the form word: RAR
+        xor  r23, r23, r3
+        j    enext
+f_get:  lw   r2, 0(r7)              # env read
+        add  r23, r23, r2
+        j    enext
+f_inc:  lw   r2, 0(r7)              # RMW: read...
+        addi r2, r2, 1
+        sw   r2, 0(r7)              # ...modify, write
+enext:  # accounting pass: re-reads the cell, advances via covered cdr
+        lw   r5, 0(r4)              # form: RAR sink
+        or   r23, r23, r5
+        lw   r4, 4(r4)              # cdr: RAR sink — the critical chase
+        addi r9, r9, -1
+        bne  r9, r0, eloop
+        la   r1, acc
+        sw   r23, 0(r1)
+        addi r22, r22, -1
+        bne  r22, r0, round
+        halt
+`, wordsDirective("cellarea", cellsData), rounds, dataBase, cells)
+	return mustBuild("li_like", src)
+}
+
+// buildIjpLike emits the 132.ijpeg analog: an 8x8 block transform. The
+// row pass copies image pixels into a block buffer, the column pass
+// re-reads the buffer (near RAW), and both quantisation loops read the
+// same constant table (RAR with perfect address and value locality). The
+// pixel data is coarsely quantised, so loaded values repeat — this is
+// the workload class where last-value prediction beats cloaking, as the
+// paper observes for 132.ijpeg.
+func buildIjpLike(n int) *isa.Program {
+	const dim = 64 // 64x64 image, 8x8 blocks
+	passes := scaled(14, n)
+	pixels := words(0x5EED0132, dim*dim, 12) // coarse: values repeat a lot
+	qtab := make([]uint32, 64)
+	for i := range qtab {
+		qtab[i] = uint32(1 + (i % 4))
+	}
+	src := fmt.Sprintf(`
+        .data
+%s
+%s
+block:  .space 64
+out:    .space 4096
+bstat:  .word 0, 0                  # blocks done, energy checksum
+        .text
+main:   li   r22, %d                # passes
+pass:   li   r20, 0                 # block index (64 blocks)
+bloop:  # locate block origin: (blk / 8) * 512 + (blk %% 8) * 8 words
+        srli r1, r20, 3
+        slli r1, r1, 9
+        andi r2, r20, 7
+        slli r2, r2, 3
+        add  r1, r1, r2
+        slli r1, r1, 2
+        la   r2, image
+        add  r16, r2, r1            # image origin
+        la   r3, out
+        add  r18, r3, r1            # output origin
+        la   r17, block
+        # gather+row-transform: each block row is stored (8 words) and
+        # immediately read back by the row transform (near RAW)
+        li   r9, 8
+rowj:   li   r10, 8
+        mv   r4, r16
+        mv   r5, r17
+rowi:   lw   r6, 0(r4)              # image pixel (streaming)
+        slli r6, r6, 1
+        sw   r6, 0(r5)              # block buffer write
+        addi r4, r4, 4
+        addi r5, r5, 4
+        addi r10, r10, -1
+        bne  r10, r0, rowi
+        # row transform reads the 8 words just stored (RAW, distance <= 16)
+        li   r10, 8
+        addi r5, r5, -32
+        li   r6, 0
+rowt:   lw   r7, 0(r5)              # RAW with the gather store
+        add  r6, r6, r7
+        sw   r6, 0(r5)              # running prefix transform in place
+        addi r5, r5, 4
+        addi r10, r10, -1
+        bne  r10, r0, rowt
+        addi r16, r16, 256          # next image row (64 words)
+        addi r17, r17, 32           # next block row
+        addi r9, r9, -1
+        bne  r9, r0, rowj
+        # quantise + energy: one sweep; qtab[k] is read by the divider and
+        # re-read by the energy term (RAR, distance ~4), block[k] read at
+        # distance ~64-130 from its transform store (visible only in the
+        # larger DDTs: the Figure 5 size gradient)
+        la   r17, block
+        la   r19, qtab
+        li   r9, 64
+        li   r11, 0                 # k
+colk:   slli r1, r11, 2
+        add  r4, r17, r1
+        lw   r6, 0(r4)              # block value: medium-distance RAW
+        add  r5, r19, r1
+        lw   r7, 0(r5)              # qtab[k]: first reader
+        div  r6, r6, r7
+        lw   r8, 0(r5)              # qtab[k] again: near RAR
+        mul  r8, r6, r8
+        add  r23, r23, r8
+        slli r2, r11, 2
+        add  r2, r18, r2
+        sw   r6, 0(r2)              # out
+        addi r11, r11, 1
+        addi r9, r9, -1
+        bne  r9, r0, colk
+        # per-block accounting: fixed-address RMW (predictable RAW)
+        la   r1, bstat
+        lw   r2, 0(r1)
+        addi r2, r2, 1
+        sw   r2, 0(r1)
+        lw   r2, 4(r1)
+        add  r2, r2, r23
+        sw   r2, 4(r1)
+        addi r20, r20, 1
+        li   r1, 64
+        bne  r20, r1, bloop
+        addi r22, r22, -1
+        bne  r22, r0, pass
+        halt
+`, wordsDirective("image", pixels), wordsDirective("qtab", qtab), passes)
+	return mustBuild("ijp_like", src)
+}

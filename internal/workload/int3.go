@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"fmt"
+
+	"rarpred/internal/isa"
+)
+
+func init() {
+	register(Workload{
+		Name:   "per_like",
+		Abbrev: "per",
+		Analog: "134.perl",
+		Class:  Int,
+		Description: "script-style string hashing: key words are read by the hash " +
+			"loop and re-read by the compare loop (RAR), with hash-bucket " +
+			"count updates (RAW)",
+		build: buildPerLike,
+	})
+	register(Workload{
+		Name:   "vor_like",
+		Abbrev: "vor",
+		Analog: "147.vortex",
+		Class:  Int,
+		Description: "object database: transactions write records that a " +
+			"validator immediately re-reads (RAW), and two query formatters " +
+			"read the same record fields (RAR)",
+		build: buildVorLike,
+	})
+}
+
+// buildPerLike emits the 134.perl analog. A workload of associative-array
+// operations: each operation hashes a 4-word key (first reader), then the
+// bucket compare re-reads the same key words (RAR), and the bucket's
+// count is read-modify-written (RAW). Like 134.perl, RAW dominates, with
+// a thin stable RAR stream.
+func buildPerLike(n int) *isa.Program {
+	const numKeys = 32
+	ops := scaled(36000, n)
+	keys := words(0x5EED0134, numKeys*4, 0)
+	src := fmt.Sprintf(`
+        .data
+%s
+buckets: .space 256                 # 256 counters
+opcnt:  .word 0
+strtot: .word 0, 3                  # total, flags
+        .text
+main:   li   r20, 77665544          # LCG state
+        li   r22, %d                # operations
+oloop:  li   r1, 1664525
+        mul  r20, r20, r1
+        li   r1, 1013904223
+        add  r20, r20, r1
+        srli r2, r20, 10
+        andi r2, r2, 31             # key index
+        slli r2, r2, 4
+        la   r3, keys
+        add  r16, r3, r2            # &key[k][0]
+        # hash loop: read the 4 key words
+        li   r4, 0
+        lw   r5, 0(r16)             # key word 0 (PC set A)
+        add  r4, r4, r5
+        lw   r5, 4(r16)
+        slli r4, r4, 3
+        xor  r4, r4, r5
+        lw   r5, 8(r16)
+        add  r4, r4, r5
+        lw   r5, 12(r16)
+        xor  r4, r4, r5
+        andi r4, r4, 63
+        slli r4, r4, 2
+        la   r6, buckets
+        add  r6, r6, r4             # bucket
+        # compare: re-read the first two key words (a thin RAR stream,
+        # matching perl's small RAR share)
+        li   r7, 0
+        lw   r8, 0(r16)             # (PC set B): RAR with set A
+        xor  r7, r7, r8
+        lw   r8, 4(r16)
+        add  r7, r7, r8
+        # bucket update: RMW (RAW, but bucket addresses vary)
+        lw   r9, 0(r6)
+        add  r9, r9, r7
+        addi r9, r9, 1
+        sw   r9, 0(r6)
+        # interpreter accounting: fixed-address RMW counters (stable,
+        # predictable RAW, the bulk of perl's covered loads)
+        la   r10, opcnt
+        lw   r11, 0(r10)
+        addi r11, r11, 1
+        sw   r11, 0(r10)
+        la   r10, strtot
+        lw   r11, 0(r10)
+        add  r11, r11, r7
+        sw   r11, 0(r10)
+        lw   r12, 4(r10)            # interpreter flags: read-only
+        add  r23, r23, r12
+        xor  r20, r20, r7           # hash chaining: the next operation's
+                                    # key choice depends on the (covered)
+                                    # compare-loop reads
+        addi r22, r22, -1
+        bne  r22, r0, oloop
+        halt
+`, wordsDirective("keys", keys), ops)
+	return mustBuild("per_like", src)
+}
+
+// buildVorLike emits the 147.vortex analog: a record store processing a
+// transaction mix. Inserts write an 8-word record which the validator
+// immediately re-reads (near RAW, the dominant stream, as in vortex);
+// queries read a record through two formatters whose loads form RAR
+// pairs.
+func buildVorLike(n int) *isa.Program {
+	const records = 512
+	txns := scaled(36000, n)
+	src := fmt.Sprintf(`
+        .data
+store:  .space 4096                 # 512 records x 8 words
+txcnt:  .word 0
+        .text
+main:   li   r20, 31415926          # LCG state
+        li   r22, %d                # transactions
+tloop:  li   r1, 1664525
+        mul  r20, r20, r1
+        li   r1, 1013904223
+        add  r20, r20, r1
+        srli r2, r20, 9
+        andi r2, r2, 511            # record index
+        slli r2, r2, 5
+        la   r3, store
+        add  r16, r3, r2            # &record
+        andi r4, r20, 1
+        beq  r4, r0, query          # 50%% queries, 50%% inserts
+        # insert: write the record, then validate re-reads it (RAW)
+        mv   r4, r16
+        mv   r5, r20
+        call rec_write
+        mv   r4, r16
+        call rec_validate
+        add  r23, r23, r2
+        j    tnext
+query:  # two formatters read the same fields (RAR between their loads)
+        mv   r4, r16
+        call fmt_short
+        add  r23, r23, r2
+        mv   r4, r16
+        call fmt_long
+        add  r23, r23, r2
+tnext:  la   r6, txcnt
+        lw   r7, 0(r6)              # RMW transaction counter (RAW)
+        addi r7, r7, 1
+        sw   r7, 0(r6)
+        xor  r20, r20, r23          # the next transaction targets data the
+                                    # queries produced: record reads feed
+                                    # the address chain
+        addi r22, r22, -1
+        bne  r22, r0, tloop
+        halt
+
+# rec_write(r4 = &record, r5 = seed): fill all 8 fields.
+rec_write:
+        sw   r5, 0(r4)
+        srli r6, r5, 3
+        sw   r6, 4(r4)
+        srli r6, r5, 6
+        sw   r6, 8(r4)
+        srli r6, r5, 9
+        sw   r6, 12(r4)
+        srli r6, r5, 12
+        sw   r6, 16(r4)
+        srli r6, r5, 15
+        sw   r6, 20(r4)
+        srli r6, r5, 18
+        sw   r6, 24(r4)
+        srli r6, r5, 21
+        sw   r6, 28(r4)
+        ret
+
+# rec_validate(r4 = &record) -> r2: re-reads the fields just written.
+rec_validate:
+        addi sp, sp, -4
+        sw   ra, 0(sp)
+        lw   r2, 0(r4)              # RAW with rec_write
+        lw   r3, 4(r4)
+        add  r2, r2, r3
+        lw   r3, 8(r4)
+        xor  r2, r2, r3
+        lw   r3, 12(r4)
+        add  r2, r2, r3
+        lw   r3, 28(r4)
+        xor  r2, r2, r3
+        lw   ra, 0(sp)
+        addi sp, sp, 4
+        ret
+
+# fmt_short(r4 = &record) -> r2: first reader of a queried record,
+# including its link field.
+fmt_short:
+        lw   r2, 0(r4)              # (PC set A)
+        lw   r3, 4(r4)
+        add  r2, r2, r3
+        lw   r3, 16(r4)
+        add  r2, r2, r3
+        lw   r3, 28(r4)             # link field (producer)
+        add  r2, r2, r3
+        ret
+
+# fmt_long(r4 = &record) -> r2: second reader, RAR with fmt_short. The
+# returned value carries the link, so the query chain runs through the
+# covered re-read.
+fmt_long:
+        lw   r2, 0(r4)              # (PC set B): RAR
+        lw   r3, 4(r4)
+        xor  r2, r2, r3
+        lw   r3, 16(r4)
+        add  r2, r2, r3
+        lw   r3, 28(r4)             # link re-read: RAR-covered
+        mv   r2, r3
+        ret
+`, txns)
+	return mustBuild("vor_like", src)
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"rarpred/internal/asm"
+	"rarpred/internal/isa"
+)
+
+// SynthConfig parameterises a synthetic benchmark. Each knob injects a
+// known quantity of one memory-dependence idiom per iteration, so users
+// can construct streams with chosen RAW/RAR mixes, locality and
+// value-predictability and study how the mechanisms respond.
+type SynthConfig struct {
+	// Iterations is the outer loop count (default 10,000).
+	Iterations int
+
+	// RARPairs adds load pairs where a second static load re-reads the
+	// address a first one just read — covered RAR streams.
+	RARPairs int
+
+	// RAWPairs adds store→load pairs (write then validate) — covered RAW
+	// streams.
+	RAWPairs int
+
+	// StreamLoads adds dependence-free streaming loads (never re-read
+	// before eviction).
+	StreamLoads int
+
+	// RMWCounters adds fixed-address read-modify-write counters —
+	// perfectly predictable RAW.
+	RMWCounters int
+
+	// ChaseDepth, when positive, walks that many nodes of a scrambled
+	// linked list per iteration with the Figure 3 dual-read idiom (the
+	// advance happens through a covered re-read).
+	ChaseDepth int
+
+	// WorkingSet is the shared-array size in words (default 1024). It
+	// controls reuse distances relative to the DDT.
+	WorkingSet int
+
+	// ValueRange quantises stored/loaded values: small ranges repeat
+	// values (value prediction does well), 0 means full 32-bit values.
+	ValueRange uint32
+
+	// Seed fixes the generated data and address streams (default 1).
+	Seed uint32
+}
+
+func (c SynthConfig) withDefaults() SynthConfig {
+	if c.Iterations <= 0 {
+		c.Iterations = 10_000
+	}
+	if c.WorkingSet <= 0 {
+		c.WorkingSet = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Synthetic builds a program with the configured dependence mix. The
+// program is deterministic for a given configuration.
+func Synthetic(cfg SynthConfig) (*isa.Program, error) {
+	cfg = cfg.withDefaults()
+	if cfg.WorkingSet&(cfg.WorkingSet-1) != 0 {
+		return nil, fmt.Errorf("workload: WorkingSet %d must be a power of two", cfg.WorkingSet)
+	}
+	var b strings.Builder
+	data := words(cfg.Seed, cfg.WorkingSet, cfg.ValueRange)
+
+	// Chase arena: {payload, next} nodes over the working set.
+	const chaseNodes = 512
+	perm := scramble(chaseNodes, cfg.Seed+17)
+	chase := make([]uint32, chaseNodes*2)
+	arenaBase := dataBase + uint32(cfg.WorkingSet)*4
+	for k := 0; k < chaseNodes; k++ {
+		i := int(perm[k])
+		succ := perm[(k+1)%chaseNodes]
+		v := uint32(i * 31)
+		if cfg.ValueRange > 0 {
+			v %= cfg.ValueRange
+		}
+		chase[i*2] = v
+		chase[i*2+1] = arenaBase + succ*8
+	}
+
+	fmt.Fprintf(&b, "        .data\n%s%s", wordsDirective("shared", data),
+		wordsDirective("chasearena", chase))
+	b.WriteString("counters: .space 16\n        .text\n")
+	fmt.Fprintf(&b, "main:   li   r22, %d\n", cfg.Iterations)
+	fmt.Fprintf(&b, "        li   r20, %d\n", int32(cfg.Seed|1))
+	fmt.Fprintf(&b, "        li   r26, %d\n", arenaBase)
+	b.WriteString("iter:\n")
+	// Advance the LCG once per iteration; derive addresses from it.
+	b.WriteString(`        li   r1, 1664525
+        mul  r20, r20, r1
+        li   r1, 1013904223
+        add  r20, r20, r1
+`)
+	mask := cfg.WorkingSet - 1
+	// The value written by RAW pairs; quantised if requested.
+	b.WriteString("        mv   r21, r20\n")
+	if cfg.ValueRange > 0 {
+		fmt.Fprintf(&b, "        li   r1, %d\n        rem  r21, r21, r1\n", int32(cfg.ValueRange))
+	}
+
+	slot := func(i int, label string) {
+		// r2 <- &shared[hash_i(r20) & mask]
+		fmt.Fprintf(&b, "        srli r2, r20, %d\n", (i*5)%20)
+		fmt.Fprintf(&b, "        andi r2, r2, %d\n", mask)
+		b.WriteString("        slli r2, r2, 2\n        la   r3, shared\n        add  r2, r3, r2\n")
+		_ = label
+	}
+	for i := 0; i < cfg.RARPairs; i++ {
+		slot(i, "rar")
+		b.WriteString("        lw   r4, 0(r2)              # RAR source\n")
+		b.WriteString("        lw   r5, 0(r2)              # RAR sink (covered)\n")
+		b.WriteString("        add  r23, r4, r5\n")
+	}
+	for i := 0; i < cfg.RAWPairs; i++ {
+		slot(i+7, "raw")
+		b.WriteString("        sw   r21, 0(r2)             # RAW producer\n")
+		b.WriteString("        lw   r6, 0(r2)              # RAW consumer (covered)\n")
+		b.WriteString("        add  r23, r23, r6\n")
+	}
+	if cfg.StreamLoads > 0 {
+		// A cursor marching through the working set, never re-read.
+		b.WriteString("        andi r7, r22, " + fmt.Sprint(mask) + "\n")
+		b.WriteString("        slli r7, r7, 2\n        la   r8, shared\n        add  r7, r8, r7\n")
+		for i := 0; i < cfg.StreamLoads; i++ {
+			fmt.Fprintf(&b, "        lw   r9, %d(r7)             # streaming\n", (i*4)%64)
+			b.WriteString("        xor  r23, r23, r9\n")
+		}
+	}
+	for i := 0; i < cfg.RMWCounters; i++ {
+		fmt.Fprintf(&b, "        la   r10, counters\n        lw   r11, %d(r10)\n", (i%4)*4)
+		b.WriteString("        addi r11, r11, 1\n")
+		fmt.Fprintf(&b, "        sw   r11, %d(r10)\n", (i%4)*4)
+	}
+	if cfg.ChaseDepth > 0 {
+		fmt.Fprintf(&b, "        li   r12, %d\n", cfg.ChaseDepth)
+		b.WriteString(`chase:  lw   r13, 0(r26)            # payload (producer)
+        lw   r14, 4(r26)            # next peek (producer)
+        add  r23, r23, r14
+        lw   r13, 0(r26)            # payload re-read (covered)
+        add  r23, r23, r13
+        lw   r26, 4(r26)            # advance via covered re-read
+        addi r12, r12, -1
+        bne  r12, r0, chase
+`)
+	}
+	b.WriteString(`        addi r22, r22, -1
+        bne  r22, r0, iter
+        halt
+`)
+	prog, err := asm.Assemble(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("workload: synthetic assembly failed: %w", err)
+	}
+	return prog, nil
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"testing"
+
+	"rarpred/internal/cloak"
+	"rarpred/internal/funcsim"
+	"rarpred/internal/vpred"
+)
+
+// synthShape runs a synthetic program under the default engine and a
+// last-value predictor.
+func synthShape(t *testing.T, cfg SynthConfig) (cloak.Stats, float64) {
+	t.Helper()
+	prog, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := cloak.New(cloak.DefaultConfig())
+	vp := vpred.NewLastValue(vpred.DefaultEntries)
+	var vpCorrect, loads uint64
+	s := funcsim.New(prog)
+	s.OnLoad = func(e funcsim.MemEvent) {
+		loads++
+		engine.Load(e.PC, e.Addr, e.Value)
+		if _, ok := vp.Access(e.PC, e.Value); ok {
+			vpCorrect++
+		}
+	}
+	s.OnStore = func(e funcsim.MemEvent) { engine.Store(e.PC, e.Addr, e.Value) }
+	if err := s.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return engine.Stats(), float64(vpCorrect) / float64(loads)
+}
+
+func TestSyntheticRARKnob(t *testing.T) {
+	st, _ := synthShape(t, SynthConfig{Iterations: 4000, RARPairs: 3})
+	frac := float64(st.CorrectRAR) / float64(st.Loads)
+	// 3 pairs = 6 loads per iteration; half are covered sinks.
+	if frac < 0.4 {
+		t.Errorf("RAR coverage = %.3f, want ~0.5", frac)
+	}
+	if st.CorrectRAW > st.Loads/50 {
+		t.Errorf("unexpected RAW coverage %d", st.CorrectRAW)
+	}
+}
+
+func TestSyntheticRAWKnob(t *testing.T) {
+	st, _ := synthShape(t, SynthConfig{Iterations: 4000, RAWPairs: 3})
+	frac := float64(st.CorrectRAW) / float64(st.Loads)
+	if frac < 0.8 {
+		t.Errorf("RAW coverage = %.3f, want ~1 (every load validates a store)", frac)
+	}
+}
+
+func TestSyntheticStreamKnob(t *testing.T) {
+	st, _ := synthShape(t, SynthConfig{Iterations: 4000, StreamLoads: 4, WorkingSet: 4096})
+	if covered := st.Covered(); covered > st.Loads/20 {
+		t.Errorf("streaming loads covered %d of %d", covered, st.Loads)
+	}
+}
+
+func TestSyntheticChaseKnob(t *testing.T) {
+	st, _ := synthShape(t, SynthConfig{Iterations: 2000, ChaseDepth: 8})
+	// Per chase node: 4 loads (payload, next peek, payload re-read,
+	// advance), of which the two re-reads are covered.
+	frac := float64(st.CorrectRAR) / float64(st.Loads)
+	if frac < 0.45 {
+		t.Errorf("chase coverage = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestSyntheticValueRangeKnob(t *testing.T) {
+	_, vpWide := synthShape(t, SynthConfig{Iterations: 4000, RAWPairs: 2, ValueRange: 0})
+	_, vpNarrow := synthShape(t, SynthConfig{Iterations: 4000, RAWPairs: 2, ValueRange: 3})
+	if vpNarrow <= vpWide {
+		t.Errorf("quantised values (%f) should help VP more than wide ones (%f)",
+			vpNarrow, vpWide)
+	}
+}
+
+func TestSyntheticAdjacentPairsImmuneToWorkingSet(t *testing.T) {
+	// The injected pairs are adjacent same-address accesses, so their
+	// detection is independent of working-set size (only reuse distance
+	// relative to the DDT matters, and it is ~1 for pairs). Both extremes
+	// must detect exactly one dependence per iteration.
+	big, _ := synthShape(t, SynthConfig{Iterations: 4000, RARPairs: 1, WorkingSet: 65536})
+	small, _ := synthShape(t, SynthConfig{Iterations: 4000, RARPairs: 1, WorkingSet: 64})
+	if big.LoadsWithRAR != 4000 || small.LoadsWithRAR != 4000 {
+		t.Errorf("pair detection should be exactly per-iteration: big %d, small %d",
+			big.LoadsWithRAR, small.LoadsWithRAR)
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := Synthetic(SynthConfig{WorkingSet: 100}); err == nil {
+		t.Error("non-power-of-two working set accepted")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := SynthConfig{Iterations: 1000, RARPairs: 1, RAWPairs: 1, ChaseDepth: 2}
+	a, _ := synthShape(t, cfg)
+	b, _ := synthShape(t, cfg)
+	if a != b {
+		t.Error("synthetic program not deterministic")
+	}
+}
+
+func TestSyntheticCombined(t *testing.T) {
+	st, _ := synthShape(t, SynthConfig{
+		Iterations: 3000, RARPairs: 2, RAWPairs: 2,
+		StreamLoads: 2, RMWCounters: 2, ChaseDepth: 4,
+	})
+	if st.CorrectRAR == 0 || st.CorrectRAW == 0 {
+		t.Errorf("combined mix missing coverage: %+v", st)
+	}
+	if st.Mispredicted() > st.Loads/100 {
+		t.Errorf("combined mix misspeculates: %d of %d", st.Mispredicted(), st.Loads)
+	}
+}
