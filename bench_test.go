@@ -188,6 +188,56 @@ func BenchmarkAblationConfidence(b *testing.B) {
 	b.ReportMetric(100*twoBit/n, "2bit-misp-%")
 }
 
+// functionalIDs are the experiments that consume only the committed
+// reference stream (everything but the cycle-level timing runs), i.e.
+// the ones the shared trace cache serves.
+var functionalIDs = []string{
+	"table51", "fig2", "fig5", "fig6", "fig7a", "fig7b", "table52",
+	"synergy", "ablprofile", "ablmerge", "ablsplit", "abldpnt",
+	"ablwindow", "abldist",
+}
+
+// BenchmarkSuiteFunctional runs every functional experiment back to
+// back, the way `rarsim -exp all` does, under both execution models:
+//
+//	live:   each experiment re-simulates every workload (the pre-cache
+//	        behaviour, forced via Options.Live)
+//	replay: experiments replay the shared recorded streams
+//
+// Comparing the two sub-benchmarks in one run measures the speedup the
+// trace cache buys for the multi-experiment workflow.
+func BenchmarkSuiteFunctional(b *testing.B) {
+	runSuite := func(b *testing.B, opt experiments.Options) {
+		for i := 0; i < b.N; i++ {
+			for _, id := range functionalIDs {
+				e, _ := experiments.ByID(id)
+				if _, err := e.Run(opt); err != nil {
+					b.Fatalf("%s: %v", id, err)
+				}
+			}
+		}
+	}
+	b.Run("live", func(b *testing.B) {
+		opt := benchOptions()
+		opt.Live = true
+		runSuite(b, opt)
+	})
+	b.Run("replay", func(b *testing.B) {
+		opt := benchOptions()
+		// Record once outside the timed region: steady state for the
+		// multi-experiment workflow is a warm cache, and the one-time
+		// recording otherwise dominates the first iteration.
+		for _, id := range functionalIDs {
+			e, _ := experiments.ByID(id)
+			if _, err := e.Run(opt); err != nil {
+				b.Fatalf("%s: %v", id, err)
+			}
+		}
+		b.ResetTimer()
+		runSuite(b, opt)
+	})
+}
+
 // BenchmarkFunctionalSim measures raw functional-simulation throughput.
 func BenchmarkFunctionalSim(b *testing.B) {
 	w, _ := workload.ByAbbrev("gcc")

@@ -2,6 +2,11 @@
 // and figure of "Read-After-Read Memory Dependence Prediction" (MICRO
 // 1999), plus this repository's ablations.
 //
+// All functional (non-timing) experiments draw each workload's committed
+// memory reference stream from a shared in-process trace cache, so
+// `-exp all` simulates every workload once and replays the stream into
+// each experiment's analyzers.
+//
 // Usage:
 //
 //	rarsim -list                 # list experiments
@@ -10,12 +15,16 @@
 //	rarsim -exp fig9 -size 6     # smaller workloads (faster)
 //	rarsim -exp fig2 -bench gcc  # restrict to one workload
 //	rarsim -workloads            # list the benchmark suite
+//	rarsim -exp all -live        # re-simulate per experiment (no cache)
+//	rarsim -exp all -cpuprofile cpu.pprof   # profile the run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,12 +34,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		size     = flag.Int("size", 0, "workload size parameter (0 = experiment default)")
-		bench    = flag.String("bench", "", "comma-separated workload abbreviations (default: all)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		lists    = flag.Bool("workloads", false, "list the benchmark suite and exit")
-		parallel = flag.Int("p", 0, "max concurrent workload simulations (0 = GOMAXPROCS)")
+		exp        = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		size       = flag.Int("size", 0, "workload size parameter (0 = experiment default)")
+		bench      = flag.String("bench", "", "comma-separated workload abbreviations (default: all)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		lists      = flag.Bool("workloads", false, "list the benchmark suite and exit")
+		parallel   = flag.Int("p", 0, "max concurrent workload simulations (0 = GOMAXPROCS)")
+		live       = flag.Bool("live", false, "re-simulate workloads per experiment instead of replaying the shared trace cache")
+		traceMB    = flag.Int64("tracebudget", 0, "trace cache budget in MiB (0 = default 512)")
+		traceStats = flag.Bool("tracestats", false, "print trace cache statistics to stderr after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -51,7 +65,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := experiments.Options{Size: *size, Parallelism: *parallel}
+	if *traceMB > 0 {
+		experiments.TraceCache().SetBudget(*traceMB << 20)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rarsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rarsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opt := experiments.Options{Size: *size, Parallelism: *parallel, Live: *live}
 	if *bench != "" {
 		for _, ab := range strings.Split(*bench, ",") {
 			w, ok := workload.ByAbbrev(strings.TrimSpace(ab))
@@ -90,5 +122,27 @@ func main() {
 		}
 		fmt.Print(res.String())
 		fmt.Printf("[%s in %.1fs]\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *traceStats {
+		st := experiments.TraceCache().Stats()
+		fmt.Fprintf(os.Stderr,
+			"trace cache: %d hits, %d misses, %d evictions, %d streams resident (%.1f of %.0f MiB)\n",
+			st.Hits, st.Misses, st.Evictions, st.Entries,
+			float64(st.Bytes)/(1<<20), float64(st.Budget)/(1<<20))
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rarsim: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rarsim: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,5 +1,7 @@
 package cloak
 
+import "rarpred/internal/container"
+
 // DepKind classifies a detected memory dependence.
 type DepKind uint8
 
@@ -41,23 +43,19 @@ type Detector interface {
 	Load(addr, pc uint32) (Dependence, bool)
 }
 
-// ddtEntry is the per-address record: the PC of the most recent store and
-// the PC of the earliest load since that store.
-type ddtEntry struct {
-	storePC    uint32
-	storeValid bool
-	loadPC     uint32
-	loadValid  bool
-
-	// intrusive LRU list links
-	prev, next *ddtNode
-}
-
-// ddtNode wraps an entry with its address for the LRU list.
+// ddtNode is the per-address record: the PC of the most recent store and
+// the PC of the earliest load since that store, linked into the LRU
+// order by slice index (head = most recently used, -1 = none).
 type ddtNode struct {
-	addr uint32
-	ddtEntry
+	addr       uint32
+	storePC    uint32
+	loadPC     uint32
+	storeValid bool
+	loadValid  bool
+	prev, next int32
 }
+
+const ddtNil = int32(-1)
 
 // DDT is the Dependence Detection Table: an address-indexed,
 // fully-associative, LRU-replaced cache that records, per word address,
@@ -67,11 +65,18 @@ type ddtNode struct {
 // recorded for the address (so RAW detection takes priority) and only
 // when no other load has been recorded (so the *earliest* load in program
 // order is annotated as the RAR producer).
+//
+// The table is the hottest structure in every stream analysis, so nodes
+// live in one slice (indices instead of pointers, no per-entry
+// allocation after warm-up) and the address index is an open-addressed
+// container.U32Map rather than a built-in map.
 type DDT struct {
 	capacity    int // 0 means unbounded (the "infinite address window")
 	recordLoads bool
-	entries     map[uint32]*ddtNode
-	head, tail  *ddtNode // head = most recently used
+	idx         *container.U32Map[int32]
+	nodes       []ddtNode
+	free        []int32
+	head, tail  int32
 
 	evictions uint64
 }
@@ -82,75 +87,122 @@ var _ Detector = (*DDT)(nil)
 // recordLoads selects whether loads are recorded, i.e. whether RAR
 // dependences are detectable; the original RAW-only cloaking passes false.
 func NewDDT(capacity int, recordLoads bool) *DDT {
-	return &DDT{
+	d := &DDT{
 		capacity:    capacity,
 		recordLoads: recordLoads,
-		entries:     make(map[uint32]*ddtNode),
+		// +1: a full table holds capacity+1 index entries for a moment
+		// during eviction (insert first, then delete the victim).
+		idx:         container.NewU32Map[int32](capacity + 1),
+		head:        ddtNil,
+		tail:        ddtNil,
 	}
+	if capacity > 0 {
+		d.nodes = make([]ddtNode, 0, capacity)
+	}
+	return d
 }
 
 // Capacity returns the table's entry limit (0 = unbounded).
 func (d *DDT) Capacity() int { return d.capacity }
 
 // Len returns the number of resident addresses.
-func (d *DDT) Len() int { return len(d.entries) }
+func (d *DDT) Len() int { return d.idx.Len() }
 
 // Evictions returns the cumulative LRU eviction count.
 func (d *DDT) Evictions() uint64 { return d.evictions }
 
-func (d *DDT) unlink(n *ddtNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (d *DDT) unlink(i int32) {
+	n := &d.nodes[i]
+	if n.prev != ddtNil {
+		d.nodes[n.prev].next = n.next
 	} else {
 		d.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next != ddtNil {
+		d.nodes[n.next].prev = n.prev
 	} else {
 		d.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = ddtNil, ddtNil
 }
 
-func (d *DDT) pushFront(n *ddtNode) {
+func (d *DDT) pushFront(i int32) {
+	n := &d.nodes[i]
 	n.next = d.head
-	if d.head != nil {
-		d.head.prev = n
+	n.prev = ddtNil
+	if d.head != ddtNil {
+		d.nodes[d.head].prev = i
 	}
-	d.head = n
-	if d.tail == nil {
-		d.tail = n
+	d.head = i
+	if d.tail == ddtNil {
+		d.tail = i
 	}
 }
 
-func (d *DDT) touch(n *ddtNode) {
-	if d.head == n {
+func (d *DDT) touch(i int32) {
+	if d.head == i {
 		return
 	}
-	d.unlink(n)
-	d.pushFront(n)
+	d.unlink(i)
+	d.pushFront(i)
 }
 
 // lookup returns the resident node for addr, touching it, or allocates
-// one (evicting LRU if at capacity).
+// one (evicting LRU if at capacity). The pointer is valid until the next
+// lookup.
 func (d *DDT) lookup(addr uint32, alloc bool) *ddtNode {
-	if n := d.entries[addr]; n != nil {
-		d.touch(n)
-		return n
-	}
 	if !alloc {
+		if i, ok := d.idx.Get(addr); ok {
+			d.touch(i)
+			return &d.nodes[i]
+		}
 		return nil
 	}
-	if d.capacity > 0 && len(d.entries) >= d.capacity {
+	// One probe resolves both the membership check and the insertion
+	// slot; on a miss the slot is fixed up to the node index below.
+	p, inserted := d.idx.GetOrPut(addr)
+	if !inserted {
+		i := *p
+		d.touch(i)
+		return &d.nodes[i]
+	}
+	var victimAddr uint32
+	evicted := false
+	if d.capacity > 0 && d.idx.Len() > d.capacity {
 		victim := d.tail
 		d.unlink(victim)
-		delete(d.entries, victim.addr)
+		victimAddr = d.nodes[victim].addr
+		evicted = true
+		d.free = append(d.free, victim)
 		d.evictions++
 	}
-	n := &ddtNode{addr: addr}
-	d.entries[addr] = n
-	d.pushFront(n)
-	return n
+	var i int32
+	if len(d.free) > 0 {
+		i = d.free[len(d.free)-1]
+		d.free = d.free[:len(d.free)-1]
+		d.nodes[i] = ddtNode{addr: addr, prev: ddtNil, next: ddtNil}
+	} else {
+		i = int32(len(d.nodes))
+		d.nodes = append(d.nodes, ddtNode{addr: addr, prev: ddtNil, next: ddtNil})
+	}
+	if evicted {
+		// Deleting the victim's index entry shifts slots around, which may
+		// move the entry GetOrPut just inserted, so re-point it by key.
+		d.idx.Delete(victimAddr)
+		d.idx.Put(addr, i)
+	} else {
+		*p = i
+	}
+	d.pushFront(i)
+	return &d.nodes[i]
+}
+
+// peek returns the resident node for addr without touching recency.
+func (d *DDT) peek(addr uint32) *ddtNode {
+	if i, ok := d.idx.Get(addr); ok {
+		return &d.nodes[i]
+	}
+	return nil
 }
 
 // Store records a committed store: the entry's store PC is replaced and
@@ -217,7 +269,7 @@ func NewSplitDDT(storeCapacity, loadCapacity int) *SplitDDT {
 // breaks RAR chains regardless of which table tracks them).
 func (s *SplitDDT) Store(addr, pc uint32) {
 	s.stores.Store(addr, pc)
-	if n := s.loads.entries[addr]; n != nil {
+	if n := s.loads.peek(addr); n != nil {
 		n.loadValid = false
 		n.storeValid = false
 	}

@@ -128,6 +128,9 @@ func (t *DPNT) Lookup(pc uint32) (Prediction, bool) {
 // policy when they disagree), the source is marked as a producer and the
 // sink as a consumer. It returns the group synonym after merging.
 func (t *DPNT) RecordDependence(dep Dependence) uint32 {
+	// src must survive the sink's insertion (unbounded tables may move
+	// entries when they grow).
+	t.table.Reserve(2)
 	src, _ := t.table.GetOrInsert(key(dep.SourcePC))
 	snk, _ := t.table.GetOrInsert(key(dep.SinkPC))
 	if src == snk {

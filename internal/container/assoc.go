@@ -7,10 +7,17 @@ package container
 // model finite PC-, address- and synonym-indexed hardware structures.
 // Construct with NewAssoc; sets <= 0 selects an unbounded map-backed
 // table, which models "infinite" configurations in accuracy studies.
+//
+// Values live inline in the table, so in unbounded mode a pointer
+// obtained from Get, Peek or GetOrInsert is valid only until the next
+// GetOrInsert (the table may grow); callers that must hold a pointer
+// across insertions bracket them with Reserve. Bounded tables never
+// move entries, but an entry may be evicted and reused by any later
+// GetOrInsert.
 type Assoc[V any] struct {
 	sets, ways int
 	lines      []line[V]
-	unbounded  map[uint32]*V
+	unbounded  *U32Map[V]
 	clock      uint64
 }
 
@@ -26,7 +33,7 @@ type line[V any] struct {
 // power of two so the index is a mask.
 func NewAssoc[V any](sets, ways int) *Assoc[V] {
 	if sets <= 0 {
-		return &Assoc[V]{unbounded: make(map[uint32]*V)}
+		return &Assoc[V]{unbounded: NewU32Map[V](0)}
 	}
 	if ways < 1 {
 		ways = 1
@@ -57,7 +64,7 @@ func (t *Assoc[V]) set(key uint32) []line[V] {
 // entry's recency.
 func (t *Assoc[V]) Get(key uint32) *V {
 	if t.unbounded != nil {
-		return t.unbounded[key]
+		return t.unbounded.Ptr(key)
 	}
 	set := t.set(key)
 	for i := range set {
@@ -73,7 +80,7 @@ func (t *Assoc[V]) Get(key uint32) *V {
 // Peek returns the value under key without refreshing recency.
 func (t *Assoc[V]) Peek(key uint32) *V {
 	if t.unbounded != nil {
-		return t.unbounded[key]
+		return t.unbounded.Ptr(key)
 	}
 	set := t.set(key)
 	for i := range set {
@@ -89,12 +96,7 @@ func (t *Assoc[V]) Peek(key uint32) *V {
 // new entry was created; a new entry starts at the zero value of V.
 func (t *Assoc[V]) GetOrInsert(key uint32) (v *V, inserted bool) {
 	if t.unbounded != nil {
-		if v := t.unbounded[key]; v != nil {
-			return v, false
-		}
-		v := new(V)
-		t.unbounded[key] = v
-		return v, true
+		return t.unbounded.GetOrPut(key)
 	}
 	set := t.set(key)
 	victim := 0
@@ -115,13 +117,20 @@ func (t *Assoc[V]) GetOrInsert(key uint32) (v *V, inserted bool) {
 	return &set[victim].val, true
 }
 
+// Reserve ensures the next n GetOrInsert calls cannot move entries, so
+// pointers obtained before them stay valid. It is a no-op on bounded
+// tables, whose entries never move.
+func (t *Assoc[V]) Reserve(n int) {
+	if t.unbounded != nil {
+		t.unbounded.Reserve(n)
+	}
+}
+
 // ForEach visits every valid entry without touching recency. Iteration
 // order is unspecified.
 func (t *Assoc[V]) ForEach(f func(key uint32, v *V)) {
 	if t.unbounded != nil {
-		for k, v := range t.unbounded {
-			f(k, v)
-		}
+		t.unbounded.ForEach(f)
 		return
 	}
 	for i := range t.lines {
@@ -134,7 +143,7 @@ func (t *Assoc[V]) ForEach(f func(key uint32, v *V)) {
 // Len returns the number of valid entries.
 func (t *Assoc[V]) Len() int {
 	if t.unbounded != nil {
-		return len(t.unbounded)
+		return t.unbounded.Len()
 	}
 	n := 0
 	for i := range t.lines {

@@ -6,7 +6,7 @@ package container
 // of Section 2). Construct with NewLRU; capacity 0 means unbounded.
 type LRU[V any] struct {
 	capacity   int
-	entries    map[uint32]*lruNode[V]
+	entries    *U32Map[*lruNode[V]]
 	head, tail *lruNode[V] // head = most recently used
 	evictions  uint64
 
@@ -23,11 +23,11 @@ type lruNode[V any] struct {
 
 // NewLRU returns an LRU with the given capacity (0 = unbounded).
 func NewLRU[V any](capacity int) *LRU[V] {
-	return &LRU[V]{capacity: capacity, entries: make(map[uint32]*lruNode[V])}
+	return &LRU[V]{capacity: capacity, entries: NewU32Map[*lruNode[V]](capacity)}
 }
 
 // Len returns the number of resident entries.
-func (l *LRU[V]) Len() int { return len(l.entries) }
+func (l *LRU[V]) Len() int { return l.entries.Len() }
 
 // Capacity returns the entry limit (0 = unbounded).
 func (l *LRU[V]) Capacity() int { return l.capacity }
@@ -62,7 +62,7 @@ func (l *LRU[V]) pushFront(n *lruNode[V]) {
 
 // Get returns the value under key, refreshing its recency, or nil.
 func (l *LRU[V]) Get(key uint32) *V {
-	n := l.entries[key]
+	n, _ := l.entries.Get(key)
 	if n == nil {
 		return nil
 	}
@@ -75,7 +75,7 @@ func (l *LRU[V]) Get(key uint32) *V {
 
 // Peek returns the value under key without refreshing recency, or nil.
 func (l *LRU[V]) Peek(key uint32) *V {
-	n := l.entries[key]
+	n, _ := l.entries.Get(key)
 	if n == nil {
 		return nil
 	}
@@ -85,35 +85,35 @@ func (l *LRU[V]) Peek(key uint32) *V {
 // GetOrInsert returns the value under key, allocating (and evicting the
 // LRU entry if at capacity) when absent.
 func (l *LRU[V]) GetOrInsert(key uint32) (v *V, inserted bool) {
-	if n := l.entries[key]; n != nil {
+	if n, _ := l.entries.Get(key); n != nil {
 		if l.head != n {
 			l.unlink(n)
 			l.pushFront(n)
 		}
 		return &n.val, false
 	}
-	if l.capacity > 0 && len(l.entries) >= l.capacity {
+	if l.capacity > 0 && l.entries.Len() >= l.capacity {
 		victim := l.tail
 		if l.OnEvict != nil {
 			l.OnEvict(victim.key, &victim.val)
 		}
 		l.unlink(victim)
-		delete(l.entries, victim.key)
+		l.entries.Delete(victim.key)
 		l.evictions++
 	}
 	n := &lruNode[V]{key: key}
-	l.entries[key] = n
+	l.entries.Put(key, n)
 	l.pushFront(n)
 	return &n.val, true
 }
 
 // Remove deletes the entry under key, reporting whether it was resident.
 func (l *LRU[V]) Remove(key uint32) bool {
-	n := l.entries[key]
+	n, _ := l.entries.Get(key)
 	if n == nil {
 		return false
 	}
 	l.unlink(n)
-	delete(l.entries, key)
+	l.entries.Delete(key)
 	return true
 }

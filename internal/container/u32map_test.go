@@ -1,0 +1,133 @@
+package container
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestU32MapBasic(t *testing.T) {
+	m := NewU32Map[int](0)
+	if _, ok := m.Get(0); ok {
+		t.Error("empty map reports key 0")
+	}
+	// Key 0 is an ordinary key (no sentinel confusion).
+	if _, existed := m.Put(0, 10); existed {
+		t.Error("fresh Put reports existed")
+	}
+	if v, ok := m.Get(0); !ok || v != 10 {
+		t.Errorf("Get(0) = %d, %v", v, ok)
+	}
+	if prev, existed := m.Put(0, 11); !existed || prev != 10 {
+		t.Errorf("Put overwrite = %d, %v", prev, existed)
+	}
+	if !m.Delete(0) {
+		t.Error("Delete(0) missed")
+	}
+	if m.Delete(0) {
+		t.Error("double Delete succeeded")
+	}
+	if m.Len() != 0 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestU32MapGetOrPut(t *testing.T) {
+	m := NewU32Map[[4]uint32](0)
+	p, inserted := m.GetOrPut(7)
+	if !inserted {
+		t.Error("first GetOrPut not inserted")
+	}
+	p[0] = 99
+	p2, inserted := m.GetOrPut(7)
+	if inserted || p2[0] != 99 {
+		t.Errorf("GetOrPut lost in-place mutation: %v %v", inserted, p2[0])
+	}
+}
+
+// TestU32MapQuick: the map behaves exactly like a builtin map under a
+// random workload of puts, deletes and lookups, across many growths and
+// backward-shift deletions.
+func TestU32MapQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewU32Map[uint32](0)
+	ref := map[uint32]uint32{}
+	// Small key space forces collisions, wrap-around probes and shifts.
+	const keys = 512
+	for op := 0; op < 200000; op++ {
+		k := uint32(rng.Intn(keys)) * 4 // word-aligned like real addresses
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint32()
+			prev, existed := m.Put(k, v)
+			refPrev, refExisted := ref[k]
+			if existed != refExisted || prev != refPrev {
+				t.Fatalf("op %d: Put(%d) = %d,%v want %d,%v", op, k, prev, existed, refPrev, refExisted)
+			}
+			ref[k] = v
+		case 1:
+			if m.Delete(k) != (func() bool { _, ok := ref[k]; return ok })() {
+				t.Fatalf("op %d: Delete(%d) disagrees", op, k)
+			}
+			delete(ref, k)
+		case 2:
+			v, ok := m.Get(k)
+			refV, refOK := ref[k]
+			if ok != refOK || v != refV {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, v, ok, refV, refOK)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len %d != %d", op, m.Len(), len(ref))
+		}
+	}
+	// Final full cross-check, both directions.
+	got := map[uint32]uint32{}
+	m.ForEach(func(k uint32, v *uint32) { got[k] = *v })
+	if len(got) != len(ref) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(got), len(ref))
+	}
+	for k, v := range ref {
+		if got[k] != v {
+			t.Fatalf("key %d: %d != %d", k, got[k], v)
+		}
+	}
+}
+
+func TestU32MapHint(t *testing.T) {
+	m := NewU32Map[int](1000)
+	if m.limit < 1000 {
+		t.Errorf("hint 1000 gives limit %d; would grow immediately", m.limit)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		m.Put(i, int(i))
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if v, ok := m.Get(i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+}
+
+func BenchmarkU32MapMixed(b *testing.B) {
+	m := NewU32Map[uint32](0)
+	for i := 0; i < b.N; i++ {
+		k := uint32(i%4096) * 4
+		m.Put(k, uint32(i))
+		m.Get(k)
+		if i%8 == 0 {
+			m.Delete(k)
+		}
+	}
+}
+
+func BenchmarkBuiltinMapMixed(b *testing.B) {
+	m := map[uint32]uint32{}
+	for i := 0; i < b.N; i++ {
+		k := uint32(i%4096) * 4
+		m[k] = uint32(i)
+		_ = m[k]
+		if i%8 == 0 {
+			delete(m, k)
+		}
+	}
+}

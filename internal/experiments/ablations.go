@@ -5,8 +5,8 @@ import (
 	"strings"
 
 	"rarpred/internal/cloak"
-	"rarpred/internal/funcsim"
 	"rarpred/internal/stats"
+	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
 
@@ -55,24 +55,23 @@ func runVariants(opt Options, title string, variants []string,
 		Workload workload.Workload
 		Cells    []ablCell
 	}
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (row, error) {
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (row, error) {
 		engines := make([]*cloak.Engine, len(variants))
 		for i := range variants {
 			engines[i] = cloak.New(mk(i))
 		}
-		sim.OnLoad = func(e funcsim.MemEvent) {
-			for _, eng := range engines {
-				eng.Load(e.PC, e.Addr, e.Value)
-			}
-		}
-		sim.OnStore = func(e funcsim.MemEvent) {
-			for _, eng := range engines {
-				eng.Store(e.PC, e.Addr, e.Value)
-			}
-		}
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return row{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
+		tr.Replay(trace.SinkFuncs{
+			OnLoad: func(pc, addr, value uint32) {
+				for _, eng := range engines {
+					eng.Load(pc, addr, value)
+				}
+			},
+			OnStore: func(pc, addr, value uint32) {
+				for _, eng := range engines {
+					eng.Store(pc, addr, value)
+				}
+			},
+		})
 		r := row{Workload: w, Cells: make([]ablCell, len(variants))}
 		for i, eng := range engines {
 			st := eng.Stats()

@@ -1,12 +1,11 @@
 package experiments
 
 import (
-	"fmt"
 	"strings"
 
-	"rarpred/internal/funcsim"
 	"rarpred/internal/locality"
 	"rarpred/internal/stats"
+	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
 
@@ -36,13 +35,12 @@ type DistResult struct {
 
 func runAblDist(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (DistRow, error) {
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (DistRow, error) {
 		d := locality.NewDistanceAnalyzer()
-		sim.OnLoad = func(e funcsim.MemEvent) { d.Load(e.PC, e.Addr) }
-		sim.OnStore = func(e funcsim.MemEvent) { d.Store(e.PC, e.Addr) }
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return DistRow{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
+		tr.Replay(trace.SinkFuncs{
+			OnLoad:  func(pc, addr, _ uint32) { d.Load(pc, addr) },
+			OnStore: func(pc, addr, _ uint32) { d.Store(pc, addr) },
+		})
 		return DistRow{
 			Workload: w,
 			Sinks:    d.Sinks(),

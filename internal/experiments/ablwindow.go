@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"rarpred/internal/funcsim"
 	"rarpred/internal/locality"
 	"rarpred/internal/stats"
+	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
 
@@ -39,26 +39,25 @@ type WindowResult struct {
 
 func runAblWindow(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (WindowRow, error) {
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (WindowRow, error) {
 		analyzers := make([]*locality.RARLocality, len(WindowSizes))
 		for i, ws := range WindowSizes {
 			analyzers[i] = locality.NewRARLocality(ws)
 		}
 		var loads uint64
-		sim.OnLoad = func(e funcsim.MemEvent) {
-			loads++
-			for _, a := range analyzers {
-				a.Load(e.PC, e.Addr)
-			}
-		}
-		sim.OnStore = func(e funcsim.MemEvent) {
-			for _, a := range analyzers {
-				a.Store(e.PC, e.Addr)
-			}
-		}
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return WindowRow{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
+		tr.Replay(trace.SinkFuncs{
+			OnLoad: func(pc, addr, _ uint32) {
+				loads++
+				for _, a := range analyzers {
+					a.Load(pc, addr)
+				}
+			},
+			OnStore: func(pc, addr, _ uint32) {
+				for _, a := range analyzers {
+					a.Store(pc, addr)
+				}
+			},
+		})
 		row := WindowRow{Workload: w}
 		for _, a := range analyzers {
 			row.SinkFrac = append(row.SinkFrac, stats.Ratio(a.SinkLoads(), loads))

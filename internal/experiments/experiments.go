@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"rarpred/internal/funcsim"
+	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
 
@@ -31,6 +32,15 @@ type Options struct {
 
 	// Parallelism bounds concurrent workload simulations (0 = GOMAXPROCS).
 	Parallelism int
+
+	// Live forces the functional experiments onto the pre-cache path:
+	// each experiment assembles its workloads fresh and re-simulates them
+	// with the baseline Step interpreter over paged memory, instead of
+	// replaying the shared memory-trace cache. The results are identical
+	// either way (both paths commit the exact same stream); Live exists so
+	// the equivalence can be asserted and the pipeline's speedup measured
+	// against the costs it removed.
+	Live bool
 }
 
 func (o Options) workloads() []workload.Workload {
@@ -123,6 +133,69 @@ func forEachWorkload[T any](opt Options, size int, fn func(w workload.Workload, 
 			defer func() { <-sem }()
 			sim := funcsim.New(w.Program(size))
 			rows[i], errs[i] = fn(w, sim)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// traceCache is the process-wide store of committed reference streams.
+// Every functional experiment in a run (and every run in a process)
+// shares it, so `rarsim -exp all` simulates each workload once and
+// replays the stream into every analyzer.
+var traceCache = trace.NewCache(trace.DefaultBudget)
+
+// TraceCache exposes the shared stream cache (for budget control and
+// statistics reporting in cmd/rarsim).
+func TraceCache() *trace.Cache { return traceCache }
+
+// forEachWorkloadTraced is the trace-backed sibling of forEachWorkload,
+// used by every experiment that only consumes the committed memory
+// reference stream (all the non-timing experiments; the Section 5.6
+// cycle-level studies need full register-state simulation and keep the
+// live path). fn receives the workload and its recorded stream, obtained
+// from the shared cache — recorded on first use, replayed thereafter.
+// opt.Live bypasses the cache and re-records.
+func forEachWorkloadTraced[T any](opt Options, size int, fn func(w workload.Workload, tr *trace.Stream) (T, error)) ([]T, error) {
+	maxInsts := opt.maxInsts()
+	ws := opt.workloads()
+	rows := make([]T, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, opt.parallelism())
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			record := func() (*trace.Stream, error) {
+				return trace.RecordStream(w.Program(size), maxInsts)
+			}
+			var tr *trace.Stream
+			var err error
+			if opt.Live {
+				// The pre-cache harness re-assembled the workload and
+				// Step-interpreted it over paged memory for every
+				// experiment; model all three costs.
+				tr, err = trace.RecordStreamBaseline(w.Assemble(size), maxInsts)
+			} else {
+				key := trace.Key{Workload: w.Name, Size: size, MaxInsts: maxInsts}
+				tr, err = traceCache.Get(key, record)
+			}
+			switch {
+			case err != nil:
+				errs[i] = fmt.Errorf("%s: %w", w.Name, err)
+			case tr.Truncated:
+				errs[i] = fmt.Errorf("%s: %w", w.Name, funcsim.ErrMaxInsts)
+			default:
+				rows[i], errs[i] = fn(w, tr)
+			}
 		}(i, w)
 	}
 	wg.Wait()

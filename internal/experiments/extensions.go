@@ -6,9 +6,9 @@ import (
 	"sync"
 
 	"rarpred/internal/cloak"
-	"rarpred/internal/funcsim"
 	"rarpred/internal/pipeline"
 	"rarpred/internal/stats"
+	"rarpred/internal/trace"
 	"rarpred/internal/vpred"
 	"rarpred/internal/workload"
 )
@@ -210,29 +210,28 @@ type SynergyResult struct {
 
 func runSynergy(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (SynergyRow, error) {
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (SynergyRow, error) {
 		engine := cloak.New(table52Config())
 		vp := vpred.NewLastValue(vpred.DefaultEntries)
 		var loads, cCloak, cVP, cHybrid uint64
-		sim.OnLoad = func(e funcsim.MemEvent) {
-			loads++
-			out := engine.Load(e.PC, e.Addr, e.Value)
-			_, vpCorrect := vp.Access(e.PC, e.Value)
-			cloakCorrect := out.Used && out.Correct
-			if cloakCorrect {
-				cCloak++
-			}
-			if vpCorrect {
-				cVP++
-			}
-			if cloakCorrect || vpCorrect {
-				cHybrid++
-			}
-		}
-		sim.OnStore = func(e funcsim.MemEvent) { engine.Store(e.PC, e.Addr, e.Value) }
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return SynergyRow{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
+		tr.Replay(trace.SinkFuncs{
+			OnLoad: func(pc, addr, value uint32) {
+				loads++
+				out := engine.Load(pc, addr, value)
+				_, vpCorrect := vp.Access(pc, value)
+				cloakCorrect := out.Used && out.Correct
+				if cloakCorrect {
+					cCloak++
+				}
+				if vpCorrect {
+					cVP++
+				}
+				if cloakCorrect || vpCorrect {
+					cHybrid++
+				}
+			},
+			OnStore: func(pc, addr, value uint32) { engine.Store(pc, addr, value) },
+		})
 		return SynergyRow{
 			Workload: w,
 			Cloak:    stats.Ratio(cCloak, loads),
@@ -292,30 +291,30 @@ const profileMinCount = 4
 
 func runAblProfile(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (ProfileRow, error) {
-		// Pass 1: profile (and measure hardware coverage on the same run).
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (ProfileRow, error) {
+		// Pass 1: profile (and measure hardware coverage on the same
+		// stream).
 		collector := cloak.NewCollector(128)
 		hw := cloak.New(cloak.DefaultConfig())
-		sim.OnLoad = func(e funcsim.MemEvent) {
-			collector.Load(e.PC, e.Addr)
-			hw.Load(e.PC, e.Addr, e.Value)
-		}
-		sim.OnStore = func(e funcsim.MemEvent) {
-			collector.Store(e.PC, e.Addr)
-			hw.Store(e.PC, e.Addr, e.Value)
-		}
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return ProfileRow{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
-		// Pass 2: a fresh run under the software-guided engine.
+		tr.Replay(trace.SinkFuncs{
+			OnLoad: func(pc, addr, value uint32) {
+				collector.Load(pc, addr)
+				hw.Load(pc, addr, value)
+			},
+			OnStore: func(pc, addr, value uint32) {
+				collector.Store(pc, addr)
+				hw.Store(pc, addr, value)
+			},
+		})
+		// Pass 2: replay the same stream under the software-guided engine
+		// (the program is deterministic, so a second execution would
+		// produce the identical reference stream anyway).
 		profile := collector.Profile()
 		sw := cloak.NewStaticEngine(cloak.DefaultConfig(), profile, profileMinCount)
-		sim2 := funcsim.New(w.Program(size))
-		sim2.OnLoad = func(e funcsim.MemEvent) { sw.Load(e.PC, e.Addr, e.Value) }
-		sim2.OnStore = func(e funcsim.MemEvent) { sw.Store(e.PC, e.Addr, e.Value) }
-		if err := sim2.Run(opt.maxInsts()); err != nil {
-			return ProfileRow{}, fmt.Errorf("%s (software pass): %w", w.Name, err)
-		}
+		tr.Replay(trace.SinkFuncs{
+			OnLoad:  func(pc, addr, value uint32) { sw.Load(pc, addr, value) },
+			OnStore: func(pc, addr, value uint32) { sw.Store(pc, addr, value) },
+		})
 		hwStats, swStats := hw.Stats(), sw.Stats()
 		return ProfileRow{
 			Workload: w,

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"rarpred/internal/funcsim"
 	"rarpred/internal/locality"
 	"rarpred/internal/stats"
+	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
 
@@ -40,20 +40,19 @@ type Fig2Result struct {
 
 func runFig2(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (Fig2Row, error) {
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig2Row, error) {
 		inf := locality.NewRARLocality(0)
 		win := locality.NewRARLocality(Fig2Window)
-		sim.OnLoad = func(e funcsim.MemEvent) {
-			inf.Load(e.PC, e.Addr)
-			win.Load(e.PC, e.Addr)
-		}
-		sim.OnStore = func(e funcsim.MemEvent) {
-			inf.Store(e.PC, e.Addr)
-			win.Store(e.PC, e.Addr)
-		}
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return Fig2Row{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
+		tr.Replay(trace.SinkFuncs{
+			OnLoad: func(pc, addr, _ uint32) {
+				inf.Load(pc, addr)
+				win.Load(pc, addr)
+			},
+			OnStore: func(pc, addr, _ uint32) {
+				inf.Store(pc, addr)
+				win.Store(pc, addr)
+			},
+		})
 		row := Fig2Row{Workload: w, SinkInf: inf.SinkLoads(), SinkWin: win.SinkLoads()}
 		for n := 1; n <= locality.MaxDepth; n++ {
 			row.Infinite[n-1] = inf.Locality(n)

@@ -5,8 +5,8 @@ import (
 	"strings"
 
 	"rarpred/internal/cloak"
-	"rarpred/internal/funcsim"
 	"rarpred/internal/stats"
+	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
 
@@ -42,8 +42,8 @@ type Fig5Result struct {
 
 func runFig5(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (Fig5Row, error) {
-		// One combined-DDT detector per size, all observing one run.
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig5Row, error) {
+		// One combined-DDT detector per size, all observing one stream.
 		dets := make([]*cloak.DDT, len(Fig5Sizes))
 		raw := make([]uint64, len(Fig5Sizes))
 		rar := make([]uint64, len(Fig5Sizes))
@@ -51,26 +51,25 @@ func runFig5(opt Options) (Result, error) {
 			dets[i] = cloak.NewDDT(s, true)
 		}
 		var loads uint64
-		sim.OnLoad = func(e funcsim.MemEvent) {
-			loads++
-			for i, d := range dets {
-				if dep, ok := d.Load(e.Addr, e.PC); ok {
-					if dep.Kind == cloak.DepRAW {
-						raw[i]++
-					} else {
-						rar[i]++
+		tr.Replay(trace.SinkFuncs{
+			OnLoad: func(pc, addr, _ uint32) {
+				loads++
+				for i, d := range dets {
+					if dep, ok := d.Load(addr, pc); ok {
+						if dep.Kind == cloak.DepRAW {
+							raw[i]++
+						} else {
+							rar[i]++
+						}
 					}
 				}
-			}
-		}
-		sim.OnStore = func(e funcsim.MemEvent) {
-			for _, d := range dets {
-				d.Store(e.Addr, e.PC)
-			}
-		}
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return Fig5Row{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
+			},
+			OnStore: func(pc, addr, _ uint32) {
+				for _, d := range dets {
+					d.Store(addr, pc)
+				}
+			},
+		})
 		row := Fig5Row{Workload: w}
 		for i, s := range Fig5Sizes {
 			row.Points = append(row.Points, Fig5Point{

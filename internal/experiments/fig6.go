@@ -5,8 +5,8 @@ import (
 	"strings"
 
 	"rarpred/internal/cloak"
-	"rarpred/internal/funcsim"
 	"rarpred/internal/stats"
+	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
 
@@ -60,23 +60,22 @@ func cellFrom(st cloak.Stats) Fig6Cell {
 
 func runFig6(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (Fig6Row, error) {
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig6Row, error) {
 		cfg1 := cloak.DefaultConfig()
 		cfg1.Confidence = cloak.NonAdaptive1Bit
 		cfg2 := cloak.DefaultConfig()
 		e1 := cloak.New(cfg1)
 		e2 := cloak.New(cfg2)
-		sim.OnLoad = func(e funcsim.MemEvent) {
-			e1.Load(e.PC, e.Addr, e.Value)
-			e2.Load(e.PC, e.Addr, e.Value)
-		}
-		sim.OnStore = func(e funcsim.MemEvent) {
-			e1.Store(e.PC, e.Addr, e.Value)
-			e2.Store(e.PC, e.Addr, e.Value)
-		}
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return Fig6Row{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
+		tr.Replay(trace.SinkFuncs{
+			OnLoad: func(pc, addr, value uint32) {
+				e1.Load(pc, addr, value)
+				e2.Load(pc, addr, value)
+			},
+			OnStore: func(pc, addr, value uint32) {
+				e1.Store(pc, addr, value)
+				e2.Store(pc, addr, value)
+			},
+		})
 		return Fig6Row{
 			Workload: w,
 			OneBit:   cellFrom(e1.Stats()),

@@ -5,9 +5,9 @@ import (
 	"strings"
 
 	"rarpred/internal/cloak"
-	"rarpred/internal/funcsim"
 	"rarpred/internal/locality"
 	"rarpred/internal/stats"
+	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
 
@@ -58,33 +58,32 @@ type Fig7Result struct {
 
 func runFig7(opt Options, value bool) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (Fig7Row, error) {
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig7Row, error) {
 		engine := cloak.New(cloak.DefaultConfig())
 		last := locality.NewLastMap()
 		var loads, localRAW, localRAR, localNone uint64
-		sim.OnLoad = func(e funcsim.MemEvent) {
-			loads++
-			word := e.Addr
-			if value {
-				word = e.Value
-			}
-			repeats := last.Observe(e.PC, word)
-			out := engine.Load(e.PC, e.Addr, e.Value)
-			if repeats {
-				switch out.Dep {
-				case cloak.DepRAW:
-					localRAW++
-				case cloak.DepRAR:
-					localRAR++
-				default:
-					localNone++
+		tr.Replay(trace.SinkFuncs{
+			OnLoad: func(pc, addr, val uint32) {
+				loads++
+				word := addr
+				if value {
+					word = val
 				}
-			}
-		}
-		sim.OnStore = func(e funcsim.MemEvent) { engine.Store(e.PC, e.Addr, e.Value) }
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return Fig7Row{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
+				repeats := last.Observe(pc, word)
+				out := engine.Load(pc, addr, val)
+				if repeats {
+					switch out.Dep {
+					case cloak.DepRAW:
+						localRAW++
+					case cloak.DepRAR:
+						localRAR++
+					default:
+						localNone++
+					}
+				}
+			},
+			OnStore: func(pc, addr, val uint32) { engine.Store(pc, addr, val) },
+		})
 		st := engine.Stats()
 		return Fig7Row{
 			Workload:    w,

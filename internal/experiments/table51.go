@@ -6,6 +6,7 @@ import (
 
 	"rarpred/internal/funcsim"
 	"rarpred/internal/stats"
+	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
 
@@ -30,11 +31,8 @@ type Table51Result struct {
 
 func runTable51(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (Table51Row, error) {
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return Table51Row{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
-		return Table51Row{Workload: w, Counts: sim.Counts}, nil
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Table51Row, error) {
+		return Table51Row{Workload: w, Counts: tr.Counts}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -5,8 +5,8 @@ import (
 	"strings"
 
 	"rarpred/internal/cloak"
-	"rarpred/internal/funcsim"
 	"rarpred/internal/stats"
+	"rarpred/internal/trace"
 	"rarpred/internal/vpred"
 	"rarpred/internal/workload"
 )
@@ -61,30 +61,29 @@ func table52Config() cloak.Config {
 
 func runTable52(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkload(opt, size, func(w workload.Workload, sim *funcsim.Sim) (Table52Row, error) {
+	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Table52Row, error) {
 		engine := cloak.New(table52Config())
 		vp := vpred.NewLastValue(vpred.DefaultEntries)
 		var loads, cloakOnlyRAW, cloakOnlyRAR, vpOnly uint64
-		sim.OnLoad = func(e funcsim.MemEvent) {
-			loads++
-			out := engine.Load(e.PC, e.Addr, e.Value)
-			_, vpCorrect := vp.Access(e.PC, e.Value)
-			cloakCorrect := out.Used && out.Correct
-			switch {
-			case cloakCorrect && !vpCorrect:
-				if out.Kind == cloak.DepRAR {
-					cloakOnlyRAR++
-				} else {
-					cloakOnlyRAW++
+		tr.Replay(trace.SinkFuncs{
+			OnLoad: func(pc, addr, value uint32) {
+				loads++
+				out := engine.Load(pc, addr, value)
+				_, vpCorrect := vp.Access(pc, value)
+				cloakCorrect := out.Used && out.Correct
+				switch {
+				case cloakCorrect && !vpCorrect:
+					if out.Kind == cloak.DepRAR {
+						cloakOnlyRAR++
+					} else {
+						cloakOnlyRAW++
+					}
+				case vpCorrect && !cloakCorrect:
+					vpOnly++
 				}
-			case vpCorrect && !cloakCorrect:
-				vpOnly++
-			}
-		}
-		sim.OnStore = func(e funcsim.MemEvent) { engine.Store(e.PC, e.Addr, e.Value) }
-		if err := sim.Run(opt.maxInsts()); err != nil {
-			return Table52Row{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
+			},
+			OnStore: func(pc, addr, value uint32) { engine.Store(pc, addr, value) },
+		})
 		return Table52Row{
 			Workload:     w,
 			CloakOnlyRAW: stats.Ratio(cloakOnlyRAW, loads),

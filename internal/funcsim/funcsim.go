@@ -72,8 +72,23 @@ type Sim struct {
 
 // New returns a simulator with the program's data image loaded and the PC
 // at the entry point. The stack pointer (R29) is initialised to StackTop.
-func New(prog *isa.Program) *Sim {
+// The data segment and the top of the stack are reserved as flat memory
+// ranges so the hot accesses bypass the page map.
+func New(prog *isa.Program) *Sim { return newSim(prog, true) }
+
+// NewPaged returns a simulator identical to New except that no flat
+// memory ranges are reserved: every access walks the page map. This was
+// the only configuration before the memory fast path existed; it is kept
+// so baseline benchmarks can price the pre-optimization interpreter
+// (see trace.RecordStreamBaseline).
+func NewPaged(prog *isa.Program) *Sim { return newSim(prog, false) }
+
+func newSim(prog *isa.Program, reserve bool) *Sim {
 	s := &Sim{Prog: prog, Mem: mem.New(), PC: prog.Entry}
+	if reserve {
+		s.Mem.Reserve(prog.DataBase, len(prog.Data))
+		s.Mem.Reserve(StackTop-stackReserve, stackReserve/4)
+	}
 	if err := s.Mem.LoadImage(prog.DataBase, prog.Data); err != nil {
 		panic(err) // DataBase is a package constant and always aligned
 	}
@@ -84,6 +99,10 @@ func New(prog *isa.Program) *Sim {
 // StackTop is the initial stack pointer. The stack grows down and is
 // disjoint from the data segment.
 const StackTop uint32 = 0x7fff_fff0
+
+// stackReserve is how many bytes below StackTop are pre-reserved as flat
+// memory. Deeper stacks still work through the paged fallback.
+const stackReserve = 64 << 10
 
 func f32(bits uint32) float32 { return math.Float32frombits(bits) }
 func bits(f float32) uint32   { return math.Float32bits(f) }
@@ -104,7 +123,21 @@ func (s *Sim) Step() error {
 	if !ok {
 		return fmt.Errorf("funcsim: PC 0x%08x outside text segment", s.PC)
 	}
-	pc := s.PC
+	next, err := s.exec(in, s.PC)
+	if err != nil {
+		return err
+	}
+	s.Counts.Insts++
+	s.PC = next
+	return nil
+}
+
+// exec executes in, fetched at pc, and returns the next PC. It updates
+// registers, memory, and all counters except Counts.Insts, which the
+// caller commits; on halt it sets Halted and returns pc unchanged. Both
+// Step and the Run fast loop funnel through here so the two paths cannot
+// diverge.
+func (s *Sim) exec(in isa.Inst, pc uint32) (uint32, error) {
 	next := pc + 4
 	r := &s.Reg
 
@@ -162,7 +195,7 @@ func (s *Sim) Step() error {
 		addr := r[in.Rs] + uint32(in.Imm)
 		v, err := s.Mem.LoadWord(addr)
 		if err != nil {
-			return fmt.Errorf("funcsim: pc 0x%08x: %w", pc, err)
+			return 0, fmt.Errorf("funcsim: pc 0x%08x: %w", pc, err)
 		}
 		s.set(in.Rd, v)
 		s.Counts.Loads++
@@ -173,7 +206,7 @@ func (s *Sim) Step() error {
 		addr := r[in.Rs] + uint32(in.Imm)
 		v := r[in.Rt]
 		if err := s.Mem.StoreWord(addr, v); err != nil {
-			return fmt.Errorf("funcsim: pc 0x%08x: %w", pc, err)
+			return 0, fmt.Errorf("funcsim: pc 0x%08x: %w", pc, err)
 		}
 		s.Counts.Stores++
 		if s.OnStore != nil {
@@ -228,16 +261,13 @@ func (s *Sim) Step() error {
 
 	case isa.OpHalt:
 		s.Halted = true
-		s.Counts.Insts++
-		return nil
+		return pc, nil
 
 	default:
-		return fmt.Errorf("funcsim: pc 0x%08x: unimplemented op %v", pc, in.Op)
+		return 0, fmt.Errorf("funcsim: pc 0x%08x: unimplemented op %v", pc, in.Op)
 	}
 
-	s.Counts.Insts++
-	s.PC = next
-	return nil
+	return next, nil
 }
 
 // EvalBranch reports whether a branch with the given operand values is
@@ -300,14 +330,28 @@ func (s *Sim) set(rd isa.Reg, v uint32) {
 
 // Run executes until halt or until max instructions have committed (0
 // means no limit). It returns ErrMaxInsts if the budget ran out first.
+//
+// Run is the interpreter's hot loop: it walks the predecoded text
+// segment directly (one bounds check against a hoisted limit instead of
+// an InstAt call per instruction) and funnels execution through the same
+// exec switch as Step.
 func (s *Sim) Run(max uint64) error {
+	insts := s.Prog.Insts
+	limit := uint32(len(insts)) * 4
 	for !s.Halted {
 		if max != 0 && s.Counts.Insts >= max {
 			return ErrMaxInsts
 		}
-		if err := s.Step(); err != nil {
+		pc := s.PC
+		if pc >= limit || pc&3 != 0 {
+			return fmt.Errorf("funcsim: PC 0x%08x outside text segment", pc)
+		}
+		next, err := s.exec(insts[pc>>2], pc)
+		if err != nil {
 			return err
 		}
+		s.Counts.Insts++
+		s.PC = next
 	}
 	return nil
 }

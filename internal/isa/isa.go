@@ -448,8 +448,13 @@ type Program struct {
 }
 
 // InstAt returns the instruction at byte-style PC. It reports false when
-// the PC falls outside the text segment.
+// the PC falls outside the text segment or is not word aligned (a
+// misaligned PC can only come from a corrupted indirect jump; silently
+// truncating it to an instruction boundary would mask the bug).
 func (p *Program) InstAt(pc uint32) (Inst, bool) {
+	if pc&3 != 0 {
+		return Inst{}, false
+	}
 	i := PCIndex(pc)
 	if i < 0 || i >= len(p.Insts) {
 		return Inst{}, false

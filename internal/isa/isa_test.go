@@ -218,10 +218,11 @@ func TestProgramInstAt(t *testing.T) {
 	if _, ok := p.InstAt(8); ok {
 		t.Error("InstAt(8) should be out of range")
 	}
-	if _, ok := p.InstAt(2); ok {
-		// misaligned PC truncates to index 0 by construction; InstAt treats
-		// it as instruction 0, which is in range.
-		t.Log("misaligned PC maps to a valid slot; acceptable")
+	// Misaligned PCs are rejected rather than truncated to instruction 0.
+	for _, pc := range []uint32{1, 2, 3, 5, 6, 7} {
+		if _, ok := p.InstAt(pc); ok {
+			t.Errorf("InstAt(%d) accepted a misaligned PC", pc)
+		}
 	}
 }
 

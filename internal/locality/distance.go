@@ -1,5 +1,7 @@
 package locality
 
+import "rarpred/internal/container"
+
 // DistanceAnalyzer measures RAR dependence *distances*: for each sink
 // load, the number of unique addresses touched between the source load's
 // (most recent) access to the shared address and the sink — exactly the
@@ -13,8 +15,8 @@ package locality
 // is the number of marked timestamps after the address's previous mark.
 type DistanceAnalyzer struct {
 	fen      *fenwick
-	last     map[uint32]int // address -> timestamp of most recent access
-	lastLoad map[uint32]uint32
+	last     *container.U32Map[int] // address -> timestamp of most recent access
+	lastLoad *container.U32Map[uint32]
 	time     int
 
 	// Histogram buckets: power-of-two upper bounds 2^0..2^(buckets-1),
@@ -29,8 +31,8 @@ const distanceBuckets = 22 // up to 2^21 unique addresses, then overflow
 func NewDistanceAnalyzer() *DistanceAnalyzer {
 	return &DistanceAnalyzer{
 		fen:      newFenwick(1 << 10),
-		last:     make(map[uint32]int),
-		lastLoad: make(map[uint32]uint32),
+		last:     container.NewU32Map[int](0),
+		lastLoad: container.NewU32Map[uint32](0),
 		hist:     make([]uint64, distanceBuckets),
 	}
 }
@@ -39,7 +41,7 @@ func NewDistanceAnalyzer() *DistanceAnalyzer {
 // stack distance to the previous access of addr (-1 if first touch).
 func (d *DistanceAnalyzer) touch(addr uint32) int {
 	d.time++
-	prev, seen := d.last[addr]
+	prev, seen := d.last.Put(addr, d.time)
 	dist := -1
 	if seen {
 		// Unique addresses touched strictly after prev = marks in
@@ -49,7 +51,6 @@ func (d *DistanceAnalyzer) touch(addr uint32) int {
 	}
 	d.fen.ensure(d.time)
 	d.fen.add(d.time, 1)
-	d.last[addr] = d.time
 	return dist
 }
 
@@ -57,19 +58,19 @@ func (d *DistanceAnalyzer) touch(addr uint32) int {
 // RAR chain through addr.
 func (d *DistanceAnalyzer) Store(pc, addr uint32) {
 	d.touch(addr)
-	delete(d.lastLoad, addr)
+	d.lastLoad.Delete(addr)
 }
 
 // Load observes a committed load. If a different static load touched the
 // address more recently than any store, the RAR distance is recorded.
 func (d *DistanceAnalyzer) Load(pc, addr uint32) {
 	dist := d.touch(addr)
-	srcPC, hasLoad := d.lastLoad[addr]
+	srcPC, hasLoad := d.lastLoad.Get(addr)
 	if hasLoad && srcPC != pc && dist >= 0 {
 		d.record(dist)
 	}
 	if !hasLoad {
-		d.lastLoad[addr] = pc
+		d.lastLoad.Put(addr, pc)
 	}
 }
 

@@ -6,6 +6,7 @@ package locality
 
 import (
 	"rarpred/internal/cloak"
+	"rarpred/internal/container"
 )
 
 // MaxDepth is the deepest locality rank tracked (the paper plots n = 1..4).
@@ -24,10 +25,17 @@ type RARLocality struct {
 
 	// history maps static sink-load PC to its MRU-ordered list of unique
 	// RAR source PCs, deepest MaxDepth.
-	history map[uint32][]uint32
+	history *container.U32Map[depHistory]
 
 	hits  [MaxDepth]uint64 // hits[i]: dependence found at MRU rank i
 	total uint64           // dynamic sink loads (executions with a RAR dependence)
+}
+
+// depHistory is a fixed-depth MRU list of source PCs: the rank search
+// and move-to-front stay in one cache line with no slice allocation.
+type depHistory struct {
+	n   int32
+	pcs [MaxDepth]uint32
 }
 
 // NewRARLocality returns an analyzer with the given address-window size
@@ -35,7 +43,7 @@ type RARLocality struct {
 func NewRARLocality(windowSize int) *RARLocality {
 	return &RARLocality{
 		window:  cloak.NewDDT(windowSize, true),
-		history: make(map[uint32][]uint32),
+		history: container.NewU32Map[depHistory](0),
 	}
 }
 
@@ -49,24 +57,31 @@ func (l *RARLocality) Load(pc, addr uint32) {
 		return
 	}
 	l.total++
-	hist := l.history[pc]
-	rank := -1
-	for i, src := range hist {
-		if src == dep.SourcePC {
+	hist, _ := l.history.GetOrPut(pc)
+	rank := int32(-1)
+	for i := int32(0); i < hist.n; i++ {
+		if hist.pcs[i] == dep.SourcePC {
 			rank = i
 			break
 		}
 	}
-	if rank >= 0 && rank < MaxDepth {
+	if rank >= 0 {
 		l.hits[rank]++
 	}
-	// Move-to-front update of the unique-dependence history.
-	if rank >= 0 {
-		hist = append(hist[:rank], hist[rank+1:]...)
-	} else if len(hist) >= MaxDepth {
-		hist = hist[:MaxDepth-1]
+	// Move-to-front update of the unique-dependence history: shift the
+	// entries above the hit (or the whole list, dropping the LRU) down
+	// one slot and write the source at the front.
+	top := rank
+	if top < 0 {
+		top = hist.n
+		if top >= MaxDepth {
+			top = MaxDepth - 1
+		} else {
+			hist.n = top + 1
+		}
 	}
-	l.history[pc] = append([]uint32{dep.SourcePC}, hist...)
+	copy(hist.pcs[1:top+1], hist.pcs[:top])
+	hist.pcs[0] = dep.SourcePC
 }
 
 // SinkLoads returns the number of dynamic sink loads observed.
@@ -93,14 +108,14 @@ func (l *RARLocality) Locality(n int) float64 {
 // or a value) and reports whether consecutive executions repeat it. It
 // implements both address locality and value locality.
 type LastMap struct {
-	last    map[uint32]uint32
+	last    *container.U32Map[uint32]
 	observe uint64
 	same    uint64
 }
 
 // NewLastMap returns an empty tracker.
 func NewLastMap() *LastMap {
-	return &LastMap{last: make(map[uint32]uint32)}
+	return &LastMap{last: container.NewU32Map[uint32](0)}
 }
 
 // Observe records one execution of the static load at pc with the given
@@ -108,8 +123,7 @@ func NewLastMap() *LastMap {
 // The first execution of a load reports false.
 func (m *LastMap) Observe(pc, word uint32) bool {
 	m.observe++
-	prev, seen := m.last[pc]
-	m.last[pc] = word
+	prev, seen := m.last.Put(pc, word)
 	if seen && prev == word {
 		m.same++
 		return true

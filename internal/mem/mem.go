@@ -18,11 +18,24 @@ const (
 
 type page [PageWords]uint32
 
+// flatRange is a contiguous, pre-allocated span of the address space
+// backed by one slice: the fast path for the hot regions (data segment,
+// stack) that dominate simulated traffic.
+type flatRange struct {
+	base  uint32   // byte address of the first word, page aligned
+	words []uint32 // backing storage, a whole number of pages long
+}
+
 // Memory is a sparse word-addressable address space. The zero value is an
 // empty address space ready for use. Memory is not safe for concurrent
 // use; each simulator owns its own instance.
 type Memory struct {
 	pages map[uint32]*page
+
+	// flats are the reserved contiguous regions, checked before the page
+	// map on every access (see Reserve). At most a few exist, so a linear
+	// scan beats any index.
+	flats []flatRange
 
 	// last looked-up page, a cheap one-entry TLB that makes sequential
 	// sweeps (the common case in the workloads) avoid the map.
@@ -56,10 +69,56 @@ func (m *Memory) lookup(key uint32) *page {
 	return p
 }
 
+// Reserve pre-allocates contiguous storage for [base, base+4*words),
+// rounded outward to page boundaries, so loads and stores in the range
+// index a flat slice instead of the page map. Any pages already resident
+// in the range are folded into the reservation. Reserving a range that
+// overlaps an earlier reservation is a no-op (the first reservation
+// keeps serving it). Reservation never changes observable contents:
+// unreserved and reserved memory both read zero until stored to.
+func (m *Memory) Reserve(base uint32, words int) {
+	if words <= 0 {
+		return
+	}
+	const pageBytes = PageWords * 4
+	start := base &^ (pageBytes - 1)
+	end := (base + uint32(words)*4 + pageBytes - 1) &^ uint32(pageBytes-1)
+	for _, f := range m.flats {
+		fend := f.base + uint32(len(f.words))*4
+		if start < fend && f.base < end {
+			return
+		}
+	}
+	f := flatRange{base: start, words: make([]uint32, (end-start)/4)}
+	for key := start >> pageShift; key < end>>pageShift; key++ {
+		if p := m.pages[key]; p != nil {
+			copy(f.words[(key<<pageShift-start)>>2:], p[:])
+			delete(m.pages, key)
+		}
+	}
+	m.lastKey, m.lastPage = 0, nil
+	m.flats = append(m.flats, f)
+}
+
+// flat returns the backing word slot for addr if it falls in a reserved
+// range.
+func (m *Memory) flat(addr uint32) *uint32 {
+	for i := range m.flats {
+		f := &m.flats[i]
+		if off := addr - f.base; off < uint32(len(f.words))<<2 {
+			return &f.words[off>>2]
+		}
+	}
+	return nil
+}
+
 // LoadWord returns the word at the aligned byte address addr.
 func (m *Memory) LoadWord(addr uint32) (uint32, error) {
 	if addr&3 != 0 {
 		return 0, &AlignmentError{Addr: addr, Op: "load"}
+	}
+	if w := m.flat(addr); w != nil {
+		return *w, nil
 	}
 	p := m.lookup(addr >> pageShift)
 	if p == nil {
@@ -72,6 +131,10 @@ func (m *Memory) LoadWord(addr uint32) (uint32, error) {
 func (m *Memory) StoreWord(addr, value uint32) error {
 	if addr&3 != 0 {
 		return &AlignmentError{Addr: addr, Op: "store"}
+	}
+	if w := m.flat(addr); w != nil {
+		*w = value
+		return nil
 	}
 	key := addr >> pageShift
 	p := m.lookup(key)
@@ -120,12 +183,21 @@ func (m *Memory) LoadImage(base uint32, words []uint32) error {
 }
 
 // PageCount returns the number of resident (allocated) pages, a measure
-// of the simulated footprint.
-func (m *Memory) PageCount() int { return len(m.pages) }
+// of the simulated footprint. Reserved flat ranges count as their page
+// equivalent.
+func (m *Memory) PageCount() int {
+	n := len(m.pages)
+	for _, f := range m.flats {
+		n += len(f.words) / PageWords
+	}
+	return n
+}
 
-// Reset drops all pages, returning the address space to empty.
+// Reset drops all pages and reservations, returning the address space to
+// empty.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint32]*page)
+	m.flats = nil
 	m.lastPage = nil
 	m.lastKey = 0
 }
@@ -138,6 +210,11 @@ func (m *Memory) Clone() *Memory {
 	for k, p := range m.pages {
 		cp := *p
 		c.pages[k] = &cp
+	}
+	for _, f := range m.flats {
+		words := make([]uint32, len(f.words))
+		copy(words, f.words)
+		c.flats = append(c.flats, flatRange{base: f.base, words: words})
 	}
 	return c
 }

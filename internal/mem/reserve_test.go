@@ -1,0 +1,92 @@
+package mem
+
+import "testing"
+
+func TestReserveRoundTrip(t *testing.T) {
+	m := New()
+	m.Reserve(0x2000, 64)
+	m.MustStore(0x2000, 11)
+	m.MustStore(0x2000+63*4, 22)
+	if m.MustLoad(0x2000) != 11 || m.MustLoad(0x2000+63*4) != 22 {
+		t.Error("reserved range lost stores")
+	}
+	// Reads just outside the reservation still work (paged path).
+	if m.MustLoad(0x9000_0000) != 0 {
+		t.Error("unreserved address not zero")
+	}
+}
+
+func TestReserveFoldsResidentPages(t *testing.T) {
+	m := New()
+	m.MustStore(0x3000, 77) // resident page before the reservation
+	m.Reserve(0x3000, 1024)
+	if m.MustLoad(0x3000) != 77 {
+		t.Error("Reserve dropped pre-existing contents")
+	}
+	m.MustStore(0x3000, 78)
+	if m.MustLoad(0x3000) != 78 {
+		t.Error("store after Reserve lost")
+	}
+}
+
+func TestReserveOverlapNoOp(t *testing.T) {
+	m := New()
+	m.Reserve(0x4000, 256)
+	m.MustStore(0x4000, 5)
+	m.Reserve(0x4000, 128) // subset of the existing reservation
+	if m.MustLoad(0x4000) != 5 {
+		t.Error("overlapping Reserve clobbered contents")
+	}
+}
+
+func TestReserveResetClone(t *testing.T) {
+	m := New()
+	m.Reserve(0x5000, 64)
+	m.MustStore(0x5000, 9)
+	if m.PageCount() == 0 {
+		t.Error("PageCount ignores reserved ranges")
+	}
+
+	c := m.Clone()
+	c.MustStore(0x5000, 10)
+	if m.MustLoad(0x5000) != 9 {
+		t.Error("clone write leaked into original's flat range")
+	}
+
+	m.Reset()
+	if m.MustLoad(0x5000) != 0 {
+		t.Error("Reset left reserved contents")
+	}
+	if m.PageCount() != 0 {
+		t.Error("Reset left reserved pages resident")
+	}
+}
+
+// BenchmarkLoadPaged / BenchmarkLoadFlat compare the two access paths;
+// the flat path is why funcsim reserves the data segment and stack.
+func BenchmarkLoadPaged(b *testing.B) {
+	m := New()
+	for i := uint32(0); i < 1024; i++ {
+		m.MustStore(0x6000+i*4, i)
+	}
+	b.ResetTimer()
+	var sum uint32
+	for i := 0; i < b.N; i++ {
+		sum += m.MustLoad(0x6000 + uint32(i%1024)*4)
+	}
+	_ = sum
+}
+
+func BenchmarkLoadFlat(b *testing.B) {
+	m := New()
+	m.Reserve(0x6000, 1024)
+	for i := uint32(0); i < 1024; i++ {
+		m.MustStore(0x6000+i*4, i)
+	}
+	b.ResetTimer()
+	var sum uint32
+	for i := 0; i < b.N; i++ {
+		sum += m.MustLoad(0x6000 + uint32(i%1024)*4)
+	}
+	_ = sum
+}

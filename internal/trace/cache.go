@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one recorded stream: a workload name, its size
+// parameter, and the instruction budget the recording ran under. Any of
+// those changing changes the committed reference stream, so all three
+// are part of the identity.
+type Key struct {
+	Workload string
+	Size     int
+	MaxInsts uint64
+}
+
+// Cache is a process-wide, memory-bounded store of recorded streams.
+// Lookups are single-flight: when several goroutines request the same
+// key at once, exactly one records and the rest wait for its result.
+// Completed entries are evicted least-recently-used once the total
+// payload exceeds the byte budget. A Cache is safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[Key]*cacheEntry
+	lru     *list.List // completed entries; front = most recently used
+
+	hits, misses, evictions uint64
+}
+
+// cacheEntry is one cached (or in-flight) recording. ready is closed
+// once stream/err are set; elem is non-nil only for completed entries
+// resident in the LRU list.
+type cacheEntry struct {
+	key    Key
+	ready  chan struct{}
+	stream *Stream
+	err    error
+	elem   *list.Element
+}
+
+// DefaultBudget bounds the default shared cache: the full 18-workload
+// suite at reference size records ~150 MB of events, so half a GiB keeps
+// every stream resident with headroom for oversized sweeps.
+const DefaultBudget = 512 << 20
+
+// NewCache returns a cache bounded to budget payload bytes. A budget
+// <= 0 disables eviction (unbounded).
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		entries: make(map[Key]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// SetBudget changes the byte budget and evicts immediately if the
+// resident total now exceeds it.
+func (c *Cache) SetBudget(budget int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = budget
+	c.evictLocked()
+}
+
+// Get returns the stream for key, calling record to produce it on a
+// miss. Concurrent Gets for the same key share one record call; its
+// error (if any) is returned to every waiter and the entry is dropped so
+// a later Get retries.
+func (c *Cache) Get(key Key, record func() (*Stream, error)) (*Stream, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.stream, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.stream, e.err = record()
+
+	c.mu.Lock()
+	if e.err != nil {
+		delete(c.entries, key)
+	} else {
+		e.elem = c.lru.PushFront(e)
+		c.bytes += e.stream.Bytes()
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return e.stream, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// resident payload fits the budget. The most recently used entry always
+// stays (a single stream larger than the budget is still returned and
+// cached until something newer displaces it). In-flight recordings are
+// not in the LRU list and are never evicted.
+func (c *Cache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= e.stream.Bytes()
+		c.evictions++
+	}
+}
+
+// Stats is a snapshot of cache effectiveness and residency.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+	Budget    int64
+}
+
+// Stats returns a consistent snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		Budget:    c.budget,
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fullStream returns a stream occupying exactly chunks full chunks.
+func fullStream(chunks int) *Stream {
+	s := NewStream()
+	for i := 0; i < chunks*chunkEvents; i++ {
+		s.Append(KindLoad, 0, 0, 0)
+	}
+	return s
+}
+
+// chunkBytes is the payload allocation of one full chunk.
+const chunkBytes = int64(chunkEvents) * eventBytes
+
+// TestCacheSingleFlight: many goroutines asking for the same key share
+// exactly one recording. Run with -race.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(DefaultBudget)
+	key := Key{Workload: "gcc", Size: 4}
+
+	var recordings atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines = 16
+	streams := make([]*Stream, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := c.Get(key, func() (*Stream, error) {
+				recordings.Add(1)
+				return fullStream(1), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			streams[g] = s
+		}(g)
+	}
+	wg.Wait()
+
+	if n := recordings.Load(); n != 1 {
+		t.Errorf("record ran %d times, want 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if streams[g] != streams[0] {
+			t.Fatalf("goroutine %d got a different stream", g)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Errorf("stats = %d hits / %d misses, want %d / 1", st.Hits, st.Misses, goroutines-1)
+	}
+}
+
+// TestCacheEviction: resident payload stays within the byte budget, old
+// entries go first, and a re-Get of an evicted key re-records.
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2 * chunkBytes)
+	recorded := make(map[string]int)
+	get := func(name string) {
+		t.Helper()
+		_, err := c.Get(Key{Workload: name, Size: 4}, func() (*Stream, error) {
+			recorded[name]++
+			return fullStream(1), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get("a")
+	get("b")
+	get("c") // exceeds the 2-chunk budget: "a" (LRU) must go
+
+	st := c.Stats()
+	if st.Bytes > st.Budget {
+		t.Errorf("resident %d bytes exceeds budget %d", st.Bytes, st.Budget)
+	}
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("evictions=%d entries=%d, want 1 and 2", st.Evictions, st.Entries)
+	}
+
+	get("b") // still resident: hit, no re-record
+	get("a") // evicted: re-records, displacing "c" (now LRU)
+	if recorded["b"] != 1 {
+		t.Errorf(`"b" recorded %d times, want 1 (should have stayed resident)`, recorded["b"])
+	}
+	if recorded["a"] != 2 {
+		t.Errorf(`"a" recorded %d times, want 2 (evicted then re-requested)`, recorded["a"])
+	}
+	if c.Stats().Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", c.Stats().Evictions)
+	}
+}
+
+// TestCacheOversizedEntry: a stream bigger than the whole budget is
+// still returned and stays resident until something displaces it.
+func TestCacheOversizedEntry(t *testing.T) {
+	c := NewCache(chunkBytes)
+	s, err := c.Get(Key{Workload: "big"}, func() (*Stream, error) {
+		return fullStream(3), nil
+	})
+	if err != nil || s == nil {
+		t.Fatalf("oversized Get failed: %v", err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("oversized entry not resident: %+v", st)
+	}
+}
+
+// TestCacheErrorRetry: a failed recording is not cached; the next Get
+// retries and can succeed.
+func TestCacheErrorRetry(t *testing.T) {
+	c := NewCache(DefaultBudget)
+	key := Key{Workload: "flaky", Size: 4}
+	boom := errors.New("boom")
+
+	if _, err := c.Get(key, func() (*Stream, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	var again bool
+	s, err := c.Get(key, func() (*Stream, error) {
+		again = true
+		return fullStream(1), nil
+	})
+	if err != nil || s == nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if !again {
+		t.Error("failed entry was cached; retry never recorded")
+	}
+}
+
+// TestCacheSetBudget: shrinking the budget evicts immediately.
+func TestCacheSetBudget(t *testing.T) {
+	c := NewCache(4 * chunkBytes)
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := c.Get(Key{Workload: name}, func() (*Stream, error) {
+			return fullStream(1), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetBudget(chunkBytes)
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != chunkBytes {
+		t.Errorf("after shrink: %d entries / %d bytes, want 1 / %d", st.Entries, st.Bytes, chunkBytes)
+	}
+}

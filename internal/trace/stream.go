@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"rarpred/internal/funcsim"
+	"rarpred/internal/isa"
+)
+
+// Stream is the compact in-memory form of a committed access stream: a
+// chunked struct-of-arrays layout (kind, PC, address, value in separate
+// slices) that replays to any number of observers without re-executing
+// the program. Compared to []Event it has no per-event padding, grows in
+// fixed-size chunks (no doubling spikes), and keeps exact byte-size
+// accounting so streams can live in a memory-bounded cache.
+//
+// A Stream is append-only while recording and immutable afterwards;
+// replaying is safe from many goroutines at once.
+type Stream struct {
+	chunks []*chunk
+
+	n     int    // total events
+	loads uint64 // load events among n
+
+	// Counts is the full dynamic execution profile of the traced run, so
+	// experiments that report fractions over all instructions (or branch
+	// and call mixes) need only the stream.
+	Counts funcsim.Counts
+
+	// Truncated reports that recording stopped at the instruction budget
+	// rather than at a halt; the stream covers a prefix of the program.
+	Truncated bool
+}
+
+// chunkEvents is the number of events per chunk (13 bytes of payload per
+// event; one chunk is ~832 KiB of payload).
+const chunkEvents = 1 << 16
+
+// chunk holds a fixed-capacity struct-of-arrays block.
+type chunk struct {
+	kinds  []uint8
+	pcs    []uint32
+	addrs  []uint32
+	values []uint32
+}
+
+func newChunk() *chunk {
+	return &chunk{
+		kinds:  make([]uint8, 0, chunkEvents),
+		pcs:    make([]uint32, 0, chunkEvents),
+		addrs:  make([]uint32, 0, chunkEvents),
+		values: make([]uint32, 0, chunkEvents),
+	}
+}
+
+// NewStream returns an empty stream ready for Append.
+func NewStream() *Stream { return &Stream{} }
+
+// Append adds one event to the stream.
+func (s *Stream) Append(kind Kind, pc, addr, value uint32) {
+	var c *chunk
+	if len(s.chunks) > 0 {
+		c = s.chunks[len(s.chunks)-1]
+	}
+	if c == nil || len(c.kinds) == chunkEvents {
+		c = newChunk()
+		s.chunks = append(s.chunks, c)
+	}
+	c.kinds = append(c.kinds, uint8(kind))
+	c.pcs = append(c.pcs, pc)
+	c.addrs = append(c.addrs, addr)
+	c.values = append(c.values, value)
+	s.n++
+	if kind == KindLoad {
+		s.loads++
+	}
+}
+
+// Len returns the number of recorded events.
+func (s *Stream) Len() int { return s.n }
+
+// Loads returns the number of load events.
+func (s *Stream) Loads() uint64 { return s.loads }
+
+// eventBytes is the payload size of one event in the struct-of-arrays
+// layout: 1 (kind) + 4 (PC) + 4 (addr) + 4 (value).
+const eventBytes = 13
+
+// Bytes returns the allocated size of the stream in bytes: full chunk
+// capacity (allocation, not occupancy) so the cache budget reflects real
+// memory use.
+func (s *Stream) Bytes() int64 {
+	return int64(len(s.chunks)) * chunkEvents * eventBytes
+}
+
+// Replay feeds the stream to the sinks, in recorded order.
+func (s *Stream) Replay(sinks ...Sink) {
+	if len(sinks) == 1 {
+		s.replayOne(sinks[0])
+		return
+	}
+	for _, c := range s.chunks {
+		for i, k := range c.kinds {
+			if Kind(k) == KindLoad {
+				for _, snk := range sinks {
+					snk.Load(c.pcs[i], c.addrs[i], c.values[i])
+				}
+			} else {
+				for _, snk := range sinks {
+					snk.Store(c.pcs[i], c.addrs[i], c.values[i])
+				}
+			}
+		}
+	}
+}
+
+// replayOne is the single-sink fast path (no inner fan-out loop). The
+// common SinkFuncs adapter is unwrapped so each event costs one direct
+// closure call instead of an interface dispatch plus nil checks.
+func (s *Stream) replayOne(snk Sink) {
+	if sf, ok := snk.(SinkFuncs); ok && sf.OnLoad != nil && sf.OnStore != nil {
+		onLoad, onStore := sf.OnLoad, sf.OnStore
+		for _, c := range s.chunks {
+			for i, k := range c.kinds {
+				if Kind(k) == KindLoad {
+					onLoad(c.pcs[i], c.addrs[i], c.values[i])
+				} else {
+					onStore(c.pcs[i], c.addrs[i], c.values[i])
+				}
+			}
+		}
+		return
+	}
+	for _, c := range s.chunks {
+		for i, k := range c.kinds {
+			if Kind(k) == KindLoad {
+				snk.Load(c.pcs[i], c.addrs[i], c.values[i])
+			} else {
+				snk.Store(c.pcs[i], c.addrs[i], c.values[i])
+			}
+		}
+	}
+}
+
+// Trace converts the stream to the array-of-structs form used by the
+// binary file format (Save/Load).
+func (s *Stream) Trace() *Trace {
+	t := &Trace{Events: make([]Event, 0, s.n), Insts: s.Counts.Insts}
+	for _, c := range s.chunks {
+		for i, k := range c.kinds {
+			t.Events = append(t.Events, Event{
+				Kind: Kind(k), PC: c.pcs[i], Addr: c.addrs[i], Value: c.values[i],
+			})
+		}
+	}
+	return t
+}
+
+// SinkFuncs adapts plain load/store callbacks to the Sink interface. A
+// nil callback ignores that event kind.
+type SinkFuncs struct {
+	OnLoad  func(pc, addr, value uint32)
+	OnStore func(pc, addr, value uint32)
+}
+
+// Load implements Sink.
+func (s SinkFuncs) Load(pc, addr, value uint32) {
+	if s.OnLoad != nil {
+		s.OnLoad(pc, addr, value)
+	}
+}
+
+// Store implements Sink.
+func (s SinkFuncs) Store(pc, addr, value uint32) {
+	if s.OnStore != nil {
+		s.OnStore(pc, addr, value)
+	}
+}
+
+// RecordStream executes prog functionally (up to maxInsts; 0 = to
+// completion) and returns its committed memory stream. An exhausted
+// instruction budget is reported through Stream.Truncated, not as an
+// error, matching Record.
+func RecordStream(prog *isa.Program, maxInsts uint64) (*Stream, error) {
+	s := NewStream()
+	sim := funcsim.New(prog)
+	sim.OnLoad = func(e funcsim.MemEvent) { s.Append(KindLoad, e.PC, e.Addr, e.Value) }
+	sim.OnStore = func(e funcsim.MemEvent) { s.Append(KindStore, e.PC, e.Addr, e.Value) }
+	if err := sim.Run(maxInsts); err != nil {
+		if err != funcsim.ErrMaxInsts {
+			return nil, err
+		}
+		s.Truncated = true
+	}
+	s.Counts = sim.Counts
+	return s, nil
+}
+
+// RecordStreamBaseline records the same stream as RecordStream, but the
+// way every experiment did before the shared cache existed: Step-driven
+// interpretation over fully paged memory, with no predecoded fast loop
+// and no flat-range reservation. Experiments' Live (pre-cache) mode and
+// the suite benchmark use it as the baseline cost model; because Step
+// and the fast loop funnel through the same exec core, the recorded
+// stream is bit-identical to RecordStream's.
+func RecordStreamBaseline(prog *isa.Program, maxInsts uint64) (*Stream, error) {
+	s := NewStream()
+	sim := funcsim.NewPaged(prog)
+	sim.OnLoad = func(e funcsim.MemEvent) { s.Append(KindLoad, e.PC, e.Addr, e.Value) }
+	sim.OnStore = func(e funcsim.MemEvent) { s.Append(KindStore, e.PC, e.Addr, e.Value) }
+	for !sim.Halted {
+		if maxInsts > 0 && sim.Counts.Insts >= maxInsts {
+			s.Truncated = true
+			break
+		}
+		if err := sim.Step(); err != nil {
+			return nil, err
+		}
+	}
+	s.Counts = sim.Counts
+	return s, nil
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"testing"
+
+	"rarpred/internal/workload"
+)
+
+func TestStreamAppendReplay(t *testing.T) {
+	s := NewStream()
+	// Cross a chunk boundary so the multi-chunk walk is exercised.
+	const n = chunkEvents + chunkEvents/2
+	for i := 0; i < n; i++ {
+		kind := KindStore
+		if i%3 == 0 {
+			kind = KindLoad
+		}
+		s.Append(kind, uint32(i), uint32(i)*4, ^uint32(i))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len() = %d, want %d", s.Len(), n)
+	}
+	wantLoads := uint64((n + 2) / 3)
+	if s.Loads() != wantLoads {
+		t.Errorf("Loads() = %d, want %d", s.Loads(), wantLoads)
+	}
+	if want := int64(2) * chunkEvents * eventBytes; s.Bytes() != want {
+		t.Errorf("Bytes() = %d, want %d (2 full chunks)", s.Bytes(), want)
+	}
+
+	var i int
+	check := func(kind Kind) func(pc, addr, value uint32) {
+		return func(pc, addr, value uint32) {
+			wantKind := KindStore
+			if i%3 == 0 {
+				wantKind = KindLoad
+			}
+			if kind != wantKind || pc != uint32(i) || addr != uint32(i)*4 || value != ^uint32(i) {
+				t.Fatalf("event %d: got kind=%d pc=%d addr=%d value=%d", i, kind, pc, addr, value)
+			}
+			i++
+		}
+	}
+	s.Replay(SinkFuncs{OnLoad: check(KindLoad), OnStore: check(KindStore)})
+	if i != n {
+		t.Errorf("replayed %d events, want %d", i, n)
+	}
+}
+
+// TestStreamFanOutOrder: with several sinks, each sink sees the full
+// stream in recorded order and per-event fan-out is sink-ordered.
+func TestStreamFanOutOrder(t *testing.T) {
+	s := NewStream()
+	s.Append(KindLoad, 1, 10, 100)
+	s.Append(KindStore, 2, 20, 200)
+	s.Append(KindLoad, 3, 30, 300)
+
+	type ev struct {
+		sink int
+		kind Kind
+		pc   uint32
+	}
+	var got []ev
+	mk := func(id int) Sink {
+		return SinkFuncs{
+			OnLoad:  func(pc, _, _ uint32) { got = append(got, ev{id, KindLoad, pc}) },
+			OnStore: func(pc, _, _ uint32) { got = append(got, ev{id, KindStore, pc}) },
+		}
+	}
+	s.Replay(mk(0), mk(1))
+	want := []ev{
+		{0, KindLoad, 1}, {1, KindLoad, 1},
+		{0, KindStore, 2}, {1, KindStore, 2},
+		{0, KindLoad, 3}, {1, KindLoad, 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRecordStreamMatchesRecord: the struct-of-arrays recorder produces
+// the same event sequence as the array-of-structs one.
+func TestRecordStreamMatchesRecord(t *testing.T) {
+	w, _ := workload.ByAbbrev("per")
+	tr, err := Record(w.Program(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RecordStream(w.Program(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Truncated {
+		t.Error("complete run marked Truncated")
+	}
+	if s.Len() != len(tr.Events) {
+		t.Fatalf("event count: %d vs %d", s.Len(), len(tr.Events))
+	}
+	if s.Counts.Insts != tr.Insts {
+		t.Errorf("insts: %d vs %d", s.Counts.Insts, tr.Insts)
+	}
+	got := s.Trace()
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+	if got.Insts != tr.Insts {
+		t.Errorf("Trace().Insts = %d, want %d", got.Insts, tr.Insts)
+	}
+}
+
+func TestRecordStreamTruncation(t *testing.T) {
+	w, _ := workload.ByAbbrev("per")
+	s, err := RecordStream(w.Program(4), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Truncated {
+		t.Error("budget-limited run not marked Truncated")
+	}
+	if s.Counts.Insts != 100 {
+		t.Errorf("ran %d insts, want exactly 100", s.Counts.Insts)
+	}
+}

@@ -140,3 +140,17 @@ func TestDataBaseMatchesAsm(t *testing.T) {
 		t.Fatalf("dataBase %#x != asm.DataBase %#x", dataBase, p.DataBase)
 	}
 }
+
+func TestProgramMemoized(t *testing.T) {
+	w, _ := ByAbbrev("gcc")
+	if w.Program(4) != w.Program(4) {
+		t.Error("Program(4) assembled twice for the same size")
+	}
+	if w.Program(4) == w.Program(5) {
+		t.Error("different sizes share a program")
+	}
+	other, _ := ByAbbrev("per")
+	if w.Program(4) == other.Program(4) {
+		t.Error("different workloads share a program")
+	}
+}
