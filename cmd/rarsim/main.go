@@ -17,12 +17,24 @@
 //	rarsim -workloads            # list the benchmark suite
 //	rarsim -exp all -live        # re-simulate per experiment (no cache)
 //	rarsim -exp all -cpuprofile cpu.pprof   # profile the run
+//	rarsim -exp all -timeout 10m -keepgoing # bounded, best-effort sweep
+//
+// The run is cancellable: Ctrl-C (SIGINT) and -timeout both stop the
+// simulators at the next poll point. A workload exceeding
+// -workload-timeout fails alone — the experiment renders its remaining
+// rows and annotates the loss. With -keepgoing an experiment that fails
+// outright is reported and the sweep continues; either way rarsim exits
+// non-zero if anything failed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -33,36 +45,49 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without os.Exit, so deferred cleanup (profiles, files)
+// always executes and tests can drive the CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rarsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp        = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		size       = flag.Int("size", 0, "workload size parameter (0 = experiment default)")
-		bench      = flag.String("bench", "", "comma-separated workload abbreviations (default: all)")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		lists      = flag.Bool("workloads", false, "list the benchmark suite and exit")
-		parallel   = flag.Int("p", 0, "max concurrent workload simulations (0 = GOMAXPROCS)")
-		live       = flag.Bool("live", false, "re-simulate workloads per experiment instead of replaying the shared trace cache")
-		traceMB    = flag.Int64("tracebudget", 0, "trace cache budget in MiB (0 = default 512)")
-		traceStats = flag.Bool("tracestats", false, "print trace cache statistics to stderr after the run")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		exp        = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		size       = fs.Int("size", 0, "workload size parameter (0 = experiment default)")
+		bench      = fs.String("bench", "", "comma-separated workload abbreviations (default: all)")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		lists      = fs.Bool("workloads", false, "list the benchmark suite and exit")
+		parallel   = fs.Int("p", 0, "max concurrent workload simulations (0 = GOMAXPROCS)")
+		live       = fs.Bool("live", false, "re-simulate workloads per experiment instead of replaying the shared trace cache")
+		traceMB    = fs.Int64("tracebudget", 0, "trace cache budget in MiB (0 = default 512)")
+		traceStats = fs.Bool("tracestats", false, "print trace cache statistics to stderr after the run")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		timeout    = fs.Duration("timeout", 0, "deadline for the whole run (0 = none)")
+		wtimeout   = fs.Duration("workload-timeout", 0, "deadline per workload simulation (0 = none)")
+		keepgoing  = fs.Bool("keepgoing", false, "on experiment failure, report it and continue with the rest")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	switch {
 	case *list:
 		for _, e := range experiments.All() {
-			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	case *lists:
 		for _, w := range workload.All() {
-			fmt.Printf("%-4s %-10s %-12s %s\n    %s\n",
+			fmt.Fprintf(stdout, "%-4s %-10s %-12s %s\n    %s\n",
 				w.Abbrev, w.Name, w.Analog, w.Class, w.Description)
 		}
-		return
+		return 0
 	case *exp == "":
-		fmt.Fprintln(os.Stderr, "rarsim: -exp required (try -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "rarsim: -exp required (try -list)")
+		return 2
 	}
 
 	if *traceMB > 0 {
@@ -72,24 +97,38 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rarsim: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rarsim: -cpuprofile: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "rarsim: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rarsim: -cpuprofile: %v\n", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
 
-	opt := experiments.Options{Size: *size, Parallelism: *parallel, Live: *live}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opt := experiments.Options{
+		Size:            *size,
+		Parallelism:     *parallel,
+		Live:            *live,
+		Context:         ctx,
+		WorkloadTimeout: *wtimeout,
+	}
 	if *bench != "" {
 		for _, ab := range strings.Split(*bench, ",") {
 			w, ok := workload.ByAbbrev(strings.TrimSpace(ab))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "rarsim: unknown workload %q (try -workloads)\n", ab)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "rarsim: unknown workload %q (try -workloads)\n", ab)
+				return 2
 			}
 			opt.Workloads = append(opt.Workloads, w)
 		}
@@ -102,47 +141,76 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			e, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "rarsim: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "rarsim: unknown experiment %q (try -list)\n", id)
+				return 2
 			}
 			todo = append(todo, e)
 		}
 	}
 
+	var failed []string
 	for i, e := range todo {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		if err := ctx.Err(); err != nil {
+			// The run deadline (or Ctrl-C) ends the sweep regardless of
+			// -keepgoing; report what never got to run.
+			fmt.Fprintf(stderr, "rarsim: %s: not run: %v\n", e.ID, err)
+			failed = append(failed, e.ID)
+			continue
+		}
+		fmt.Fprintf(stdout, "== %s: %s\n", e.ID, e.Title)
 		start := time.Now()
 		res, err := e.Run(opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rarsim: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rarsim: %v\n", err)
+			failed = append(failed, e.ID)
+			if *keepgoing || errors.Is(err, ctx.Err()) {
+				// ctx.Err-shaped failures fall through to the not-run
+				// branch above on the next iteration.
+				continue
+			}
+			return finish(stderr, *traceStats, *memprofile, failed)
 		}
-		fmt.Print(res.String())
-		fmt.Printf("[%s in %.1fs]\n", e.ID, time.Since(start).Seconds())
+		fmt.Fprint(stdout, res.String())
+		if p, ok := res.(*experiments.PartialResult); ok {
+			failed = append(failed, fmt.Sprintf("%s (%d workloads)", e.ID, len(p.Fails)))
+		}
+		fmt.Fprintf(stdout, "[%s in %.1fs]\n", e.ID, time.Since(start).Seconds())
 	}
 
-	if *traceStats {
+	return finish(stderr, *traceStats, *memprofile, failed)
+}
+
+// finish emits end-of-run diagnostics and converts the failure list into
+// the process exit code.
+func finish(stderr io.Writer, traceStats bool, memprofile string, failed []string) int {
+	if traceStats {
 		st := experiments.TraceCache().Stats()
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"trace cache: %d hits, %d misses, %d evictions, %d streams resident (%.1f of %.0f MiB)\n",
 			st.Hits, st.Misses, st.Evictions, st.Entries,
 			float64(st.Bytes)/(1<<20), float64(st.Budget)/(1<<20))
 	}
 
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rarsim: -memprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rarsim: -memprofile: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "rarsim: -memprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rarsim: -memprofile: %v\n", err)
+			return 1
 		}
 	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(stderr, "rarsim: completed with failures: %s\n", strings.Join(failed, ", "))
+		return 1
+	}
+	return 0
 }

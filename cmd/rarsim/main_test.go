@@ -1,0 +1,137 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rarpred/internal/faultsim"
+	"rarpred/internal/workload"
+)
+
+// Each test drives run() in-process. Tests needing fault injection use a
+// size no other test uses, so the shared trace cache cannot satisfy a
+// lookup from an earlier test and skip the faulted recording.
+
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func wname(t *testing.T, abbrev string) string {
+	t.Helper()
+	w, ok := workload.ByAbbrev(abbrev)
+	if !ok {
+		t.Fatalf("unknown workload %s", abbrev)
+	}
+	return w.Name
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, out, _ := runCLI("-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(out, "fig2") || !strings.Contains(out, "table51") {
+		t.Errorf("listing missing experiments:\n%s", out)
+	}
+}
+
+func TestMissingExpExitsTwo(t *testing.T) {
+	code, _, errw := runCLI()
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errw, "-exp required") {
+		t.Errorf("stderr = %q", errw)
+	}
+}
+
+func TestUnknownExperimentExitsTwo(t *testing.T) {
+	code, _, errw := runCLI("-exp", "fig99")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errw, "unknown experiment") {
+		t.Errorf("stderr = %q", errw)
+	}
+}
+
+func TestCleanRunExitsZero(t *testing.T) {
+	code, out, errw := runCLI("-exp", "fig2", "-size", "4", "-bench", "go,gcc")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, errw)
+	}
+	if !strings.Contains(out, "== fig2:") || strings.Contains(out, "partial result") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+// TestKeepGoingSelfHeals is the issue's acceptance scenario: a workload
+// that panics (transiently) under one experiment produces an annotated
+// partial result, the sweep continues, the poisoned cache entry is
+// dropped so the next experiment re-records the workload successfully,
+// and the aggregate exit status is non-zero.
+func TestKeepGoingSelfHeals(t *testing.T) {
+	defer faultsim.Reset()
+	faultsim.Inject(wname(t, "gcc"), faultsim.Fault{Kind: faultsim.Panic, Times: 1})
+
+	code, out, errw := runCLI("-exp", "table51,fig2", "-keepgoing",
+		"-size", "13", "-bench", "go,gcc")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errw)
+	}
+	if n := strings.Count(out, "partial result"); n != 1 {
+		t.Errorf("%d partial annotations, want 1 (table51 only):\n%s", n, out)
+	}
+	if !strings.Contains(out, wname(t, "gcc")) {
+		t.Errorf("annotation does not name the failed workload:\n%s", out)
+	}
+	// fig2 ran after the fault burned out and must be whole again.
+	fig2 := out[strings.Index(out, "== fig2:"):]
+	if !strings.Contains(fig2, "gcc") {
+		t.Errorf("fig2 did not recover the faulted workload:\n%s", fig2)
+	}
+	if !strings.Contains(errw, "completed with failures: table51") {
+		t.Errorf("stderr lacks the aggregate summary: %q", errw)
+	}
+}
+
+// TestWorkloadTimeoutAnnotates: a stalled workload under
+// -workload-timeout fails alone with a deadline error naming it; the
+// other workload's row renders.
+func TestWorkloadTimeoutAnnotates(t *testing.T) {
+	defer faultsim.Reset()
+	faultsim.Inject(wname(t, "tom"), faultsim.Fault{Kind: faultsim.Stall})
+
+	code, out, errw := runCLI("-exp", "table51", "-workload-timeout", "50ms",
+		"-size", "17", "-bench", "go,tom")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errw)
+	}
+	if !strings.Contains(out, "partial result") ||
+		!strings.Contains(out, wname(t, "tom")) ||
+		!strings.Contains(out, "deadline") {
+		t.Errorf("missing deadline annotation:\n%s", out)
+	}
+}
+
+// TestRunTimeoutEndsSweep: the run-wide -timeout aborts a stalled
+// experiment and marks everything after it as not run, even without
+// -keepgoing the deferred reporting still happens.
+func TestRunTimeoutEndsSweep(t *testing.T) {
+	defer faultsim.Reset()
+	faultsim.Inject(wname(t, "go"), faultsim.Fault{Kind: faultsim.Stall})
+
+	code, _, errw := runCLI("-exp", "table51,fig2", "-timeout", "75ms",
+		"-size", "19", "-bench", "go")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errw)
+	}
+	if !strings.Contains(errw, "fig2: not run") {
+		t.Errorf("stderr lacks the not-run report: %q", errw)
+	}
+	if !strings.Contains(errw, "completed with failures") {
+		t.Errorf("stderr lacks the aggregate summary: %q", errw)
+	}
+}

@@ -48,14 +48,14 @@ type AblationResult struct {
 
 // runVariants drives one run per workload with an engine per variant.
 func runVariants(opt Options, title string, variants []string,
-	mk func(variant int) cloak.Config) (*AblationResult, error) {
+	mk func(variant int) cloak.Config) (Result, error) {
 
 	size := opt.size(workload.ReferenceSize)
 	type row = struct {
 		Workload workload.Workload
 		Cells    []ablCell
 	}
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (row, error) {
+	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (row, error) {
 		engines := make([]*cloak.Engine, len(variants))
 		for i := range variants {
 			engines[i] = cloak.New(mk(i))
@@ -85,7 +85,7 @@ func runVariants(opt Options, title string, variants []string,
 	if err != nil {
 		return nil, err
 	}
-	return &AblationResult{Title: title, Variants: variants, Rows: rows}, nil
+	return annotate(&AblationResult{Title: title, Variants: variants, Rows: rows}, fails), nil
 }
 
 func runAblMerge(opt Options) (Result, error) {

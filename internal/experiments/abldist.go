@@ -35,7 +35,7 @@ type DistResult struct {
 
 func runAblDist(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (DistRow, error) {
+	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (DistRow, error) {
 		d := locality.NewDistanceAnalyzer()
 		tr.Replay(trace.SinkFuncs{
 			OnLoad:  func(pc, addr, _ uint32) { d.Load(pc, addr) },
@@ -56,7 +56,7 @@ func runAblDist(opt Options) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DistResult{Rows: rows}, nil
+	return annotate(&DistResult{Rows: rows}, fails), nil
 }
 
 // String renders the distance CDF at the Figure 5 DDT sizes.

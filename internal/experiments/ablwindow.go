@@ -39,7 +39,7 @@ type WindowResult struct {
 
 func runAblWindow(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (WindowRow, error) {
+	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (WindowRow, error) {
 		analyzers := make([]*locality.RARLocality, len(WindowSizes))
 		for i, ws := range WindowSizes {
 			analyzers[i] = locality.NewRARLocality(ws)
@@ -68,7 +68,7 @@ func runAblWindow(opt Options) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WindowResult{Rows: rows}, nil
+	return annotate(&WindowResult{Rows: rows}, fails), nil
 }
 
 // String renders the sweep: sinks detected and their regularity per

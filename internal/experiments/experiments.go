@@ -7,12 +7,19 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
+	"rarpred/internal/faultsim"
 	"rarpred/internal/funcsim"
+	"rarpred/internal/runerr"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
@@ -41,6 +48,18 @@ type Options struct {
 	// the equivalence can be asserted and the pipeline's speedup measured
 	// against the costs it removed.
 	Live bool
+
+	// Context cancels the whole run: simulators poll it every
+	// funcsim.InterruptEvery committed instructions and the runner
+	// aborts (hard error, no partial result) once it is done. nil means
+	// context.Background().
+	Context context.Context
+
+	// WorkloadTimeout bounds each workload's simulation inside an
+	// experiment. An exceeded deadline fails only that workload — it is
+	// collected as a runerr.ErrDeadline failure while the rest of the
+	// suite completes (0 = no per-workload bound).
+	WorkloadTimeout time.Duration
 }
 
 func (o Options) workloads() []workload.Workload {
@@ -71,9 +90,53 @@ func (o Options) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
 // Result is what every experiment produces: a rendered, paper-layout
 // report. Concrete result types expose the underlying numbers.
 type Result interface{ fmt.Stringer }
+
+// PartialResult wraps an experiment's Result when one or more workloads
+// failed: the embedded Result covers the survivors and Fails carries one
+// typed error per failed workload (each a runerr.WorkloadError stamped
+// with the experiment id). String renders the underlying report followed
+// by the failure annotations, so partial output is never mistaken for a
+// complete run.
+type PartialResult struct {
+	Result
+	Fails []*runerr.WorkloadError
+}
+
+// Failures returns the per-workload errors behind the annotations.
+func (p *PartialResult) Failures() []*runerr.WorkloadError { return p.Fails }
+
+// String renders the survivors' report plus one annotation per failure.
+func (p *PartialResult) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.Result.String())
+	fmt.Fprintf(&sb, "!! partial result: %d workload(s) failed\n", len(p.Fails))
+	for _, f := range p.Fails {
+		msg := f.Error()
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i] + " ..." // keep panic stacks out of the report
+		}
+		fmt.Fprintf(&sb, "!!   %s\n", msg)
+	}
+	return sb.String()
+}
+
+// annotate wraps res as partial when any workload failed.
+func annotate(res Result, fails []*runerr.WorkloadError) Result {
+	if len(fails) == 0 {
+		return res
+	}
+	return &PartialResult{Result: res, Fails: fails}
+}
 
 // Experiment is one runnable reproduction of a paper table or figure.
 type Experiment struct {
@@ -87,7 +150,28 @@ type Experiment struct {
 
 var registry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+// register adds e to the registry with its Run wrapped so every error
+// leaving the experiment layer is attributed: hard errors gain the
+// experiment id prefix and per-workload failures in a PartialResult are
+// stamped with it (completing the runerr.WorkloadError taxonomy).
+func register(e Experiment) {
+	id, run := e.ID, e.Run
+	e.Run = func(opt Options) (Result, error) {
+		res, err := run(opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		if p, ok := res.(*PartialResult); ok {
+			for _, f := range p.Fails {
+				if f.Experiment == "" {
+					f.Experiment = id
+				}
+			}
+		}
+		return res, nil
+	}
+	registry = append(registry, e)
+}
 
 // All returns the experiments in registration (paper) order.
 func All() []Experiment {
@@ -116,10 +200,18 @@ func IDs() []string {
 	return ids
 }
 
-// forEachWorkload runs fn once per workload, in parallel, preserving
-// suite order in the returned slice. fn receives the workload and its
-// assembled program and returns an experiment-specific row.
-func forEachWorkload[T any](opt Options, size int, fn func(w workload.Workload, prog *funcsim.Sim) (T, error)) ([]T, error) {
+// runWorkloads is the resilient core every experiment drives its suite
+// through: fn runs once per workload, in parallel, under the run context
+// plus any per-workload deadline. Each worker is isolated — a panic is
+// recovered into a typed runerr.ErrWorkloadPanic, a missed deadline into
+// runerr.ErrDeadline — and failures are collected instead of aborting on
+// the first, so the suite always produces every row it can.
+//
+// Returns the surviving rows with their workloads (suite order,
+// index-aligned) and the failures. The error return is reserved for hard
+// aborts: the run context ending, or every workload failing.
+func runWorkloads[T any](opt Options, fn func(ctx context.Context, w workload.Workload) (T, error)) ([]T, []workload.Workload, []*runerr.WorkloadError, error) {
+	ctx := opt.ctx()
 	ws := opt.workloads()
 	rows := make([]T, len(ws))
 	errs := make([]error, len(ws))
@@ -131,17 +223,59 @@ func forEachWorkload[T any](opt Options, size int, fn func(w workload.Workload, 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			sim := funcsim.New(w.Program(size))
-			rows[i], errs[i] = fn(w, sim)
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = runerr.FromPanic(w.Name, r, debug.Stack())
+				}
+			}()
+			wctx := ctx
+			if opt.WorkloadTimeout > 0 {
+				var cancel context.CancelFunc
+				wctx, cancel = context.WithTimeout(ctx, opt.WorkloadTimeout)
+				defer cancel()
+			}
+			rows[i], errs[i] = fn(wctx, w)
 		}(i, w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+
+	// The run itself ending is a hard abort, not a per-workload failure:
+	// whatever rows completed are moot because the caller is going away.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, runerr.Classify(err)
 	}
-	return rows, nil
+
+	var (
+		outRows []T
+		outWs   []workload.Workload
+		fails   []*runerr.WorkloadError
+	)
+	for i, w := range ws {
+		if errs[i] == nil {
+			outRows = append(outRows, rows[i])
+			outWs = append(outWs, w)
+			continue
+		}
+		fails = append(fails, runerr.New(w.Name, runerr.Classify(errs[i])))
+	}
+	if len(outRows) == 0 && len(fails) > 0 {
+		joined := make([]error, len(fails))
+		for i, f := range fails {
+			joined[i] = f
+		}
+		return nil, nil, nil, fmt.Errorf("every workload failed: %w", errors.Join(joined...))
+	}
+	return outRows, outWs, fails, nil
+}
+
+// forEachWorkload runs fn once per workload over a fresh functional
+// simulator (for experiments that need live register state rather than
+// the recorded stream), with runWorkloads' isolation and error
+// collection.
+func forEachWorkload[T any](opt Options, size int, fn func(w workload.Workload, prog *funcsim.Sim) (T, error)) ([]T, []workload.Workload, []*runerr.WorkloadError, error) {
+	return runWorkloads(opt, func(ctx context.Context, w workload.Workload) (T, error) {
+		return fn(w, funcsim.New(w.Program(size)))
+	})
 }
 
 // traceCache is the process-wide store of committed reference streams.
@@ -161,50 +295,75 @@ func TraceCache() *trace.Cache { return traceCache }
 // live path). fn receives the workload and its recorded stream, obtained
 // from the shared cache — recorded on first use, replayed thereafter.
 // opt.Live bypasses the cache and re-records.
-func forEachWorkloadTraced[T any](opt Options, size int, fn func(w workload.Workload, tr *trace.Stream) (T, error)) ([]T, error) {
+func forEachWorkloadTraced[T any](opt Options, size int, fn func(w workload.Workload, tr *trace.Stream) (T, error)) ([]T, []workload.Workload, []*runerr.WorkloadError, error) {
 	maxInsts := opt.maxInsts()
-	ws := opt.workloads()
-	rows := make([]T, len(ws))
-	errs := make([]error, len(ws))
-	sem := make(chan struct{}, opt.parallelism())
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			record := func() (*trace.Stream, error) {
-				return trace.RecordStream(w.Program(size), maxInsts)
-			}
-			var tr *trace.Stream
-			var err error
-			if opt.Live {
-				// The pre-cache harness re-assembled the workload and
-				// Step-interpreted it over paged memory for every
-				// experiment; model all three costs.
-				tr, err = trace.RecordStreamBaseline(w.Assemble(size), maxInsts)
-			} else {
-				key := trace.Key{Workload: w.Name, Size: size, MaxInsts: maxInsts}
-				tr, err = traceCache.Get(key, record)
-			}
-			switch {
-			case err != nil:
-				errs[i] = fmt.Errorf("%s: %w", w.Name, err)
-			case tr.Truncated:
-				errs[i] = fmt.Errorf("%s: %w", w.Name, funcsim.ErrMaxInsts)
-			default:
-				rows[i], errs[i] = fn(w, tr)
-			}
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	return runWorkloads(opt, func(ctx context.Context, w workload.Workload) (T, error) {
+		var zero T
+		tr, err := workloadStream(ctx, opt, w, size, maxInsts)
+		if err != nil {
+			return zero, err
+		}
+		return fn(w, tr)
+	})
+}
+
+// workloadStream obtains one workload's committed reference stream under
+// the resilience policy. The degradation order on the cached path is:
+// shared cache -> (corrupt stream? drop the poisoned entry and re-record
+// live with the baseline interpreter) -> error, which the caller records
+// as an annotated per-workload failure. Fault-injection hooks
+// (faultsim) reach the interpreter through the record closure, so
+// injected panics, stalls, and corruption exercise exactly the paths a
+// real crash would take.
+func workloadStream(ctx context.Context, opt Options, w workload.Workload, size int, maxInsts uint64) (*trace.Stream, error) {
+	if opt.Live {
+		// The pre-cache harness re-assembled the workload and
+		// Step-interpreted it over paged memory for every experiment;
+		// model all three costs.
+		tr, err := trace.RecordStreamBaselineContext(ctx, w.Assemble(size), maxInsts)
 		if err != nil {
 			return nil, err
 		}
+		if tr.Truncated {
+			return nil, funcsim.ErrMaxInsts
+		}
+		return tr, nil
 	}
-	return rows, nil
+
+	key := trace.Key{Workload: w.Name, Size: size, MaxInsts: maxInsts}
+	record := func() (*trace.Stream, error) {
+		tr, err := trace.RecordStreamContext(ctx, w.Program(size), maxInsts, faultsim.Hook(w.Name, ctx))
+		if err == nil && faultsim.Enabled() && faultsim.ShouldCorrupt(w.Name) {
+			// One spurious event desynchronises the tally from the
+			// execution profile, which Validate below must catch.
+			tr.Append(trace.KindLoad, 0, 0, 0)
+		}
+		return tr, err
+	}
+	tr, err := traceCache.GetContext(ctx, key, record)
+	if err == nil {
+		if verr := tr.Validate(); verr != nil {
+			// Graceful degradation: never serve a corrupt stream. Drop
+			// the poisoned entry so later lookups re-record, and retry
+			// live on the independent baseline interpreter before
+			// declaring the workload failed.
+			traceCache.Drop(key)
+			tr, err = trace.RecordStreamBaselineContext(ctx, w.Assemble(size), maxInsts)
+			if err == nil {
+				err = tr.Validate()
+			}
+			if err != nil {
+				err = fmt.Errorf("%w; live re-record also failed: %w", verr, err)
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if tr.Truncated {
+		return nil, funcsim.ErrMaxInsts
+	}
+	return tr, nil
 }
 
 // meansByClass computes the SPECint, SPECfp and overall arithmetic means

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"rarpred/internal/cloak"
 	"rarpred/internal/pipeline"
@@ -50,47 +50,37 @@ type MemSpecResult struct {
 
 func runAblMemSpec(opt Options) (Result, error) {
 	size := opt.size(workload.TimingSize)
-	ws := opt.workloads()
-	rows := make([]MemSpecRow, len(ws))
-	errs := make([]error, len(ws))
-	sem := make(chan struct{}, opt.parallelism())
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			row := MemSpecRow{Workload: w}
-			for _, pol := range []pipeline.MemSpecPolicy{pipeline.NoSpec, pipeline.NaiveSpec, pipeline.StoreSets} {
-				cfg := pipeline.DefaultConfig()
-				cfg.MemSpec = pol
-				res, err := pipeline.RunProgram(w.Program(size), cfg)
-				if err != nil {
-					errs[i] = fmt.Errorf("%s/%s: %w", w.Name, pol, err)
-					return
-				}
-				switch pol {
-				case pipeline.NoSpec:
-					row.NoSpecIPC = res.IPC()
-				case pipeline.NaiveSpec:
-					row.NaiveIPC = res.IPC()
-					row.NaiveViolations = res.MemViolations
-				case pipeline.StoreSets:
-					row.StoreSetsIPC = res.IPC()
-					row.StoreSetViolations = res.MemViolations
-				}
+	rows, _, fails, err := runWorkloads(opt, func(ctx context.Context, w workload.Workload) (MemSpecRow, error) {
+		row := MemSpecRow{Workload: w}
+		for _, pol := range []pipeline.MemSpecPolicy{pipeline.NoSpec, pipeline.NaiveSpec, pipeline.StoreSets} {
+			// The cycle-level model has no in-loop poll; bound staleness
+			// by checking between configurations.
+			if err := ctx.Err(); err != nil {
+				return row, err
 			}
-			rows[i] = row
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			cfg := pipeline.DefaultConfig()
+			cfg.MemSpec = pol
+			res, err := pipeline.RunProgram(w.Program(size), cfg)
+			if err != nil {
+				return row, fmt.Errorf("%s/%s: %w", w.Name, pol, err)
+			}
+			switch pol {
+			case pipeline.NoSpec:
+				row.NoSpecIPC = res.IPC()
+			case pipeline.NaiveSpec:
+				row.NaiveIPC = res.IPC()
+				row.NaiveViolations = res.MemViolations
+			case pipeline.StoreSets:
+				row.StoreSetsIPC = res.IPC()
+				row.StoreSetViolations = res.MemViolations
+			}
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &MemSpecResult{Rows: rows}, nil
+	return annotate(&MemSpecResult{Rows: rows}, fails), nil
 }
 
 // String renders IPCs and violation counts.
@@ -125,55 +115,42 @@ type RecoveryResult struct {
 
 func runAblRecovery(opt Options) (Result, error) {
 	size := opt.size(workload.TimingSize)
-	ws := opt.workloads()
-	rows := make([]RecoveryRow, len(ws))
-	errs := make([]error, len(ws))
-	sem := make(chan struct{}, opt.parallelism())
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			base, err := pipeline.RunProgram(w.Program(size), pipeline.DefaultConfig())
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			row := RecoveryRow{Workload: w}
-			for _, rec := range []pipeline.RecoveryPolicy{pipeline.Selective, pipeline.Squash, pipeline.Oracle} {
-				cfg := pipeline.DefaultConfig()
-				cc := cloak.TimingConfig(cloak.ModeRAWRAR)
-				cfg.Cloak = &cc
-				cfg.Bypassing = true
-				cfg.Recovery = rec
-				res, err := pipeline.RunProgram(w.Program(size), cfg)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				sp := speedup(base.Cycles, res.Cycles)
-				switch rec {
-				case pipeline.Selective:
-					row.Selective = sp
-				case pipeline.Squash:
-					row.Squash = sp
-				case pipeline.Oracle:
-					row.Oracle = sp
-					row.Skipped = res.SpecSkipped
-				}
-			}
-			rows[i] = row
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	rows, _, fails, err := runWorkloads(opt, func(ctx context.Context, w workload.Workload) (RecoveryRow, error) {
+		row := RecoveryRow{Workload: w}
+		base, err := pipeline.RunProgram(w.Program(size), pipeline.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return row, err
 		}
+		for _, rec := range []pipeline.RecoveryPolicy{pipeline.Selective, pipeline.Squash, pipeline.Oracle} {
+			if err := ctx.Err(); err != nil {
+				return row, err
+			}
+			cfg := pipeline.DefaultConfig()
+			cc := cloak.TimingConfig(cloak.ModeRAWRAR)
+			cfg.Cloak = &cc
+			cfg.Bypassing = true
+			cfg.Recovery = rec
+			res, err := pipeline.RunProgram(w.Program(size), cfg)
+			if err != nil {
+				return row, err
+			}
+			sp := speedup(base.Cycles, res.Cycles)
+			switch rec {
+			case pipeline.Selective:
+				row.Selective = sp
+			case pipeline.Squash:
+				row.Squash = sp
+			case pipeline.Oracle:
+				row.Oracle = sp
+				row.Skipped = res.SpecSkipped
+			}
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &RecoveryResult{Rows: rows}, nil
+	return annotate(&RecoveryResult{Rows: rows}, fails), nil
 }
 
 // String renders the three speedup columns.
@@ -210,7 +187,7 @@ type SynergyResult struct {
 
 func runSynergy(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (SynergyRow, error) {
+	rows, ws, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (SynergyRow, error) {
 		engine := cloak.New(table52Config())
 		vp := vpred.NewLastValue(vpred.DefaultEntries)
 		var loads, cCloak, cVP, cHybrid uint64
@@ -243,10 +220,10 @@ func runSynergy(opt Options) (Result, error) {
 		return nil, err
 	}
 	res := &SynergyResult{Rows: rows}
-	_, _, res.CloakMean = meansByClass(opt.workloads(), rows, func(r SynergyRow) float64 { return r.Cloak })
-	_, _, res.VPMean = meansByClass(opt.workloads(), rows, func(r SynergyRow) float64 { return r.VP })
-	_, _, res.HybridMean = meansByClass(opt.workloads(), rows, func(r SynergyRow) float64 { return r.Hybrid })
-	return res, nil
+	_, _, res.CloakMean = meansByClass(ws, rows, func(r SynergyRow) float64 { return r.Cloak })
+	_, _, res.VPMean = meansByClass(ws, rows, func(r SynergyRow) float64 { return r.VP })
+	_, _, res.HybridMean = meansByClass(ws, rows, func(r SynergyRow) float64 { return r.Hybrid })
+	return annotate(res, fails), nil
 }
 
 // String renders per-program and mean coverage of each mechanism.
@@ -291,7 +268,7 @@ const profileMinCount = 4
 
 func runAblProfile(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (ProfileRow, error) {
+	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (ProfileRow, error) {
 		// Pass 1: profile (and measure hardware coverage on the same
 		// stream).
 		collector := cloak.NewCollector(128)
@@ -326,7 +303,7 @@ func runAblProfile(opt Options) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ProfileResult{Rows: rows}, nil
+	return annotate(&ProfileResult{Rows: rows}, fails), nil
 }
 
 // String renders hardware vs software-guided coverage.

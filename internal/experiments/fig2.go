@@ -40,7 +40,7 @@ type Fig2Result struct {
 
 func runFig2(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig2Row, error) {
+	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig2Row, error) {
 		inf := locality.NewRARLocality(0)
 		win := locality.NewRARLocality(Fig2Window)
 		tr.Replay(trace.SinkFuncs{
@@ -63,7 +63,7 @@ func runFig2(opt Options) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fig2Result{Rows: rows}, nil
+	return annotate(&Fig2Result{Rows: rows}, fails), nil
 }
 
 // String renders both sub-figures as locality(1..4) columns.

@@ -42,7 +42,7 @@ type Fig5Result struct {
 
 func runFig5(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig5Row, error) {
+	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig5Row, error) {
 		// One combined-DDT detector per size, all observing one stream.
 		dets := make([]*cloak.DDT, len(Fig5Sizes))
 		raw := make([]uint64, len(Fig5Sizes))
@@ -83,7 +83,7 @@ func runFig5(opt Options) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fig5Result{Rows: rows}, nil
+	return annotate(&Fig5Result{Rows: rows}, fails), nil
 }
 
 // Point returns the sweep point for a DDT size.

@@ -60,7 +60,7 @@ func cellFrom(st cloak.Stats) Fig6Cell {
 
 func runFig6(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig6Row, error) {
+	rows, ws, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig6Row, error) {
 		cfg1 := cloak.DefaultConfig()
 		cfg1.Confidence = cloak.NonAdaptive1Bit
 		cfg2 := cloak.DefaultConfig()
@@ -86,12 +86,11 @@ func runFig6(opt Options) (Result, error) {
 		return nil, err
 	}
 	res := &Fig6Result{Rows: rows}
-	ws := opt.workloads()
 	res.MispIntTwoBit, res.MispFPTwoBit, res.MispAllTwoBit =
 		meansByClass(ws, rows, func(r Fig6Row) float64 { return r.TwoBit.Misp() })
 	res.CovIntTwoBit, res.CovFPTwoBit, res.CovAllTwoBit =
 		meansByClass(ws, rows, func(r Fig6Row) float64 { return r.TwoBit.Coverage() })
-	return res, nil
+	return annotate(res, fails), nil
 }
 
 // String renders coverage (part a) and misspeculation (part b), one pair

@@ -58,7 +58,7 @@ type Fig7Result struct {
 
 func runFig7(opt Options, value bool) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig7Row, error) {
+	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig7Row, error) {
 		engine := cloak.New(cloak.DefaultConfig())
 		last := locality.NewLastMap()
 		var loads, localRAW, localRAR, localNone uint64
@@ -97,7 +97,7 @@ func runFig7(opt Options, value bool) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fig7Result{Value: value, Rows: rows}, nil
+	return annotate(&Fig7Result{Value: value, Rows: rows}, fails), nil
 }
 
 // String renders left (locality breakdown) and right (coverage) bars.

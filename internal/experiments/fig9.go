@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"rarpred/internal/cloak"
 	"rarpred/internal/pipeline"
@@ -96,25 +96,11 @@ func runFig10(opt Options) (Result, error) { return runTiming(opt, true) }
 
 func runTiming(opt Options, nospec bool) (Result, error) {
 	size := opt.size(workload.TimingSize)
-	ws := opt.workloads()
-	rows := make([]Fig9Row, len(ws))
-	errs := make([]error, len(ws))
-	sem := make(chan struct{}, opt.parallelism())
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i], errs[i] = timingRow(w, size, nospec)
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	rows, ws, fails, err := runWorkloads(opt, func(ctx context.Context, w workload.Workload) (Fig9Row, error) {
+		return timingRow(ctx, w, size, nospec)
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &Fig9Result{NoSpec: nospec, Rows: rows}
 	res.SelRAWInt, res.SelRAWFP, res.SelRAWAll =
@@ -127,14 +113,19 @@ func runTiming(opt Options, nospec bool) (Result, error) {
 		times[i] = 1 / (1 + r.SelRAWRAR)
 	}
 	res.HMSelective = 1/stats.HarmonicMean(times) - 1
-	return res, nil
+	return annotate(res, fails), nil
 }
 
-func timingRow(w workload.Workload, size int, nospec bool) (Fig9Row, error) {
+func timingRow(ctx context.Context, w workload.Workload, size int, nospec bool) (Fig9Row, error) {
 	row := Fig9Row{Workload: w}
 	// Each configuration re-assembles and re-runs the program; the
-	// simulators are deterministic so runs are directly comparable.
+	// simulators are deterministic so runs are directly comparable. The
+	// cycle-level model has no in-loop poll, so cancellation is checked
+	// between configurations.
 	runOne := func(cfg pipeline.Config) (pipeline.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return pipeline.Result{}, err
+		}
 		return pipeline.RunProgram(w.Program(size), cfg)
 	}
 	base, err := runOne(baseConfig(nospec))

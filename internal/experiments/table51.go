@@ -31,13 +31,13 @@ type Table51Result struct {
 
 func runTable51(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Table51Row, error) {
+	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Table51Row, error) {
 		return Table51Row{Workload: w, Counts: tr.Counts}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Table51Result{Rows: rows}, nil
+	return annotate(&Table51Result{Rows: rows}, fails), nil
 }
 
 // String renders the table in the paper's layout (instruction counts in

@@ -61,7 +61,7 @@ func table52Config() cloak.Config {
 
 func runTable52(opt Options) (Result, error) {
 	size := opt.size(workload.ReferenceSize)
-	rows, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Table52Row, error) {
+	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Table52Row, error) {
 		engine := cloak.New(table52Config())
 		vp := vpred.NewLastValue(vpred.DefaultEntries)
 		var loads, cloakOnlyRAW, cloakOnlyRAR, vpOnly uint64
@@ -94,7 +94,7 @@ func runTable52(opt Options) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Table52Result{Rows: rows}, nil
+	return annotate(&Table52Result{Rows: rows}, fails), nil
 }
 
 // String renders the paper's column layout: Cloaking/Bypassing RAW, RAR,

@@ -9,6 +9,7 @@
 package funcsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -68,7 +69,22 @@ type Sim struct {
 	// access in program order. Observers must not mutate the simulator.
 	OnLoad  func(MemEvent)
 	OnStore func(MemEvent)
+
+	// Interrupt, when non-nil, is polled by Run every InterruptEvery
+	// committed instructions (and once before the first); a non-nil
+	// return stops the run with that error wrapped. This is how the
+	// harness cancels a runaway simulation and how fault injection
+	// reaches the interpreter loop; the hook is never called while the
+	// simulator state is mid-instruction, so a stopped Sim is always at
+	// a committed boundary.
+	Interrupt func() error
 }
+
+// InterruptEvery is the interrupt poll interval of Run, in committed
+// instructions: coarse enough that polling is invisible next to the exec
+// switch, fine enough that cancellation lands within ~100µs of wall
+// time at the interpreter's throughput.
+const InterruptEvery = 1 << 14
 
 // New returns a simulator with the program's data image loaded and the PC
 // at the entry point. The stack pointer (R29) is initialised to StackTop.
@@ -338,9 +354,19 @@ func (s *Sim) set(rd isa.Reg, v uint32) {
 func (s *Sim) Run(max uint64) error {
 	insts := s.Prog.Insts
 	limit := uint32(len(insts)) * 4
+	countdown := 0 // polls Interrupt on the first iteration, then every InterruptEvery
 	for !s.Halted {
 		if max != 0 && s.Counts.Insts >= max {
 			return ErrMaxInsts
+		}
+		if s.Interrupt != nil {
+			if countdown == 0 {
+				countdown = InterruptEvery
+				if err := s.Interrupt(); err != nil {
+					return fmt.Errorf("funcsim: interrupted after %d insts: %w", s.Counts.Insts, err)
+				}
+			}
+			countdown--
 		}
 		pc := s.PC
 		if pc >= limit || pc&3 != 0 {
@@ -354,6 +380,28 @@ func (s *Sim) Run(max uint64) error {
 		s.PC = next
 	}
 	return nil
+}
+
+// RunContext is Run with cancellation: ctx is polled alongside any
+// installed Interrupt hook, every InterruptEvery committed instructions.
+// A context that can never be canceled (Done() == nil, e.g.
+// context.Background) adds no per-instruction cost.
+func (s *Sim) RunContext(ctx context.Context, max uint64) error {
+	if ctx.Done() == nil {
+		return s.Run(max)
+	}
+	prev := s.Interrupt
+	s.Interrupt = func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if prev != nil {
+			return prev()
+		}
+		return nil
+	}
+	defer func() { s.Interrupt = prev }()
+	return s.Run(max)
 }
 
 // RunProgram is a convenience that executes prog to completion (with a

@@ -1,7 +1,10 @@
 package funcsim
 
 import (
+	"context"
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -343,5 +346,91 @@ func TestRunProgram(t *testing.T) {
 	}
 	if c.Insts != 3 {
 		t.Errorf("insts = %d", c.Insts)
+	}
+}
+
+// TestRunContextCancelStopsWithinInterval: a canceled context stops Run
+// within one interrupt poll interval of committed instructions, at a
+// committed boundary, with the context error visible via errors.Is.
+func TestRunContextCancelStopsWithinInterval(t *testing.T) {
+	p := asm.MustAssemble("main: j main") // infinite loop
+	s := New(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the first poll must see it
+	err := s.RunContext(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Counts.Insts > InterruptEvery {
+		t.Errorf("ran %d insts after cancellation (interval %d)", s.Counts.Insts, InterruptEvery)
+	}
+}
+
+// TestRunContextMidRunCancel: cancellation arriving while the interpreter
+// is running stops it within one further poll interval.
+func TestRunContextMidRunCancel(t *testing.T) {
+	p := asm.MustAssemble("main: j main")
+	s := New(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	polls := 0
+	s.Interrupt = func() error {
+		polls++
+		if polls == 3 {
+			cancel()
+		}
+		return nil
+	}
+	err := s.RunContext(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancel lands during the 3rd poll; the 4th poll (one interval later)
+	// must observe it.
+	if got, max := s.Counts.Insts, uint64(4*InterruptEvery); got > max {
+		t.Errorf("ran %d insts, want <= %d", got, max)
+	}
+}
+
+// TestRunContextBackgroundIsFree: an uncancelable context takes the
+// plain Run path and leaves any installed Interrupt hook in place.
+func TestRunContextBackgroundIsFree(t *testing.T) {
+	s := run(t, "main: halt") // reuse a halted sim just for the method
+	s.Halted = false
+	s.PC = 0
+	if err := s.RunContext(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterruptErrorWrapped: a hook error is returned wrapped with the
+// instruction count and remains matchable.
+func TestInterruptErrorWrapped(t *testing.T) {
+	p := asm.MustAssemble("main: j main")
+	s := New(p)
+	sentinel := errors.New("injected")
+	s.Interrupt = func() error { return sentinel }
+	err := s.Run(0)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Errorf("err = %v, want interruption context", err)
+	}
+}
+
+// TestInterruptRestoredAfterRunContext: RunContext must not clobber a
+// pre-installed hook permanently.
+func TestInterruptRestoredAfterRunContext(t *testing.T) {
+	p := asm.MustAssemble("main: halt")
+	s := New(p)
+	base := func() error { return nil }
+	s.Interrupt = base
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := s.RunContext(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Interrupt == nil {
+		t.Error("Interrupt hook lost after RunContext")
 	}
 }

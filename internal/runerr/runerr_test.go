@@ -1,0 +1,87 @@
+package runerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadErrorRendering(t *testing.T) {
+	we := New("gcc_like", errors.New("boom"))
+	if got := we.Error(); got != "gcc_like: boom" {
+		t.Errorf("unstamped = %q", got)
+	}
+	we.Experiment = "fig2"
+	if got := we.Error(); got != "fig2/gcc_like: boom" {
+		t.Errorf("stamped = %q", got)
+	}
+}
+
+func TestNewFlattens(t *testing.T) {
+	inner := New("gcc_like", ErrTraceCorrupt)
+	outer := New("other", fmt.Errorf("wrapped: %w", inner))
+	if outer != inner {
+		t.Errorf("New re-wrapped an existing WorkloadError: %v", outer)
+	}
+	if !errors.Is(outer, ErrTraceCorrupt) {
+		t.Error("sentinel lost through New")
+	}
+}
+
+func TestFromPanic(t *testing.T) {
+	we := FromPanic("tom_like", "index out of range", []byte("goroutine 1 [running]:\nmain.main()"))
+	if !errors.Is(we, ErrWorkloadPanic) {
+		t.Error("not an ErrWorkloadPanic")
+	}
+	if we.Workload != "tom_like" {
+		t.Errorf("workload = %q", we.Workload)
+	}
+	if !strings.Contains(we.Error(), "index out of range") {
+		t.Errorf("panic value missing: %v", we)
+	}
+}
+
+func TestFromPanicTruncatesStack(t *testing.T) {
+	we := FromPanic("w", "v", bytes4k())
+	if len(we.Error()) > maxStack+256 {
+		t.Errorf("stack not truncated: %d bytes", len(we.Error()))
+	}
+	if !strings.HasSuffix(we.Err.Error(), "...") {
+		t.Error("truncation marker missing")
+	}
+}
+
+func bytes4k() []byte {
+	b := make([]byte, 4096)
+	for i := range b {
+		b[i] = 'x'
+	}
+	return b
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(nil) != nil {
+		t.Error("nil should classify to nil")
+	}
+
+	dl := fmt.Errorf("record: %w", context.DeadlineExceeded)
+	got := Classify(dl)
+	if !errors.Is(got, ErrDeadline) || !errors.Is(got, context.DeadlineExceeded) {
+		t.Errorf("deadline classification lost a sentinel: %v", got)
+	}
+	if again := Classify(got); again != got {
+		t.Errorf("classification is not idempotent: %v", again)
+	}
+
+	ca := fmt.Errorf("record: %w", context.Canceled)
+	if got := Classify(ca); !errors.Is(got, ErrCanceled) || !errors.Is(got, context.Canceled) {
+		t.Errorf("cancel classification lost a sentinel: %v", got)
+	}
+
+	plain := errors.New("sim blew up")
+	if got := Classify(plain); got != plain {
+		t.Errorf("unrelated error rewritten: %v", got)
+	}
+}

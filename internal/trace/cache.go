@@ -2,7 +2,11 @@ package trace
 
 import (
 	"container/list"
+	"context"
+	"fmt"
 	"sync"
+
+	"rarpred/internal/runerr"
 )
 
 // Key identifies one recorded stream: a workload name, its size
@@ -29,6 +33,12 @@ type Cache struct {
 
 	hits, misses, evictions uint64
 }
+
+// testWaiterJoined, when non-nil, is called once a Get has committed to
+// waiting on another goroutine's in-flight recording (its outcome is the
+// shared flight's result from that point on). Tests use it to release an
+// injected fault only after every waiter has actually joined the flight.
+var testWaiterJoined func()
 
 // cacheEntry is one cached (or in-flight) recording. ready is closed
 // once stream/err are set; elem is non-nil only for completed entries
@@ -68,8 +78,20 @@ func (c *Cache) SetBudget(budget int64) {
 // Get returns the stream for key, calling record to produce it on a
 // miss. Concurrent Gets for the same key share one record call; its
 // error (if any) is returned to every waiter and the entry is dropped so
-// a later Get retries.
+// a later Get retries. A panicking record can never strand waiters: the
+// entry is completed (with a typed ErrWorkloadPanic), dropped so a later
+// Get retries, and the panic then propagates to record's own caller,
+// whose worker-level recovery owns it.
 func (c *Cache) Get(key Key, record func() (*Stream, error)) (*Stream, error) {
+	return c.GetContext(context.Background(), key, record)
+}
+
+// GetContext is Get with a bounded wait: a waiter whose context ends
+// before the in-flight recording completes gives up with the context
+// error instead of blocking on a recording that may be stalled. The
+// recording itself is not canceled (it belongs to the goroutine that
+// started it, which carries its own context).
+func (c *Cache) GetContext(ctx context.Context, key Key, record func() (*Stream, error)) (*Stream, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		if e.elem != nil {
@@ -77,27 +99,73 @@ func (c *Cache) Get(key Key, record func() (*Stream, error)) (*Stream, error) {
 		}
 		c.hits++
 		c.mu.Unlock()
-		<-e.ready
-		return e.stream, e.err
+		if testWaiterJoined != nil {
+			testWaiterJoined()
+		}
+		select {
+		case <-e.ready:
+			return e.stream, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
 	c.mu.Unlock()
 
-	e.stream, e.err = record()
+	// The completion runs deferred so it executes even when record
+	// panics: waiters are released with a typed error and the poisoned
+	// entry is removed, then the panic unwinds to this Get's caller.
+	panicked := true
+	defer func() {
+		c.mu.Lock()
+		if panicked && e.err == nil {
+			e.err = fmt.Errorf("trace: recording %s/%d: %w",
+				key.Workload, key.Size, runerr.ErrWorkloadPanic)
+		}
+		// Only insert if the entry is still ours: a concurrent Drop may
+		// have disowned it while the recording ran.
+		if cur := c.entries[key]; cur == e {
+			if e.err != nil {
+				delete(c.entries, key)
+			} else {
+				e.elem = c.lru.PushFront(e)
+				c.bytes += e.stream.Bytes()
+				c.evictLocked()
+			}
+		}
+		c.mu.Unlock()
+		close(e.ready)
+	}()
 
-	c.mu.Lock()
-	if e.err != nil {
-		delete(c.entries, key)
-	} else {
-		e.elem = c.lru.PushFront(e)
-		c.bytes += e.stream.Bytes()
-		c.evictLocked()
-	}
-	c.mu.Unlock()
-	close(e.ready)
+	e.stream, e.err = record()
+	panicked = false
 	return e.stream, e.err
+}
+
+// Drop removes a completed entry (a stream the caller found to be
+// corrupt, say) so the next Get re-records. An in-flight recording is
+// left alone: its owner will complete it, and dropping it here would
+// detach the entry the owner is about to publish.
+func (c *Cache) Drop(key Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	select {
+	case <-e.ready:
+	default:
+		return // still recording
+	}
+	delete(c.entries, key)
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+		c.bytes -= e.stream.Bytes()
+		e.elem = nil
+	}
 }
 
 // evictLocked drops least-recently-used completed entries until the

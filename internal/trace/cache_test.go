@@ -1,10 +1,15 @@
 package trace
 
 import (
+	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"rarpred/internal/runerr"
 )
 
 // fullStream returns a stream occupying exactly chunks full chunks.
@@ -152,5 +157,169 @@ func TestCacheSetBudget(t *testing.T) {
 	st := c.Stats()
 	if st.Entries != 1 || st.Bytes != chunkBytes {
 		t.Errorf("after shrink: %d entries / %d bytes, want 1 / %d", st.Entries, st.Bytes, chunkBytes)
+	}
+}
+
+// TestCachePanicReleasesWaiters is the regression test for the
+// single-flight deadlock: when record panics, every concurrent waiter
+// must be released with a typed error (not block forever on an unclosed
+// ready channel), the poisoned entry must be dropped, and the panic must
+// still reach the recording goroutine. Run with -race.
+func TestCachePanicReleasesWaiters(t *testing.T) {
+	c := NewCache(DefaultBudget)
+	key := Key{Workload: "kaboom", Size: 4}
+
+	const waiters = 8
+
+	recorderEntered := make(chan struct{})
+	release := make(chan struct{})
+	var panicked atomic.Bool
+	go func() {
+		defer func() {
+			if recover() != nil {
+				panicked.Store(true)
+			}
+		}()
+		c.Get(key, func() (*Stream, error) {
+			close(recorderEntered)
+			<-release
+			panic("injected recorder panic")
+		})
+	}()
+
+	// Only trigger the panic once every waiter has joined the in-flight
+	// recording, so each one deterministically observes the poisoning.
+	var joined atomic.Int32
+	allJoined := make(chan struct{})
+	testWaiterJoined = func() {
+		if joined.Add(1) == waiters {
+			close(allJoined)
+		}
+	}
+	defer func() { testWaiterJoined = nil }()
+
+	<-recorderEntered // the flight is in progress: these Gets become waiters
+	errs := make(chan error, waiters)
+	for g := 0; g < waiters; g++ {
+		go func() {
+			_, err := c.Get(key, func() (*Stream, error) {
+				t.Error("waiter re-recorded while a flight was active")
+				return fullStream(1), nil
+			})
+			errs <- err
+		}()
+	}
+	<-allJoined
+	close(release)
+
+	for g := 0; g < waiters; g++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, runerr.ErrWorkloadPanic) {
+				t.Errorf("waiter error = %v, want ErrWorkloadPanic", err)
+			}
+			if err == nil || !strings.Contains(err.Error(), "kaboom") {
+				t.Errorf("waiter error %v does not name the workload", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter stranded: ready channel never closed")
+		}
+	}
+	if !panicked.Load() {
+		t.Error("panic did not propagate to the recording goroutine")
+	}
+
+	// The poisoned entry must be gone: the next Get re-records cleanly.
+	s, err := c.Get(key, func() (*Stream, error) { return fullStream(1), nil })
+	if err != nil || s == nil {
+		t.Fatalf("retry after panic failed: %v", err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d after retry, want 1", st.Entries)
+	}
+}
+
+// TestCacheDrop: a dropped entry stops being served and its bytes leave
+// the budget accounting; dropping unknown keys is a no-op.
+func TestCacheDrop(t *testing.T) {
+	c := NewCache(DefaultBudget)
+	key := Key{Workload: "w", Size: 4}
+	records := 0
+	get := func() (*Stream, error) {
+		records++
+		return fullStream(1), nil
+	}
+	if _, err := c.Get(key, get); err != nil {
+		t.Fatal(err)
+	}
+	c.Drop(key)
+	c.Drop(Key{Workload: "missing"}) // no-op
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("after drop: %d entries / %d bytes", st.Entries, st.Bytes)
+	}
+	if _, err := c.Get(key, get); err != nil {
+		t.Fatal(err)
+	}
+	if records != 2 {
+		t.Errorf("recorded %d times, want 2 (drop must force a re-record)", records)
+	}
+}
+
+// TestCacheDropLeavesInFlight: Drop during an active recording leaves
+// the flight to its owner, which still publishes the result.
+func TestCacheDropLeavesInFlight(t *testing.T) {
+	c := NewCache(DefaultBudget)
+	key := Key{Workload: "slow", Size: 4}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(key, func() (*Stream, error) {
+			close(entered)
+			<-release
+			return fullStream(1), nil
+		})
+		done <- err
+	}()
+	<-entered
+	c.Drop(key) // must not detach the in-flight entry
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("in-flight recording lost by Drop: %+v", st)
+	}
+}
+
+// TestCacheGetContextWaiterTimeout: a waiter with an expiring context
+// gives up with the context error while the stalled flight stays
+// untouched for its owner.
+func TestCacheGetContextWaiterTimeout(t *testing.T) {
+	c := NewCache(DefaultBudget)
+	key := Key{Workload: "stalled", Size: 4}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(key, func() (*Stream, error) {
+			close(entered)
+			<-release
+			return fullStream(1), nil
+		})
+		done <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := c.GetContext(ctx, key, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want DeadlineExceeded", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,8 +1,12 @@
 package trace
 
 import (
+	"context"
+	"fmt"
+
 	"rarpred/internal/funcsim"
 	"rarpred/internal/isa"
+	"rarpred/internal/runerr"
 )
 
 // Stream is the compact in-memory form of a committed access stream: a
@@ -140,6 +144,21 @@ func (s *Stream) replayOne(snk Sink) {
 	}
 }
 
+// Validate cross-checks the event tally against the execution profile
+// recorded alongside it: every committed load and store appends exactly
+// one event, so any mismatch means the stream was mangled after
+// recording (or recorded by a broken path). It returns an error wrapping
+// runerr.ErrTraceCorrupt, which the harness treats as a poisoned cache
+// entry: drop it and re-record live before giving up on the workload.
+func (s *Stream) Validate() error {
+	events := s.Counts.Loads + s.Counts.Stores
+	if uint64(s.n) != events || s.loads != s.Counts.Loads {
+		return fmt.Errorf("%w: %d events (%d loads), but the run committed %d loads + %d stores",
+			runerr.ErrTraceCorrupt, s.n, s.loads, s.Counts.Loads, s.Counts.Stores)
+	}
+	return nil
+}
+
 // Trace converts the stream to the array-of-structs form used by the
 // binary file format (Save/Load).
 func (s *Stream) Trace() *Trace {
@@ -180,11 +199,22 @@ func (s SinkFuncs) Store(pc, addr, value uint32) {
 // instruction budget is reported through Stream.Truncated, not as an
 // error, matching Record.
 func RecordStream(prog *isa.Program, maxInsts uint64) (*Stream, error) {
+	return RecordStreamContext(context.Background(), prog, maxInsts, nil)
+}
+
+// RecordStreamContext is RecordStream with cancellation and an optional
+// extra interrupt hook: both are polled by the interpreter every
+// funcsim.InterruptEvery committed instructions (the hook is where fault
+// injection reaches the loop). A canceled recording returns the context
+// error, not a partial stream; an uncancelable context with a nil hook
+// costs nothing over RecordStream.
+func RecordStreamContext(ctx context.Context, prog *isa.Program, maxInsts uint64, interrupt func() error) (*Stream, error) {
 	s := NewStream()
 	sim := funcsim.New(prog)
 	sim.OnLoad = func(e funcsim.MemEvent) { s.Append(KindLoad, e.PC, e.Addr, e.Value) }
 	sim.OnStore = func(e funcsim.MemEvent) { s.Append(KindStore, e.PC, e.Addr, e.Value) }
-	if err := sim.Run(maxInsts); err != nil {
+	sim.Interrupt = interrupt
+	if err := sim.RunContext(ctx, maxInsts); err != nil {
 		if err != funcsim.ErrMaxInsts {
 			return nil, err
 		}
@@ -202,14 +232,35 @@ func RecordStream(prog *isa.Program, maxInsts uint64) (*Stream, error) {
 // and the fast loop funnel through the same exec core, the recorded
 // stream is bit-identical to RecordStream's.
 func RecordStreamBaseline(prog *isa.Program, maxInsts uint64) (*Stream, error) {
+	return RecordStreamBaselineContext(context.Background(), prog, maxInsts)
+}
+
+// RecordStreamBaselineContext is RecordStreamBaseline with cancellation,
+// polled every funcsim.InterruptEvery committed instructions like the
+// fast path. It backs the harness's graceful-degradation re-record (a
+// corrupt cached stream falls back here) and the Live mode, both of
+// which must stay interruptible under run deadlines.
+func RecordStreamBaselineContext(ctx context.Context, prog *isa.Program, maxInsts uint64) (*Stream, error) {
 	s := NewStream()
 	sim := funcsim.NewPaged(prog)
 	sim.OnLoad = func(e funcsim.MemEvent) { s.Append(KindLoad, e.PC, e.Addr, e.Value) }
 	sim.OnStore = func(e funcsim.MemEvent) { s.Append(KindStore, e.PC, e.Addr, e.Value) }
+	cancelable := ctx.Done() != nil
+	countdown := 0
 	for !sim.Halted {
 		if maxInsts > 0 && sim.Counts.Insts >= maxInsts {
 			s.Truncated = true
 			break
+		}
+		if cancelable {
+			if countdown == 0 {
+				countdown = funcsim.InterruptEvery
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("trace: baseline recording interrupted after %d insts: %w",
+						sim.Counts.Insts, err)
+				}
+			}
+			countdown--
 		}
 		if err := sim.Step(); err != nil {
 			return nil, err
