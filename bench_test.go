@@ -238,6 +238,60 @@ func BenchmarkSuiteFunctional(b *testing.B) {
 	})
 }
 
+// BenchmarkSuiteAll runs the entire suite — every (experiment ×
+// workload) cell — under both harnesses:
+//
+//	seq:       experiments one at a time, each over its own private
+//	           workload pool (the pre-scheduler harness)
+//	scheduler: one shared worker pool over all cells (RunSuite), with
+//	           multi-variant cells replaying chunk-parallel
+//
+// The seq/scheduler ratio is the suite-level speedup; it grows with
+// GOMAXPROCS, since the sequential path serialises experiments behind
+// each other's stragglers while the pool keeps every core fed. Both
+// sub-benchmarks run against a warm trace cache so they measure
+// analysis and scheduling, not one-time recording.
+func BenchmarkSuiteAll(b *testing.B) {
+	exps := experiments.All()
+	warm := func(b *testing.B) {
+		b.Helper()
+		for _, e := range exps {
+			if _, err := e.Run(benchOptions()); err != nil {
+				b.Fatalf("%s: %v", e.ID, err)
+			}
+		}
+	}
+	b.Run("seq", func(b *testing.B) {
+		warm(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, e := range exps {
+				if _, err := e.Run(benchOptions()); err != nil {
+					b.Fatalf("%s: %v", e.ID, err)
+				}
+			}
+		}
+	})
+	b.Run("scheduler", func(b *testing.B) {
+		warm(b)
+		b.ResetTimer()
+		var last experiments.SuiteStats
+		for i := 0; i < b.N; i++ {
+			last = experiments.RunSuite(benchOptions(), exps,
+				func(item experiments.SuiteItem) bool {
+					if item.Err != nil {
+						b.Errorf("%s: %v", item.Exp.ID, item.Err)
+						return false
+					}
+					return true
+				})
+		}
+		if last.Wall > 0 && last.Workers > 0 {
+			b.ReportMetric(last.Busy.Seconds()/(last.Wall.Seconds()*float64(last.Workers)), "utilization")
+		}
+	})
+}
+
 // BenchmarkFunctionalSim measures raw functional-simulation throughput.
 func BenchmarkFunctionalSim(b *testing.B) {
 	w, _ := workload.ByAbbrev("gcc")

@@ -18,6 +18,14 @@
 //	rarsim -exp all -live        # re-simulate per experiment (no cache)
 //	rarsim -exp all -cpuprofile cpu.pprof   # profile the run
 //	rarsim -exp all -timeout 10m -keepgoing # bounded, best-effort sweep
+//	rarsim -exp all -benchjson BENCH_suite.json  # machine-readable timings
+//
+// Multi-experiment sweeps run on a suite-level scheduler: every
+// (experiment × workload) cell from every requested experiment feeds
+// one shared worker pool (-parallelism workers), each workload's trace
+// records once no matter how many experiments need it, and results
+// print in paper order as they complete — the output is byte-identical
+// to the sequential per-experiment path, which -seq restores.
 //
 // The run is cancellable: Ctrl-C (SIGINT) and -timeout both stop the
 // simulators at the next poll point. A workload exceeding
@@ -29,6 +37,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -60,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list       = fs.Bool("list", false, "list experiments and exit")
 		lists      = fs.Bool("workloads", false, "list the benchmark suite and exit")
 		parallel   = fs.Int("p", 0, "max concurrent workload simulations (0 = GOMAXPROCS)")
+		seq        = fs.Bool("seq", false, "run experiments sequentially (one private pool each) instead of the shared suite scheduler")
+		benchjson  = fs.String("benchjson", "", "write machine-readable suite timings (per-experiment, per-cell, trace cache, scheduler utilization) to this JSON file")
 		live       = fs.Bool("live", false, "re-simulate workloads per experiment instead of replaying the shared trace cache")
 		traceMB    = fs.Int64("tracebudget", 0, "trace cache budget in MiB (0 = default 512)")
 		traceStats = fs.Bool("tracestats", false, "print trace cache statistics to stderr after the run")
@@ -69,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wtimeout   = fs.Duration("workload-timeout", 0, "deadline per workload simulation (0 = none)")
 		keepgoing  = fs.Bool("keepgoing", false, "on experiment failure, report it and continue with the rest")
 	)
+	fs.IntVar(parallel, "parallelism", 0, "alias of -p")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -149,38 +161,154 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var failed []string
-	for i, e := range todo {
-		if i > 0 {
+	breport := newBenchReport()
+
+	// report mirrors the sequential harness's per-experiment output for a
+	// completed (or skipped) experiment, appending to failed as it goes.
+	// It returns false when the sweep must stop (hard failure without
+	// -keepgoing).
+	report := func(item experiments.SuiteItem) bool {
+		if item.Index > 0 {
 			fmt.Fprintln(stdout)
 		}
-		if err := ctx.Err(); err != nil {
+		breport.add(item)
+		if item.NotRun {
 			// The run deadline (or Ctrl-C) ends the sweep regardless of
 			// -keepgoing; report what never got to run.
-			fmt.Fprintf(stderr, "rarsim: %s: not run: %v\n", e.ID, err)
-			failed = append(failed, e.ID)
-			continue
+			fmt.Fprintf(stderr, "rarsim: %s: not run: %v\n", item.Exp.ID, item.Err)
+			failed = append(failed, item.Exp.ID)
+			return true
 		}
-		fmt.Fprintf(stdout, "== %s: %s\n", e.ID, e.Title)
-		start := time.Now()
-		res, err := e.Run(opt)
-		if err != nil {
-			fmt.Fprintf(stderr, "rarsim: %v\n", err)
-			failed = append(failed, e.ID)
-			if *keepgoing || errors.Is(err, ctx.Err()) {
-				// ctx.Err-shaped failures fall through to the not-run
-				// branch above on the next iteration.
-				continue
-			}
-			return finish(stderr, *traceStats, *memprofile, failed)
+		fmt.Fprintf(stdout, "== %s: %s\n", item.Exp.ID, item.Exp.Title)
+		if item.Err != nil {
+			fmt.Fprintf(stderr, "rarsim: %v\n", item.Err)
+			failed = append(failed, item.Exp.ID)
+			return *keepgoing || errors.Is(item.Err, ctx.Err())
 		}
-		fmt.Fprint(stdout, res.String())
-		if p, ok := res.(*experiments.PartialResult); ok {
-			failed = append(failed, fmt.Sprintf("%s (%d workloads)", e.ID, len(p.Fails)))
+		fmt.Fprint(stdout, item.Result.String())
+		if p, ok := item.Result.(*experiments.PartialResult); ok {
+			failed = append(failed, fmt.Sprintf("%s (%d workloads)", item.Exp.ID, len(p.Fails)))
 		}
-		fmt.Fprintf(stdout, "[%s in %.1fs]\n", e.ID, time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "[%s in %.1fs]\n", item.Exp.ID, item.Elapsed.Seconds())
+		return true
 	}
 
+	if *seq {
+		// Pre-scheduler path: one experiment at a time, each over its own
+		// private workload pool.
+		for i, e := range todo {
+			item := experiments.SuiteItem{Index: i, Exp: e}
+			if err := ctx.Err(); err != nil {
+				item.NotRun, item.Err = true, err
+			} else {
+				start := time.Now()
+				item.Result, item.Err = e.Run(opt)
+				item.Elapsed = time.Since(start)
+			}
+			if !report(item) {
+				break
+			}
+		}
+	} else {
+		stats := experiments.RunSuite(opt, todo, report)
+		breport.Scheduler = &benchScheduler{
+			Cells:       stats.Cells,
+			Workers:     stats.Workers,
+			WallSeconds: stats.Wall.Seconds(),
+			BusySeconds: stats.Busy.Seconds(),
+			Utilization: stats.Busy.Seconds() / (stats.Wall.Seconds() * float64(stats.Workers)),
+		}
+	}
+
+	if *benchjson != "" {
+		if err := breport.write(*benchjson); err != nil {
+			fmt.Fprintf(stderr, "rarsim: -benchjson: %v\n", err)
+			if len(failed) == 0 {
+				failed = append(failed, "benchjson")
+			}
+		}
+	}
 	return finish(stderr, *traceStats, *memprofile, failed)
+}
+
+// benchReport is the -benchjson payload: machine-readable timings for
+// the whole sweep.
+type benchReport struct {
+	Experiments []benchExp      `json:"experiments"`
+	Scheduler   *benchScheduler `json:"scheduler,omitempty"`
+	TraceCache  benchCache      `json:"trace_cache"`
+}
+
+type benchExp struct {
+	ID      string      `json:"id"`
+	Seconds float64     `json:"seconds"`
+	NotRun  bool        `json:"not_run,omitempty"`
+	Failed  bool        `json:"failed,omitempty"`
+	Cells   []benchCell `json:"cells,omitempty"`
+}
+
+type benchCell struct {
+	Workload string  `json:"workload"`
+	Seconds  float64 `json:"seconds"`
+	Failed   bool    `json:"failed,omitempty"`
+}
+
+type benchScheduler struct {
+	Cells       int     `json:"cells"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	BusySeconds float64 `json:"busy_seconds"`
+	// Utilization is busy / (wall × workers): 1.0 means every worker
+	// executed cells for the whole run.
+	Utilization float64 `json:"utilization"`
+}
+
+type benchCache struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Pinned    int     `json:"pinned"`
+	MiB       float64 `json:"mib"`
+	BudgetMiB float64 `json:"budget_mib"`
+}
+
+func newBenchReport() *benchReport {
+	return &benchReport{Experiments: []benchExp{}}
+}
+
+func (b *benchReport) add(item experiments.SuiteItem) {
+	e := benchExp{
+		ID:      item.Exp.ID,
+		Seconds: item.Elapsed.Seconds(),
+		NotRun:  item.NotRun,
+		Failed:  item.Err != nil,
+	}
+	for _, c := range item.Cells {
+		if c.Workload == "" {
+			continue
+		}
+		e.Cells = append(e.Cells, benchCell{Workload: c.Workload, Seconds: c.Elapsed.Seconds(), Failed: c.Failed})
+	}
+	b.Experiments = append(b.Experiments, e)
+}
+
+func (b *benchReport) write(path string) error {
+	st := experiments.TraceCache().Stats()
+	b.TraceCache = benchCache{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		Pinned:    st.Pinned,
+		MiB:       float64(st.Bytes) / (1 << 20),
+		BudgetMiB: float64(st.Budget) / (1 << 20),
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // finish emits end-of-run diagnostics and converts the failure list into

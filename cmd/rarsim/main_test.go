@@ -76,8 +76,10 @@ func TestKeepGoingSelfHeals(t *testing.T) {
 	defer faultsim.Reset()
 	faultsim.Inject(wname(t, "gcc"), faultsim.Fault{Kind: faultsim.Panic, Times: 1})
 
+	// -p 1 keeps the shared pool's cell order sequential, so the panic
+	// deterministically lands on table51's recording, not fig2's.
 	code, out, errw := runCLI("-exp", "table51,fig2", "-keepgoing",
-		"-size", "13", "-bench", "go,gcc")
+		"-size", "13", "-bench", "go,gcc", "-p", "1")
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errw)
 	}
@@ -123,8 +125,10 @@ func TestRunTimeoutEndsSweep(t *testing.T) {
 	defer faultsim.Reset()
 	faultsim.Inject(wname(t, "go"), faultsim.Fault{Kind: faultsim.Stall})
 
+	// -p 1: with a single worker fig2's cell cannot start before the
+	// deadline fires, so it is reported not-run (matching -seq).
 	code, _, errw := runCLI("-exp", "table51,fig2", "-timeout", "75ms",
-		"-size", "19", "-bench", "go")
+		"-size", "19", "-bench", "go", "-p", "1")
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errw)
 	}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rarpred/internal/faultsim"
+)
+
+func readFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+// timingLine matches the wall-clock report printed after each
+// experiment. Wall time varies run to run, so the golden comparison
+// normalises the duration away while keeping the line (and the id in
+// it) in place.
+var timingLine = regexp.MustCompile(`\[([a-z0-9]+) in [0-9.]+s\]`)
+
+func normalizeTiming(out string) string {
+	return timingLine.ReplaceAllString(out, "[$1]")
+}
+
+// TestSuiteOutputDeterministic is the scheduler's contract: `-exp all`
+// prints byte-identical stdout under the pre-scheduler sequential path
+// (-seq), a single-worker pool, and a wide pool — only the wall-clock
+// timings may differ.
+func TestSuiteOutputDeterministic(t *testing.T) {
+	base := []string{"-exp", "all", "-size", "3", "-bench", "go,gcc"}
+	run := func(extra ...string) string {
+		t.Helper()
+		args := append(append([]string{}, base...), extra...)
+		code, out, errw := runCLI(args...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d; stderr:\n%s", extra, code, errw)
+		}
+		return normalizeTiming(out)
+	}
+	seq := run("-seq")
+	p1 := run("-p", "1")
+	pN := run("-parallelism", "4")
+	if seq != p1 {
+		t.Errorf("-p 1 output differs from -seq:\n--- seq ---\n%s\n--- p 1 ---\n%s", seq, p1)
+	}
+	if seq != pN {
+		t.Errorf("-parallelism 4 output differs from -seq:\n--- seq ---\n%s\n--- p 4 ---\n%s", seq, pN)
+	}
+}
+
+// TestSchedulerIsolatesPanickingCells: under the shared pool, a
+// workload that panics on every recording attempt fails exactly its own
+// (experiment × workload) cells — both experiments still render their
+// other rows and annotate only the faulted workload, at any
+// parallelism.
+func TestSchedulerIsolatesPanickingCells(t *testing.T) {
+	defer faultsim.Reset()
+	faultsim.Inject(wname(t, "gcc"), faultsim.Fault{Kind: faultsim.Panic, Times: 100})
+
+	code, out, errw := runCLI("-exp", "table51,fig2", "-keepgoing",
+		"-size", "23", "-bench", "go,gcc", "-p", "4")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errw)
+	}
+	if n := strings.Count(out, "partial result"); n != 2 {
+		t.Errorf("%d partial annotations, want 2 (gcc cell in each experiment):\n%s", n, out)
+	}
+	for _, id := range []string{"table51", "fig2"} {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Errorf("experiment %s missing from output:\n%s", id, out)
+		}
+	}
+	// Every per-workload failure annotation must name the faulted
+	// workload — the healthy cell shares the pool but not the blast
+	// radius.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "!!   ") && !strings.Contains(line, wname(t, "gcc")) {
+			t.Errorf("failure annotation for an unexpected workload: %q", line)
+		}
+	}
+}
+
+// TestBenchJSONWritten: -benchjson emits the machine-readable suite
+// report with per-experiment cells and scheduler utilization.
+func TestBenchJSONWritten(t *testing.T) {
+	path := t.TempDir() + "/BENCH_suite.json"
+	code, _, errw := runCLI("-exp", "table51,fig2", "-size", "3",
+		"-bench", "go,gcc", "-benchjson", path)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errw)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiments"`, `"scheduler"`, `"trace_cache"`,
+		`"utilization"`, `"cells"`, `"workload"`} {
+		if !strings.Contains(data, want) {
+			t.Errorf("bench report lacks %s:\n%s", want, data)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rarpred/internal/cloak"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
@@ -15,18 +16,18 @@ func init() {
 		ID: "ablmerge",
 		Title: "Ablation: synonym merge policy (incremental Chrysos/Emer " +
 			"vs full associative vs never; Section 5.1 discussion)",
-		Run: runAblMerge,
+		Cells: ablMergeCells,
 	})
 	register(Experiment{
 		ID: "ablsplit",
 		Title: "Ablation: shared vs split DDT (the Section 5.6.2 eviction " +
 			"anomaly)",
-		Run: runAblSplit,
+		Cells: ablSplitCells,
 	})
 	register(Experiment{
 		ID:    "abldpnt",
 		Title: "Ablation: DPNT capacity sweep (512 entries to infinite)",
-		Run:   runAblDPNT,
+		Cells: ablDPNTCells,
 	})
 }
 
@@ -46,71 +47,64 @@ type AblationResult struct {
 	}
 }
 
-// runVariants drives one run per workload with an engine per variant.
-func runVariants(opt Options, title string, variants []string,
-	mk func(variant int) cloak.Config) (Result, error) {
-
-	size := opt.size(workload.ReferenceSize)
+// variantCells builds a CellRunner with one cloaking engine per variant,
+// each consuming the immutable stream from its own goroutine (the
+// engines share no state, so a multi-variant cell uses one core per
+// variant instead of fanning out per event on one).
+func variantCells(title string, variants []string, mk func(variant int) cloak.Config) CellRunner {
 	type row = struct {
 		Workload workload.Workload
 		Cells    []ablCell
 	}
-	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (row, error) {
-		engines := make([]*cloak.Engine, len(variants))
-		for i := range variants {
-			engines[i] = cloak.New(mk(i))
-		}
-		tr.Replay(trace.SinkFuncs{
-			OnLoad: func(pc, addr, value uint32) {
-				for _, eng := range engines {
-					eng.Load(pc, addr, value)
+	return tracedCells(workload.ReferenceSize,
+		func(_ Options, w workload.Workload, tr *trace.Stream) (row, error) {
+			engines := make([]*cloak.Engine, len(variants))
+			sinks := make([]trace.Sink, len(variants))
+			for i := range variants {
+				eng := cloak.New(mk(i))
+				engines[i] = eng
+				sinks[i] = trace.SinkFuncs{
+					OnLoad:  func(pc, addr, value uint32) { eng.Load(pc, addr, value) },
+					OnStore: func(pc, addr, value uint32) { eng.Store(pc, addr, value) },
 				}
-			},
-			OnStore: func(pc, addr, value uint32) {
-				for _, eng := range engines {
-					eng.Store(pc, addr, value)
-				}
-			},
-		})
-		r := row{Workload: w, Cells: make([]ablCell, len(variants))}
-		for i, eng := range engines {
-			st := eng.Stats()
-			r.Cells[i] = ablCell{
-				Coverage: stats.Ratio(st.Covered(), st.Loads),
-				Misp:     stats.Ratio(st.Mispredicted(), st.Loads),
 			}
-		}
-		return r, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&AblationResult{Title: title, Variants: variants, Rows: rows}, fails), nil
+			tr.ReplayEach(sinks...)
+			r := row{Workload: w, Cells: make([]ablCell, len(variants))}
+			for i, eng := range engines {
+				st := eng.Stats()
+				r.Cells[i] = ablCell{
+					Coverage: stats.Ratio(st.Covered(), st.Loads),
+					Misp:     stats.Ratio(st.Mispredicted(), st.Loads),
+				}
+			}
+			return r, nil
+		},
+		func(_ Options, _ []workload.Workload, rows []row, fails []*runerr.WorkloadError) (Result, error) {
+			return annotate(&AblationResult{Title: title, Variants: variants, Rows: rows}, fails), nil
+		})
 }
 
-func runAblMerge(opt Options) (Result, error) {
+var ablMergeCells = func() CellRunner {
 	variants := []string{"incremental", "full", "never"}
 	merges := []cloak.MergeKind{cloak.MergeIncremental, cloak.MergeFull, cloak.MergeNever}
-	return runVariants(opt, "Synonym merge policy", variants, func(i int) cloak.Config {
+	return variantCells("Synonym merge policy", variants, func(i int) cloak.Config {
 		cfg := cloak.DefaultConfig()
 		cfg.Merge = merges[i]
 		return cfg
 	})
-}
+}()
 
-func runAblSplit(opt Options) (Result, error) {
-	variants := []string{"shared 128", "split 128+128"}
-	return runVariants(opt, "Shared vs split DDT", variants, func(i int) cloak.Config {
+var ablSplitCells = variantCells("Shared vs split DDT",
+	[]string{"shared 128", "split 128+128"}, func(i int) cloak.Config {
 		cfg := cloak.DefaultConfig()
 		cfg.SplitDDT = i == 1
 		return cfg
 	})
-}
 
-func runAblDPNT(opt Options) (Result, error) {
+var ablDPNTCells = func() CellRunner {
 	sizes := []int{512, 2048, 8192, 0}
 	variants := []string{"512", "2K", "8K", "inf"}
-	return runVariants(opt, "DPNT capacity", variants, func(i int) cloak.Config {
+	return variantCells("DPNT capacity", variants, func(i int) cloak.Config {
 		cfg := cloak.DefaultConfig()
 		if sizes[i] > 0 {
 			cfg.DPNTSets = sizes[i] / 2
@@ -118,7 +112,13 @@ func runAblDPNT(opt Options) (Result, error) {
 		}
 		return cfg
 	})
-}
+}()
+
+func runAblMerge(opt Options) (Result, error) { return runCells(opt, ablMergeCells) }
+
+func runAblSplit(opt Options) (Result, error) { return runCells(opt, ablSplitCells) }
+
+func runAblDPNT(opt Options) (Result, error) { return runCells(opt, ablDPNTCells) }
 
 // String renders coverage and misspeculation per variant.
 func (r *AblationResult) String() string {

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"rarpred/internal/locality"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
@@ -14,7 +15,7 @@ func init() {
 		ID: "abldist",
 		Title: "Extension: RAR dependence-distance distribution (why a " +
 			"128-entry DDT sees most dependences, Section 5.2)",
-		Run: runAblDist,
+		Cells: ablDistCells,
 	})
 }
 
@@ -33,9 +34,8 @@ type DistResult struct {
 	Rows []DistRow
 }
 
-func runAblDist(opt Options) (Result, error) {
-	size := opt.size(workload.ReferenceSize)
-	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (DistRow, error) {
+var ablDistCells = tracedCells(workload.ReferenceSize,
+	func(_ Options, w workload.Workload, tr *trace.Stream) (DistRow, error) {
 		d := locality.NewDistanceAnalyzer()
 		tr.Replay(trace.SinkFuncs{
 			OnLoad:  func(pc, addr, _ uint32) { d.Load(pc, addr) },
@@ -52,12 +52,12 @@ func runAblDist(opt Options) (Result, error) {
 			P90:      d.Percentile(0.90),
 			P99:      d.Percentile(0.99),
 		}, nil
+	},
+	func(_ Options, _ []workload.Workload, rows []DistRow, fails []*runerr.WorkloadError) (Result, error) {
+		return annotate(&DistResult{Rows: rows}, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&DistResult{Rows: rows}, fails), nil
-}
+
+func runAblDist(opt Options) (Result, error) { return runCells(opt, ablDistCells) }
 
 // String renders the distance CDF at the Figure 5 DDT sizes.
 func (r *DistResult) String() string {

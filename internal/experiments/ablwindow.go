@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rarpred/internal/locality"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
@@ -15,7 +16,7 @@ func init() {
 		ID: "ablwindow",
 		Title: "Extension: address-window sweep for RAR detection " +
 			"(generalising Figure 2's infinite vs 4K comparison)",
-		Run: runAblWindow,
+		Cells: ablWindowCells,
 	})
 }
 
@@ -37,39 +38,34 @@ type WindowResult struct {
 	Rows []WindowRow
 }
 
-func runAblWindow(opt Options) (Result, error) {
-	size := opt.size(workload.ReferenceSize)
-	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (WindowRow, error) {
+// ablWindowCells runs one locality analyzer per window size, each
+// consuming the shared immutable stream from its own goroutine.
+var ablWindowCells = tracedCells(workload.ReferenceSize,
+	func(_ Options, w workload.Workload, tr *trace.Stream) (WindowRow, error) {
 		analyzers := make([]*locality.RARLocality, len(WindowSizes))
+		sinks := make([]trace.Sink, len(WindowSizes))
 		for i, ws := range WindowSizes {
-			analyzers[i] = locality.NewRARLocality(ws)
+			a := locality.NewRARLocality(ws)
+			analyzers[i] = a
+			sinks[i] = trace.SinkFuncs{
+				OnLoad:  func(pc, addr, _ uint32) { a.Load(pc, addr) },
+				OnStore: func(pc, addr, _ uint32) { a.Store(pc, addr) },
+			}
 		}
-		var loads uint64
-		tr.Replay(trace.SinkFuncs{
-			OnLoad: func(pc, addr, _ uint32) {
-				loads++
-				for _, a := range analyzers {
-					a.Load(pc, addr)
-				}
-			},
-			OnStore: func(pc, addr, _ uint32) {
-				for _, a := range analyzers {
-					a.Store(pc, addr)
-				}
-			},
-		})
+		tr.ReplayEach(sinks...)
+		loads := tr.Loads()
 		row := WindowRow{Workload: w}
 		for _, a := range analyzers {
 			row.SinkFrac = append(row.SinkFrac, stats.Ratio(a.SinkLoads(), loads))
 			row.Locality1 = append(row.Locality1, a.Locality(1))
 		}
 		return row, nil
+	},
+	func(_ Options, _ []workload.Workload, rows []WindowRow, fails []*runerr.WorkloadError) (Result, error) {
+		return annotate(&WindowResult{Rows: rows}, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&WindowResult{Rows: rows}, fails), nil
-}
+
+func runAblWindow(opt Options) (Result, error) { return runCells(opt, ablWindowCells) }
 
 // String renders the sweep: sinks detected and their regularity per
 // window size.

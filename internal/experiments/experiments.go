@@ -144,33 +144,52 @@ type Experiment struct {
 	ID string
 	// Title describes what the paper reports there.
 	Title string
-	// Run executes the experiment.
+	// Run executes the experiment standalone (derived from Cells at
+	// registration when nil: a private workload pool plus Assemble).
 	Run func(Options) (Result, error)
+	// Cells decomposes the experiment into independent per-workload
+	// units, letting the suite scheduler pool them with every other
+	// experiment's cells (see RunSuite).
+	Cells CellRunner
 }
 
 var registry []Experiment
 
-// register adds e to the registry with its Run wrapped so every error
-// leaving the experiment layer is attributed: hard errors gain the
-// experiment id prefix and per-workload failures in a PartialResult are
-// stamped with it (completing the runerr.WorkloadError taxonomy).
+// register adds e to the registry. A nil Run is derived from Cells, and
+// Run is wrapped so every error leaving the experiment layer is
+// attributed: hard errors gain the experiment id prefix and
+// per-workload failures in a PartialResult are stamped with it
+// (completing the runerr.WorkloadError taxonomy).
 func register(e Experiment) {
+	if e.Run == nil && e.Cells != nil {
+		r := e.Cells
+		e.Run = func(opt Options) (Result, error) { return runCells(opt, r) }
+	}
 	id, run := e.ID, e.Run
 	e.Run = func(opt Options) (Result, error) {
 		res, err := run(opt)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", id, err)
-		}
-		if p, ok := res.(*PartialResult); ok {
-			for _, f := range p.Fails {
-				if f.Experiment == "" {
-					f.Experiment = id
-				}
-			}
-		}
-		return res, nil
+		return stamp(id, res, err)
 	}
 	registry = append(registry, e)
+}
+
+// stamp attributes an experiment's outcome to its id: hard errors gain
+// the id prefix, per-workload failures inside a PartialResult are
+// stamped with it. Both the standalone Run wrapper and the suite
+// scheduler funnel through here, so attribution is identical on either
+// path.
+func stamp(id string, res Result, err error) (Result, error) {
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	if p, ok := res.(*PartialResult); ok {
+		for _, f := range p.Fails {
+			if f.Experiment == "" {
+				f.Experiment = id
+			}
+		}
+	}
+	return res, nil
 }
 
 // All returns the experiments in registration (paper) order.
@@ -200,53 +219,133 @@ func IDs() []string {
 	return ids
 }
 
-// runWorkloads is the resilient core every experiment drives its suite
-// through: fn runs once per workload, in parallel, under the run context
-// plus any per-workload deadline. Each worker is isolated — a panic is
-// recovered into a typed runerr.ErrWorkloadPanic, a missed deadline into
-// runerr.ErrDeadline — and failures are collected instead of aborting on
-// the first, so the suite always produces every row it can.
-//
-// Returns the surviving rows with their workloads (suite order,
-// index-aligned) and the failures. The error return is reserved for hard
-// aborts: the run context ending, or every workload failing.
-func runWorkloads[T any](opt Options, fn func(ctx context.Context, w workload.Workload) (T, error)) ([]T, []workload.Workload, []*runerr.WorkloadError, error) {
-	ctx := opt.ctx()
-	ws := opt.workloads()
-	rows := make([]T, len(ws))
-	errs := make([]error, len(ws))
-	sem := make(chan struct{}, opt.parallelism())
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = runerr.FromPanic(w.Name, r, debug.Stack())
+// CellRunner decomposes an experiment into independent per-workload
+// cells plus an assembly step. It is the contract the suite scheduler
+// pools work through: one (experiment × workload) cell is the unit of
+// scheduling, and Assemble turns the surviving cells back into the
+// experiment's paper-layout Result. Cell must be safe to call for
+// different workloads concurrently.
+type CellRunner interface {
+	// Cell runs the experiment's unit of work for one workload under
+	// ctx (the run context plus any per-workload deadline).
+	Cell(ctx context.Context, opt Options, w workload.Workload) (any, error)
+	// Assemble combines the surviving cells (suite order, index-aligned
+	// with ws) and the per-workload failures into the Result.
+	Assemble(opt Options, ws []workload.Workload, rows []any, fails []*runerr.WorkloadError) (Result, error)
+}
+
+// StreamKeyer is implemented by cell runners whose cells consume the
+// recorded reference stream. The suite scheduler uses it to draw the
+// dependency edge from each pending cell to its workload's stream,
+// pinning the trace-cache entry (trace.Cache.Retain) until the cell has
+// run so eviction never drops a stream that is still needed.
+type StreamKeyer interface {
+	// StreamKey returns the trace-cache key the cell will consume, or
+	// ok=false when the run bypasses the cache (Options.Live).
+	StreamKey(opt Options, w workload.Workload) (key trace.Key, ok bool)
+}
+
+// cellRunner adapts a typed per-workload function and assembler to the
+// boxed CellRunner contract.
+type cellRunner[T any] struct {
+	cell     func(ctx context.Context, opt Options, w workload.Workload) (T, error)
+	assemble func(opt Options, ws []workload.Workload, rows []T, fails []*runerr.WorkloadError) (Result, error)
+}
+
+func (r cellRunner[T]) Cell(ctx context.Context, opt Options, w workload.Workload) (any, error) {
+	return r.cell(ctx, opt, w)
+}
+
+func (r cellRunner[T]) Assemble(opt Options, ws []workload.Workload, rows []any, fails []*runerr.WorkloadError) (Result, error) {
+	typed := make([]T, len(rows))
+	for i, row := range rows {
+		typed[i] = row.(T)
+	}
+	return r.assemble(opt, ws, typed, fails)
+}
+
+// cells builds a CellRunner from a typed per-workload function and
+// assembler (the cycle-level experiments, which re-simulate live).
+func cells[T any](
+	cell func(ctx context.Context, opt Options, w workload.Workload) (T, error),
+	assemble func(opt Options, ws []workload.Workload, rows []T, fails []*runerr.WorkloadError) (Result, error),
+) CellRunner {
+	return cellRunner[T]{cell: cell, assemble: assemble}
+}
+
+// tracedRunner is cells plus the stream dependency edge: its Cell
+// obtains the workload's committed reference stream (shared cache,
+// degradation policy and all) before invoking the experiment's analyzer
+// function, and StreamKey exposes the cache key for scheduler pinning.
+type tracedRunner[T any] struct {
+	cellRunner[T]
+	defSize int
+}
+
+func (r tracedRunner[T]) StreamKey(opt Options, w workload.Workload) (trace.Key, bool) {
+	if opt.Live {
+		return trace.Key{}, false
+	}
+	return trace.Key{Workload: w.Name, Size: opt.size(r.defSize), MaxInsts: opt.maxInsts()}, true
+}
+
+// tracedCells builds a CellRunner for experiments that only consume the
+// committed memory reference stream (all the non-timing experiments;
+// the Section 5.6 cycle-level studies need full register-state
+// simulation and use cells). fn receives the workload and its recorded
+// stream, obtained from the shared cache — recorded on first use,
+// replayed thereafter. opt.Live bypasses the cache and re-records.
+func tracedCells[T any](
+	defSize int,
+	fn func(opt Options, w workload.Workload, tr *trace.Stream) (T, error),
+	assemble func(opt Options, ws []workload.Workload, rows []T, fails []*runerr.WorkloadError) (Result, error),
+) CellRunner {
+	return tracedRunner[T]{
+		defSize: defSize,
+		cellRunner: cellRunner[T]{
+			assemble: assemble,
+			cell: func(ctx context.Context, opt Options, w workload.Workload) (T, error) {
+				var zero T
+				tr, err := workloadStream(ctx, opt, w, opt.size(defSize), opt.maxInsts())
+				if err != nil {
+					return zero, err
 				}
-			}()
-			wctx := ctx
-			if opt.WorkloadTimeout > 0 {
-				var cancel context.CancelFunc
-				wctx, cancel = context.WithTimeout(ctx, opt.WorkloadTimeout)
-				defer cancel()
-			}
-			rows[i], errs[i] = fn(wctx, w)
-		}(i, w)
+				return fn(opt, w, tr)
+			},
+		},
 	}
-	wg.Wait()
+}
 
-	// The run itself ending is a hard abort, not a per-workload failure:
-	// whatever rows completed are moot because the caller is going away.
-	if err := ctx.Err(); err != nil {
-		return nil, nil, nil, runerr.Classify(err)
+// runCell executes one (experiment × workload) cell under the shared
+// isolation policy: a panic is recovered into a typed
+// runerr.ErrWorkloadPanic, and Options.WorkloadTimeout bounds the cell
+// with its own deadline. Both the standalone per-experiment pool
+// (runCells) and the suite scheduler (RunSuite) execute cells through
+// this wrapper, so a cell fails the same way on either path.
+func runCell(ctx context.Context, opt Options, r CellRunner, w workload.Workload) (row any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = runerr.FromPanic(w.Name, p, debug.Stack())
+		}
+	}()
+	wctx := ctx
+	if opt.WorkloadTimeout > 0 {
+		var cancel context.CancelFunc
+		wctx, cancel = context.WithTimeout(ctx, opt.WorkloadTimeout)
+		defer cancel()
 	}
+	return r.Cell(wctx, opt, w)
+}
 
+// collectCells splits per-cell outcomes into surviving rows (suite
+// order, index-aligned with their workloads) and typed failures.
+// Failures are collected instead of aborting on the first, so the suite
+// always produces every row it can. The error return is reserved for
+// every workload failing — with no survivors there is nothing to
+// render.
+func collectCells(ws []workload.Workload, rows []any, errs []error) ([]any, []workload.Workload, []*runerr.WorkloadError, error) {
 	var (
-		outRows []T
+		outRows []any
 		outWs   []workload.Workload
 		fails   []*runerr.WorkloadError
 	)
@@ -268,14 +367,87 @@ func runWorkloads[T any](opt Options, fn func(ctx context.Context, w workload.Wo
 	return outRows, outWs, fails, nil
 }
 
-// forEachWorkload runs fn once per workload over a fresh functional
-// simulator (for experiments that need live register state rather than
-// the recorded stream), with runWorkloads' isolation and error
-// collection.
-func forEachWorkload[T any](opt Options, size int, fn func(w workload.Workload, prog *funcsim.Sim) (T, error)) ([]T, []workload.Workload, []*runerr.WorkloadError, error) {
-	return runWorkloads(opt, func(ctx context.Context, w workload.Workload) (T, error) {
-		return fn(w, funcsim.New(w.Program(size)))
-	})
+// runCells is the standalone executor behind every Experiment.Run: the
+// runner's cells execute once per workload over a private bounded pool,
+// with runCell's isolation, and the survivors are assembled into the
+// Result. The error return is reserved for hard aborts: the run context
+// ending, or every workload failing.
+func runCells(opt Options, r CellRunner) (Result, error) {
+	ctx := opt.ctx()
+	ws := opt.workloads()
+	rows := make([]any, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, opt.parallelism())
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = runCell(ctx, opt, r, w)
+		}(i, w)
+	}
+	wg.Wait()
+
+	// The run itself ending is a hard abort, not a per-workload failure:
+	// whatever rows completed are moot because the caller is going away.
+	if err := ctx.Err(); err != nil {
+		return nil, runerr.Classify(err)
+	}
+	outRows, outWs, fails, err := collectCells(ws, rows, errs)
+	if err != nil {
+		return nil, err
+	}
+	return r.Assemble(opt, outWs, outRows, fails)
+}
+
+// parallelSims runs n independent deterministic simulations of one cell
+// concurrently — fig9's five pipeline configurations, say — so a
+// multi-variant cell uses as many cores as it has variants instead of
+// one. sim(i) must only write state owned by variant i. A panic in any
+// variant is re-raised in the caller's goroutine, keeping the per-cell
+// isolation policy intact; errors are reported lowest-index first so
+// the outcome is deterministic. The context is checked once per
+// simulation, preserving the serial path's "no in-loop poll, bounded
+// staleness" semantics.
+func parallelSims(ctx context.Context, n int, sim func(i int) error) error {
+	errs := make([]error, n)
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = p
+					}
+					panicMu.Unlock()
+				}
+			}()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = sim(i)
+		}(i)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // traceCache is the process-wide store of committed reference streams.
@@ -287,25 +459,6 @@ var traceCache = trace.NewCache(trace.DefaultBudget)
 // TraceCache exposes the shared stream cache (for budget control and
 // statistics reporting in cmd/rarsim).
 func TraceCache() *trace.Cache { return traceCache }
-
-// forEachWorkloadTraced is the trace-backed sibling of forEachWorkload,
-// used by every experiment that only consumes the committed memory
-// reference stream (all the non-timing experiments; the Section 5.6
-// cycle-level studies need full register-state simulation and keep the
-// live path). fn receives the workload and its recorded stream, obtained
-// from the shared cache — recorded on first use, replayed thereafter.
-// opt.Live bypasses the cache and re-records.
-func forEachWorkloadTraced[T any](opt Options, size int, fn func(w workload.Workload, tr *trace.Stream) (T, error)) ([]T, []workload.Workload, []*runerr.WorkloadError, error) {
-	maxInsts := opt.maxInsts()
-	return runWorkloads(opt, func(ctx context.Context, w workload.Workload) (T, error) {
-		var zero T
-		tr, err := workloadStream(ctx, opt, w, size, maxInsts)
-		if err != nil {
-			return zero, err
-		}
-		return fn(w, tr)
-	})
-}
 
 // workloadStream obtains one workload's committed reference stream under
 // the resilience policy. The degradation order on the cached path is:

@@ -7,6 +7,7 @@ import (
 
 	"rarpred/internal/cloak"
 	"rarpred/internal/pipeline"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/trace"
 	"rarpred/internal/vpred"
@@ -18,19 +19,19 @@ func init() {
 		ID: "ablmemspec",
 		Title: "Extension: base-processor memory dependence speculation " +
 			"policies (no-speculation vs naive vs store sets [Chrysos/Emer])",
-		Run: runAblMemSpec,
+		Cells: ablMemSpecCells,
 	})
 	register(Experiment{
 		ID: "ablrecovery",
 		Title: "Extension: value-misspeculation recovery (selective vs " +
 			"squash vs oracle; Section 5.6.1's equivalence claim)",
-		Run: runAblRecovery,
+		Cells: ablRecoveryCells,
 	})
 	register(Experiment{
 		ID: "synergy",
 		Title: "Extension: cloaking/bypassing combined with last-value " +
 			"prediction (the Section 5.5 'potential synergy')",
-		Run: runSynergy,
+		Cells: synergyCells,
 	})
 }
 
@@ -48,40 +49,39 @@ type MemSpecResult struct {
 	Rows []MemSpecRow
 }
 
-func runAblMemSpec(opt Options) (Result, error) {
-	size := opt.size(workload.TimingSize)
-	rows, _, fails, err := runWorkloads(opt, func(ctx context.Context, w workload.Workload) (MemSpecRow, error) {
+// ablMemSpecCells runs the three LSQ scheduling policies as concurrent
+// independent simulations of each workload (parallelSims).
+var ablMemSpecCells = cells(
+	func(ctx context.Context, opt Options, w workload.Workload) (MemSpecRow, error) {
+		size := opt.size(workload.TimingSize)
 		row := MemSpecRow{Workload: w}
-		for _, pol := range []pipeline.MemSpecPolicy{pipeline.NoSpec, pipeline.NaiveSpec, pipeline.StoreSets} {
-			// The cycle-level model has no in-loop poll; bound staleness
-			// by checking between configurations.
-			if err := ctx.Err(); err != nil {
-				return row, err
-			}
+		pols := []pipeline.MemSpecPolicy{pipeline.NoSpec, pipeline.NaiveSpec, pipeline.StoreSets}
+		results := make([]pipeline.Result, len(pols))
+		err := parallelSims(ctx, len(pols), func(i int) error {
 			cfg := pipeline.DefaultConfig()
-			cfg.MemSpec = pol
+			cfg.MemSpec = pols[i]
 			res, err := pipeline.RunProgram(w.Program(size), cfg)
 			if err != nil {
-				return row, fmt.Errorf("%s/%s: %w", w.Name, pol, err)
+				return fmt.Errorf("%s/%s: %w", w.Name, pols[i], err)
 			}
-			switch pol {
-			case pipeline.NoSpec:
-				row.NoSpecIPC = res.IPC()
-			case pipeline.NaiveSpec:
-				row.NaiveIPC = res.IPC()
-				row.NaiveViolations = res.MemViolations
-			case pipeline.StoreSets:
-				row.StoreSetsIPC = res.IPC()
-				row.StoreSetViolations = res.MemViolations
-			}
+			results[i] = res
+			return nil
+		})
+		if err != nil {
+			return row, err
 		}
+		row.NoSpecIPC = results[0].IPC()
+		row.NaiveIPC = results[1].IPC()
+		row.NaiveViolations = results[1].MemViolations
+		row.StoreSetsIPC = results[2].IPC()
+		row.StoreSetViolations = results[2].MemViolations
 		return row, nil
+	},
+	func(_ Options, _ []workload.Workload, rows []MemSpecRow, fails []*runerr.WorkloadError) (Result, error) {
+		return annotate(&MemSpecResult{Rows: rows}, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&MemSpecResult{Rows: rows}, fails), nil
-}
+
+func runAblMemSpec(opt Options) (Result, error) { return runCells(opt, ablMemSpecCells) }
 
 // String renders IPCs and violation counts.
 func (r *MemSpecResult) String() string {
@@ -113,45 +113,43 @@ type RecoveryResult struct {
 	Rows []RecoveryRow
 }
 
-func runAblRecovery(opt Options) (Result, error) {
-	size := opt.size(workload.TimingSize)
-	rows, _, fails, err := runWorkloads(opt, func(ctx context.Context, w workload.Workload) (RecoveryRow, error) {
+// ablRecoveryCells runs the base processor and the three recovery
+// policies as four concurrent independent simulations (parallelSims).
+var ablRecoveryCells = cells(
+	func(ctx context.Context, opt Options, w workload.Workload) (RecoveryRow, error) {
+		size := opt.size(workload.TimingSize)
 		row := RecoveryRow{Workload: w}
-		base, err := pipeline.RunProgram(w.Program(size), pipeline.DefaultConfig())
-		if err != nil {
-			return row, err
-		}
-		for _, rec := range []pipeline.RecoveryPolicy{pipeline.Selective, pipeline.Squash, pipeline.Oracle} {
-			if err := ctx.Err(); err != nil {
-				return row, err
-			}
+		recs := []pipeline.RecoveryPolicy{pipeline.Selective, pipeline.Squash, pipeline.Oracle}
+		cfgs := []pipeline.Config{pipeline.DefaultConfig()}
+		for _, rec := range recs {
 			cfg := pipeline.DefaultConfig()
 			cc := cloak.TimingConfig(cloak.ModeRAWRAR)
 			cfg.Cloak = &cc
 			cfg.Bypassing = true
 			cfg.Recovery = rec
-			res, err := pipeline.RunProgram(w.Program(size), cfg)
-			if err != nil {
-				return row, err
-			}
-			sp := speedup(base.Cycles, res.Cycles)
-			switch rec {
-			case pipeline.Selective:
-				row.Selective = sp
-			case pipeline.Squash:
-				row.Squash = sp
-			case pipeline.Oracle:
-				row.Oracle = sp
-				row.Skipped = res.SpecSkipped
-			}
+			cfgs = append(cfgs, cfg)
 		}
+		results := make([]pipeline.Result, len(cfgs))
+		err := parallelSims(ctx, len(cfgs), func(i int) error {
+			res, err := pipeline.RunProgram(w.Program(size), cfgs[i])
+			results[i] = res
+			return err
+		})
+		if err != nil {
+			return row, err
+		}
+		base := results[0]
+		row.Selective = speedup(base.Cycles, results[1].Cycles)
+		row.Squash = speedup(base.Cycles, results[2].Cycles)
+		row.Oracle = speedup(base.Cycles, results[3].Cycles)
+		row.Skipped = results[3].SpecSkipped
 		return row, nil
+	},
+	func(_ Options, _ []workload.Workload, rows []RecoveryRow, fails []*runerr.WorkloadError) (Result, error) {
+		return annotate(&RecoveryResult{Rows: rows}, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&RecoveryResult{Rows: rows}, fails), nil
-}
+
+func runAblRecovery(opt Options) (Result, error) { return runCells(opt, ablRecoveryCells) }
 
 // String renders the three speedup columns.
 func (r *RecoveryResult) String() string {
@@ -185,9 +183,10 @@ type SynergyResult struct {
 	CloakMean, VPMean, HybridMean float64
 }
 
-func runSynergy(opt Options) (Result, error) {
-	size := opt.size(workload.ReferenceSize)
-	rows, ws, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (SynergyRow, error) {
+// synergyCells stays single-sink: the cloaking engine and value
+// predictor classify each load together.
+var synergyCells = tracedCells(workload.ReferenceSize,
+	func(_ Options, w workload.Workload, tr *trace.Stream) (SynergyRow, error) {
 		engine := cloak.New(table52Config())
 		vp := vpred.NewLastValue(vpred.DefaultEntries)
 		var loads, cCloak, cVP, cHybrid uint64
@@ -215,16 +214,16 @@ func runSynergy(opt Options) (Result, error) {
 			VP:       stats.Ratio(cVP, loads),
 			Hybrid:   stats.Ratio(cHybrid, loads),
 		}, nil
+	},
+	func(_ Options, ws []workload.Workload, rows []SynergyRow, fails []*runerr.WorkloadError) (Result, error) {
+		res := &SynergyResult{Rows: rows}
+		_, _, res.CloakMean = meansByClass(ws, rows, func(r SynergyRow) float64 { return r.Cloak })
+		_, _, res.VPMean = meansByClass(ws, rows, func(r SynergyRow) float64 { return r.VP })
+		_, _, res.HybridMean = meansByClass(ws, rows, func(r SynergyRow) float64 { return r.Hybrid })
+		return annotate(res, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res := &SynergyResult{Rows: rows}
-	_, _, res.CloakMean = meansByClass(ws, rows, func(r SynergyRow) float64 { return r.Cloak })
-	_, _, res.VPMean = meansByClass(ws, rows, func(r SynergyRow) float64 { return r.VP })
-	_, _, res.HybridMean = meansByClass(ws, rows, func(r SynergyRow) float64 { return r.Hybrid })
-	return annotate(res, fails), nil
-}
+
+func runSynergy(opt Options) (Result, error) { return runCells(opt, synergyCells) }
 
 // String renders per-program and mean coverage of each mechanism.
 func (r *SynergyResult) String() string {
@@ -246,7 +245,7 @@ func init() {
 		ID: "ablprofile",
 		Title: "Extension: hardware-detected vs profile-guided (software) " +
 			"cloaking (Reinman et al., the paper's related work)",
-		Run: runAblProfile,
+		Cells: ablProfileCells,
 	})
 }
 
@@ -266,9 +265,10 @@ type ProfileResult struct {
 // profileMinCount drops one-off pairs, as a compiler would.
 const profileMinCount = 4
 
-func runAblProfile(opt Options) (Result, error) {
-	size := opt.size(workload.ReferenceSize)
-	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (ProfileRow, error) {
+// ablProfileCells stays two-pass sequential: pass 2's software engine
+// needs the profile that pass 1 collects.
+var ablProfileCells = tracedCells(workload.ReferenceSize,
+	func(_ Options, w workload.Workload, tr *trace.Stream) (ProfileRow, error) {
 		// Pass 1: profile (and measure hardware coverage on the same
 		// stream).
 		collector := cloak.NewCollector(128)
@@ -299,12 +299,12 @@ func runAblProfile(opt Options) (Result, error) {
 			Software: stats.Ratio(swStats.Covered(), swStats.Loads),
 			Pairs:    len(profile.Pairs(profileMinCount)),
 		}, nil
+	},
+	func(_ Options, _ []workload.Workload, rows []ProfileRow, fails []*runerr.WorkloadError) (Result, error) {
+		return annotate(&ProfileResult{Rows: rows}, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&ProfileResult{Rows: rows}, fails), nil
-}
+
+func runAblProfile(opt Options) (Result, error) { return runCells(opt, ablProfileCells) }
 
 // String renders hardware vs software-guided coverage.
 func (r *ProfileResult) String() string {

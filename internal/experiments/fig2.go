@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rarpred/internal/locality"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
@@ -15,7 +16,7 @@ func init() {
 		ID: "fig2",
 		Title: "Figure 2: RAR memory dependence locality (n=1..4), " +
 			"infinite and 4K-entry address windows",
-		Run: runFig2,
+		Cells: fig2Cells,
 	})
 }
 
@@ -38,20 +39,19 @@ type Fig2Result struct {
 	Rows []Fig2Row
 }
 
-func runFig2(opt Options) (Result, error) {
-	size := opt.size(workload.ReferenceSize)
-	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig2Row, error) {
+// fig2Cells analyzes both address windows per workload, each consuming
+// the immutable stream from its own goroutine (the analyzers are
+// independent, so the two-variant cell uses two cores).
+var fig2Cells = tracedCells(workload.ReferenceSize,
+	func(_ Options, w workload.Workload, tr *trace.Stream) (Fig2Row, error) {
 		inf := locality.NewRARLocality(0)
 		win := locality.NewRARLocality(Fig2Window)
-		tr.Replay(trace.SinkFuncs{
-			OnLoad: func(pc, addr, _ uint32) {
-				inf.Load(pc, addr)
-				win.Load(pc, addr)
-			},
-			OnStore: func(pc, addr, _ uint32) {
-				inf.Store(pc, addr)
-				win.Store(pc, addr)
-			},
+		tr.ReplayEach(trace.SinkFuncs{
+			OnLoad:  func(pc, addr, _ uint32) { inf.Load(pc, addr) },
+			OnStore: func(pc, addr, _ uint32) { inf.Store(pc, addr) },
+		}, trace.SinkFuncs{
+			OnLoad:  func(pc, addr, _ uint32) { win.Load(pc, addr) },
+			OnStore: func(pc, addr, _ uint32) { win.Store(pc, addr) },
 		})
 		row := Fig2Row{Workload: w, SinkInf: inf.SinkLoads(), SinkWin: win.SinkLoads()}
 		for n := 1; n <= locality.MaxDepth; n++ {
@@ -59,12 +59,12 @@ func runFig2(opt Options) (Result, error) {
 			row.Windowed[n-1] = win.Locality(n)
 		}
 		return row, nil
+	},
+	func(_ Options, _ []workload.Workload, rows []Fig2Row, fails []*runerr.WorkloadError) (Result, error) {
+		return annotate(&Fig2Result{Rows: rows}, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&Fig2Result{Rows: rows}, fails), nil
-}
+
+func runFig2(opt Options) (Result, error) { return runCells(opt, fig2Cells) }
 
 // String renders both sub-figures as locality(1..4) columns.
 func (r *Fig2Result) String() string {

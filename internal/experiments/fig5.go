@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rarpred/internal/cloak"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
@@ -15,7 +16,7 @@ func init() {
 		ID: "fig5",
 		Title: "Figure 5: fraction of loads with RAW or RAR dependences " +
 			"as a function of DDT size (32..2K)",
-		Run: runFig5,
+		Cells: fig5Cells,
 	})
 }
 
@@ -40,21 +41,19 @@ type Fig5Result struct {
 	Rows []Fig5Row
 }
 
-func runFig5(opt Options) (Result, error) {
-	size := opt.size(workload.ReferenceSize)
-	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig5Row, error) {
-		// One combined-DDT detector per size, all observing one stream.
-		dets := make([]*cloak.DDT, len(Fig5Sizes))
+// fig5Cells runs one combined-DDT detector per size, each consuming the
+// immutable stream from its own goroutine: the sweep's seven detectors
+// are independent, so the cell uses up to seven cores instead of paying
+// a per-event fan-out loop on one.
+var fig5Cells = tracedCells(workload.ReferenceSize,
+	func(_ Options, w workload.Workload, tr *trace.Stream) (Fig5Row, error) {
 		raw := make([]uint64, len(Fig5Sizes))
 		rar := make([]uint64, len(Fig5Sizes))
+		sinks := make([]trace.Sink, len(Fig5Sizes))
 		for i, s := range Fig5Sizes {
-			dets[i] = cloak.NewDDT(s, true)
-		}
-		var loads uint64
-		tr.Replay(trace.SinkFuncs{
-			OnLoad: func(pc, addr, _ uint32) {
-				loads++
-				for i, d := range dets {
+			i, d := i, cloak.NewDDT(s, true)
+			sinks[i] = trace.SinkFuncs{
+				OnLoad: func(pc, addr, _ uint32) {
 					if dep, ok := d.Load(addr, pc); ok {
 						if dep.Kind == cloak.DepRAW {
 							raw[i]++
@@ -62,14 +61,12 @@ func runFig5(opt Options) (Result, error) {
 							rar[i]++
 						}
 					}
-				}
-			},
-			OnStore: func(pc, addr, _ uint32) {
-				for _, d := range dets {
-					d.Store(addr, pc)
-				}
-			},
-		})
+				},
+				OnStore: func(pc, addr, _ uint32) { d.Store(addr, pc) },
+			}
+		}
+		tr.ReplayEach(sinks...)
+		loads := tr.Loads()
 		row := Fig5Row{Workload: w}
 		for i, s := range Fig5Sizes {
 			row.Points = append(row.Points, Fig5Point{
@@ -79,12 +76,12 @@ func runFig5(opt Options) (Result, error) {
 			})
 		}
 		return row, nil
+	},
+	func(_ Options, _ []workload.Workload, rows []Fig5Row, fails []*runerr.WorkloadError) (Result, error) {
+		return annotate(&Fig5Result{Rows: rows}, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&Fig5Result{Rows: rows}, fails), nil
-}
+
+func runFig5(opt Options) (Result, error) { return runCells(opt, fig5Cells) }
 
 // Point returns the sweep point for a DDT size.
 func (r Fig5Row) Point(ddtSize int) (Fig5Point, bool) {

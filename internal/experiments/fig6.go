@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rarpred/internal/cloak"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
@@ -15,7 +16,7 @@ func init() {
 		ID: "fig6",
 		Title: "Figure 6: cloaking coverage and misspeculation, 1-bit vs " +
 			"2-bit confidence, RAW/RAR breakdown (128-entry DDT, infinite DPNT)",
-		Run: runFig6,
+		Cells: fig6Cells,
 	})
 }
 
@@ -58,40 +59,38 @@ func cellFrom(st cloak.Stats) Fig6Cell {
 	}
 }
 
-func runFig6(opt Options) (Result, error) {
-	size := opt.size(workload.ReferenceSize)
-	rows, ws, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig6Row, error) {
+// fig6Cells runs the 1-bit and 2-bit engines on separate goroutines over
+// the shared immutable stream.
+var fig6Cells = tracedCells(workload.ReferenceSize,
+	func(_ Options, w workload.Workload, tr *trace.Stream) (Fig6Row, error) {
 		cfg1 := cloak.DefaultConfig()
 		cfg1.Confidence = cloak.NonAdaptive1Bit
 		cfg2 := cloak.DefaultConfig()
 		e1 := cloak.New(cfg1)
 		e2 := cloak.New(cfg2)
-		tr.Replay(trace.SinkFuncs{
-			OnLoad: func(pc, addr, value uint32) {
-				e1.Load(pc, addr, value)
-				e2.Load(pc, addr, value)
-			},
-			OnStore: func(pc, addr, value uint32) {
-				e1.Store(pc, addr, value)
-				e2.Store(pc, addr, value)
-			},
+		tr.ReplayEach(trace.SinkFuncs{
+			OnLoad:  func(pc, addr, value uint32) { e1.Load(pc, addr, value) },
+			OnStore: func(pc, addr, value uint32) { e1.Store(pc, addr, value) },
+		}, trace.SinkFuncs{
+			OnLoad:  func(pc, addr, value uint32) { e2.Load(pc, addr, value) },
+			OnStore: func(pc, addr, value uint32) { e2.Store(pc, addr, value) },
 		})
 		return Fig6Row{
 			Workload: w,
 			OneBit:   cellFrom(e1.Stats()),
 			TwoBit:   cellFrom(e2.Stats()),
 		}, nil
+	},
+	func(_ Options, ws []workload.Workload, rows []Fig6Row, fails []*runerr.WorkloadError) (Result, error) {
+		res := &Fig6Result{Rows: rows}
+		res.MispIntTwoBit, res.MispFPTwoBit, res.MispAllTwoBit =
+			meansByClass(ws, rows, func(r Fig6Row) float64 { return r.TwoBit.Misp() })
+		res.CovIntTwoBit, res.CovFPTwoBit, res.CovAllTwoBit =
+			meansByClass(ws, rows, func(r Fig6Row) float64 { return r.TwoBit.Coverage() })
+		return annotate(res, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res := &Fig6Result{Rows: rows}
-	res.MispIntTwoBit, res.MispFPTwoBit, res.MispAllTwoBit =
-		meansByClass(ws, rows, func(r Fig6Row) float64 { return r.TwoBit.Misp() })
-	res.CovIntTwoBit, res.CovFPTwoBit, res.CovAllTwoBit =
-		meansByClass(ws, rows, func(r Fig6Row) float64 { return r.TwoBit.Coverage() })
-	return annotate(res, fails), nil
-}
+
+func runFig6(opt Options) (Result, error) { return runCells(opt, fig6Cells) }
 
 // String renders coverage (part a) and misspeculation (part b), one pair
 // of bars (1-bit, 2-bit) per program, split RAW/RAR as in the paper.

@@ -6,6 +6,7 @@ import (
 
 	"rarpred/internal/cloak"
 	"rarpred/internal/locality"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
@@ -16,13 +17,13 @@ func init() {
 		ID: "fig7a",
 		Title: "Figure 7(a): address locality breakdown (RAW/RAR/no " +
 			"dependence) vs cloaking coverage",
-		Run: func(opt Options) (Result, error) { return runFig7(opt, false) },
+		Cells: fig7Cells(false),
 	})
 	register(Experiment{
 		ID: "fig7b",
 		Title: "Figure 7(b): value locality breakdown (RAW/RAR/no " +
 			"dependence) vs cloaking coverage",
-		Run: func(opt Options) (Result, error) { return runFig7(opt, true) },
+		Cells: fig7Cells(true),
 	})
 }
 
@@ -56,48 +57,53 @@ type Fig7Result struct {
 	Rows  []Fig7Row
 }
 
-func runFig7(opt Options, value bool) (Result, error) {
-	size := opt.size(workload.ReferenceSize)
-	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Fig7Row, error) {
-		engine := cloak.New(cloak.DefaultConfig())
-		last := locality.NewLastMap()
-		var loads, localRAW, localRAR, localNone uint64
-		tr.Replay(trace.SinkFuncs{
-			OnLoad: func(pc, addr, val uint32) {
-				loads++
-				word := addr
-				if value {
-					word = val
-				}
-				repeats := last.Observe(pc, word)
-				out := engine.Load(pc, addr, val)
-				if repeats {
-					switch out.Dep {
-					case cloak.DepRAW:
-						localRAW++
-					case cloak.DepRAR:
-						localRAR++
-					default:
-						localNone++
+// fig7Cells stays single-sink: the locality observation and the cloaking
+// outcome correlate per event, so they must walk the stream in lockstep.
+func fig7Cells(value bool) CellRunner {
+	return tracedCells(workload.ReferenceSize,
+		func(_ Options, w workload.Workload, tr *trace.Stream) (Fig7Row, error) {
+			engine := cloak.New(cloak.DefaultConfig())
+			last := locality.NewLastMap()
+			var loads, localRAW, localRAR, localNone uint64
+			tr.Replay(trace.SinkFuncs{
+				OnLoad: func(pc, addr, val uint32) {
+					loads++
+					word := addr
+					if value {
+						word = val
 					}
-				}
-			},
-			OnStore: func(pc, addr, val uint32) { engine.Store(pc, addr, val) },
+					repeats := last.Observe(pc, word)
+					out := engine.Load(pc, addr, val)
+					if repeats {
+						switch out.Dep {
+						case cloak.DepRAW:
+							localRAW++
+						case cloak.DepRAR:
+							localRAR++
+						default:
+							localNone++
+						}
+					}
+				},
+				OnStore: func(pc, addr, val uint32) { engine.Store(pc, addr, val) },
+			})
+			st := engine.Stats()
+			return Fig7Row{
+				Workload:    w,
+				LocalRAW:    stats.Ratio(localRAW, loads),
+				LocalRAR:    stats.Ratio(localRAR, loads),
+				LocalNone:   stats.Ratio(localNone, loads),
+				CoverageRAW: stats.Ratio(st.CorrectRAW, loads),
+				CoverageRAR: stats.Ratio(st.CorrectRAR, loads),
+			}, nil
+		},
+		func(_ Options, _ []workload.Workload, rows []Fig7Row, fails []*runerr.WorkloadError) (Result, error) {
+			return annotate(&Fig7Result{Value: value, Rows: rows}, fails), nil
 		})
-		st := engine.Stats()
-		return Fig7Row{
-			Workload:    w,
-			LocalRAW:    stats.Ratio(localRAW, loads),
-			LocalRAR:    stats.Ratio(localRAR, loads),
-			LocalNone:   stats.Ratio(localNone, loads),
-			CoverageRAW: stats.Ratio(st.CorrectRAW, loads),
-			CoverageRAR: stats.Ratio(st.CorrectRAR, loads),
-		}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&Fig7Result{Value: value, Rows: rows}, fails), nil
+}
+
+func runFig7(opt Options, value bool) (Result, error) {
+	return runCells(opt, fig7Cells(value))
 }
 
 // String renders left (locality breakdown) and right (coverage) bars.

@@ -7,6 +7,7 @@ import (
 
 	"rarpred/internal/cloak"
 	"rarpred/internal/pipeline"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/workload"
 )
@@ -17,14 +18,14 @@ func init() {
 		Title: "Figure 9: speedup of RAW and RAW+RAR cloaking/bypassing " +
 			"with selective and squash invalidation (naive memory " +
 			"dependence speculation baseline)",
-		Run: runFig9,
+		Cells: timingCells(false),
 	})
 	register(Experiment{
 		ID: "fig10",
 		Title: "Figure 10: speedup of RAW and RAW+RAR cloaking/bypassing " +
 			"when the base processor does not speculate on memory " +
 			"dependences",
-		Run: runFig10,
+		Cells: timingCells(true),
 	})
 }
 
@@ -90,79 +91,75 @@ func speedup(base, mech uint64) float64 {
 	return float64(base)/float64(mech) - 1
 }
 
-func runFig9(opt Options) (Result, error) { return runTiming(opt, false) }
-
-func runFig10(opt Options) (Result, error) { return runTiming(opt, true) }
-
-func runTiming(opt Options, nospec bool) (Result, error) {
-	size := opt.size(workload.TimingSize)
-	rows, ws, fails, err := runWorkloads(opt, func(ctx context.Context, w workload.Workload) (Fig9Row, error) {
-		return timingRow(ctx, w, size, nospec)
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := &Fig9Result{NoSpec: nospec, Rows: rows}
-	res.SelRAWInt, res.SelRAWFP, res.SelRAWAll =
-		meansByClass(ws, rows, func(r Fig9Row) float64 { return r.SelRAW })
-	res.SelRAWRARInt, res.SelRAWRARFP, res.SelRAWRARAll =
-		meansByClass(ws, rows, func(r Fig9Row) float64 { return r.SelRAWRAR })
-	// Normalized execution times of the RAW+RAR selective mechanism.
-	times := make([]float64, len(rows))
-	for i, r := range rows {
-		times[i] = 1 / (1 + r.SelRAWRAR)
-	}
-	res.HMSelective = 1/stats.HarmonicMean(times) - 1
-	return annotate(res, fails), nil
+// timingCells runs each workload's three (fig10) or five (fig9) pipeline
+// configurations as concurrent simulations: each configuration
+// re-assembles and re-runs the program independently, the simulators are
+// deterministic, and no state is shared, so the cell uses one core per
+// configuration (parallelSims). The context is checked once per
+// simulation — the cycle-level model has no in-loop poll.
+func timingCells(nospec bool) CellRunner {
+	return cells(
+		func(ctx context.Context, opt Options, w workload.Workload) (Fig9Row, error) {
+			size := opt.size(workload.TimingSize)
+			row := Fig9Row{Workload: w}
+			cfgs := []pipeline.Config{
+				baseConfig(nospec),
+				timingConfig(cloak.ModeRAW, pipeline.Selective, nospec),
+				timingConfig(cloak.ModeRAWRAR, pipeline.Selective, nospec),
+			}
+			if !nospec {
+				cfgs = append(cfgs,
+					timingConfig(cloak.ModeRAW, pipeline.Squash, nospec),
+					timingConfig(cloak.ModeRAWRAR, pipeline.Squash, nospec))
+			}
+			results := make([]pipeline.Result, len(cfgs))
+			err := parallelSims(ctx, len(cfgs), func(i int) error {
+				res, err := pipeline.RunProgram(w.Program(size), cfgs[i])
+				if err != nil {
+					if i == 0 {
+						return fmt.Errorf("%s base: %w", w.Name, err)
+					}
+					return err
+				}
+				results[i] = res
+				return nil
+			})
+			if err != nil {
+				return row, err
+			}
+			base := results[0]
+			row.BaseCycles = base.Cycles
+			row.IPCBase = base.IPC()
+			row.SelRAW = speedup(base.Cycles, results[1].Cycles)
+			row.SelRAWRAR = speedup(base.Cycles, results[2].Cycles)
+			if selBoth := results[2]; selBoth.Insts > 0 {
+				row.Covered = float64(selBoth.SpecCorrect) / float64(selBoth.Insts)
+			}
+			if !nospec {
+				row.SqRAW = speedup(base.Cycles, results[3].Cycles)
+				row.SqRAWRAR = speedup(base.Cycles, results[4].Cycles)
+			}
+			return row, nil
+		},
+		func(_ Options, ws []workload.Workload, rows []Fig9Row, fails []*runerr.WorkloadError) (Result, error) {
+			res := &Fig9Result{NoSpec: nospec, Rows: rows}
+			res.SelRAWInt, res.SelRAWFP, res.SelRAWAll =
+				meansByClass(ws, rows, func(r Fig9Row) float64 { return r.SelRAW })
+			res.SelRAWRARInt, res.SelRAWRARFP, res.SelRAWRARAll =
+				meansByClass(ws, rows, func(r Fig9Row) float64 { return r.SelRAWRAR })
+			// Normalized execution times of the RAW+RAR selective mechanism.
+			times := make([]float64, len(rows))
+			for i, r := range rows {
+				times[i] = 1 / (1 + r.SelRAWRAR)
+			}
+			res.HMSelective = 1/stats.HarmonicMean(times) - 1
+			return annotate(res, fails), nil
+		})
 }
 
-func timingRow(ctx context.Context, w workload.Workload, size int, nospec bool) (Fig9Row, error) {
-	row := Fig9Row{Workload: w}
-	// Each configuration re-assembles and re-runs the program; the
-	// simulators are deterministic so runs are directly comparable. The
-	// cycle-level model has no in-loop poll, so cancellation is checked
-	// between configurations.
-	runOne := func(cfg pipeline.Config) (pipeline.Result, error) {
-		if err := ctx.Err(); err != nil {
-			return pipeline.Result{}, err
-		}
-		return pipeline.RunProgram(w.Program(size), cfg)
-	}
-	base, err := runOne(baseConfig(nospec))
-	if err != nil {
-		return row, fmt.Errorf("%s base: %w", w.Name, err)
-	}
-	row.BaseCycles = base.Cycles
-	row.IPCBase = base.IPC()
+func runFig9(opt Options) (Result, error) { return runCells(opt, timingCells(false)) }
 
-	selRAW, err := runOne(timingConfig(cloak.ModeRAW, pipeline.Selective, nospec))
-	if err != nil {
-		return row, err
-	}
-	selBoth, err := runOne(timingConfig(cloak.ModeRAWRAR, pipeline.Selective, nospec))
-	if err != nil {
-		return row, err
-	}
-	row.SelRAW = speedup(base.Cycles, selRAW.Cycles)
-	row.SelRAWRAR = speedup(base.Cycles, selBoth.Cycles)
-	if selBoth.Insts > 0 {
-		row.Covered = float64(selBoth.SpecCorrect) / float64(selBoth.Insts)
-	}
-
-	if !nospec {
-		sqRAW, err := runOne(timingConfig(cloak.ModeRAW, pipeline.Squash, nospec))
-		if err != nil {
-			return row, err
-		}
-		sqBoth, err := runOne(timingConfig(cloak.ModeRAWRAR, pipeline.Squash, nospec))
-		if err != nil {
-			return row, err
-		}
-		row.SqRAW = speedup(base.Cycles, sqRAW.Cycles)
-		row.SqRAWRAR = speedup(base.Cycles, sqBoth.Cycles)
-	}
-	return row, nil
-}
+func runFig10(opt Options) (Result, error) { return runCells(opt, timingCells(true)) }
 
 // String renders the speedup bars.
 func (r *Fig9Result) String() string {

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rarpred/internal/runerr"
+)
+
+// SuiteItem is one experiment's completed outcome, delivered to the
+// caller in suite (paper) order as soon as it and every experiment
+// before it have finished.
+type SuiteItem struct {
+	// Index is the experiment's position in the suite.
+	Index int
+	Exp   Experiment
+	// Result and Err mirror Experiment.Run's contract (Err is stamped
+	// with the experiment id; a partial run arrives as *PartialResult).
+	Result Result
+	Err    error
+	// NotRun reports that the run context ended before any of the
+	// experiment's cells started; Err carries the context error.
+	NotRun bool
+	// Elapsed spans the experiment's first cell starting to its result
+	// assembling. Under the shared pool experiments overlap, so these
+	// durations sum to more than the suite's wall time.
+	Elapsed time.Duration
+	// Cells holds per-cell timings in workload order.
+	Cells []CellStat
+}
+
+// CellStat times one (experiment × workload) cell.
+type CellStat struct {
+	Workload string
+	Elapsed  time.Duration
+	Failed   bool
+}
+
+// SuiteStats summarises a RunSuite call for benchmarking: utilization is
+// Busy / (Wall × Workers).
+type SuiteStats struct {
+	Experiments int
+	Cells       int
+	Workers     int
+	Wall        time.Duration
+	// Busy is total time workers spent executing cells (excludes idle
+	// waits on the jobs queue and delivery).
+	Busy time.Duration
+}
+
+// suiteExp is one experiment's in-flight state under the pool.
+type suiteExp struct {
+	exp   Experiment
+	rows  []any
+	errs  []error
+	stats []CellStat
+
+	pending   atomic.Int32 // cells not yet finished
+	startOnce sync.Once
+	start     time.Time
+	started   atomic.Bool // any cell began with the run context alive
+}
+
+// RunSuite executes the experiments as one work pool over their
+// (experiment × workload) cells: every cell from every experiment feeds
+// a single queue drained by Options.parallelism() workers, so a slow
+// experiment no longer serialises the suite behind it — its cells
+// interleave with everyone else's. Cells run under runCell's isolation
+// (panic capture, per-workload deadline), identical to the standalone
+// per-experiment pools, and each workload's stream records once via the
+// shared cache's single-flight no matter how many experiments' cells
+// are waiting on it. Stream-consuming cells pin their cache entry
+// (trace.Cache.Retain) for the whole run so eviction cannot drop a
+// stream that scheduled-but-not-yet-run cells still need.
+//
+// Results are assembled the moment an experiment's last cell retires and
+// delivered in suite order — deliver(item) is called exactly once per
+// experiment, ordered, from whichever worker completed the ordering
+// gap. deliver returning false stops the suite: the remaining cells are
+// drained without running and nothing further is delivered (matching
+// the sequential harness, which returns on a non-keepgoing failure).
+//
+// If the run context ends mid-suite, experiments whose cells never
+// started are delivered with NotRun set; experiments caught mid-flight
+// get the context error as a hard failure, exactly like their
+// standalone Run would.
+func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) SuiteStats {
+	begin := time.Now()
+	runCtx := opt.ctx()
+	// The internal cancel propagates a deliver=false stop to every
+	// not-yet-run cell; the run context's own end is observed through it
+	// too.
+	ctx, cancel := context.WithCancel(runCtx)
+	defer cancel()
+
+	ws := opt.workloads()
+	states := make([]*suiteExp, len(exps))
+	type job struct{ ei, wi int }
+	var jobs []job
+	for ei, e := range exps {
+		st := &suiteExp{exp: e}
+		if e.Cells == nil {
+			// No cell decomposition: the whole experiment is one unit.
+			st.rows = make([]any, 1)
+			st.errs = make([]error, 1)
+			st.stats = make([]CellStat, 1)
+			st.pending.Store(1)
+			jobs = append(jobs, job{ei, -1})
+		} else {
+			st.rows = make([]any, len(ws))
+			st.errs = make([]error, len(ws))
+			st.stats = make([]CellStat, len(ws))
+			st.pending.Store(int32(len(ws)))
+			for wi := range ws {
+				jobs = append(jobs, job{ei, wi})
+			}
+			// Pin every stream this experiment's cells will consume, so
+			// the cache cannot evict a hot stream between now and the
+			// pool reaching those cells.
+			if sk, ok := e.Cells.(StreamKeyer); ok {
+				for _, w := range ws {
+					if key, need := sk.StreamKey(opt, w); need {
+						traceCache.Retain(key)
+					}
+				}
+			}
+		}
+		states[ei] = st
+	}
+
+	// In-order delivery: completed experiments buffer until the suite
+	// prefix before them is delivered.
+	var (
+		delMu   sync.Mutex
+		ready   = make([]*SuiteItem, len(exps))
+		next    int
+		stopped bool
+	)
+	complete := func(ei int, item SuiteItem) {
+		delMu.Lock()
+		defer delMu.Unlock()
+		ready[ei] = &item
+		for next < len(exps) && ready[next] != nil {
+			if !stopped && !deliver(*ready[next]) {
+				stopped = true
+				cancel()
+			}
+			ready[next] = nil // release the Result once delivered
+			next++
+		}
+	}
+
+	assemble := func(ei int) {
+		st := states[ei]
+		item := SuiteItem{Index: ei, Exp: st.exp, Elapsed: time.Since(st.start), Cells: st.stats}
+		switch {
+		case st.exp.Cells == nil:
+			item.Result, _ = st.rows[0].(Result)
+			item.Err = st.errs[0]
+			item.NotRun = !st.started.Load() && runCtx.Err() != nil
+		case runCtx.Err() != nil && !st.started.Load():
+			item.NotRun = true
+			item.Err = runCtx.Err()
+		case runCtx.Err() != nil:
+			// Hard abort mid-experiment, exactly like runCells (and the
+			// error is stamped with the experiment id, like Run's).
+			_, item.Err = stamp(st.exp.ID, nil, runerr.Classify(runCtx.Err()))
+		default:
+			outRows, outWs, fails, err := collectCells(ws, st.rows, st.errs)
+			if err == nil {
+				item.Result, err = st.exp.Cells.Assemble(opt, outWs, outRows, fails)
+			}
+			item.Result, item.Err = stamp(st.exp.ID, item.Result, err)
+		}
+		if item.Err != nil {
+			item.Result = nil
+		}
+		complete(ei, item)
+	}
+
+	queue := make(chan job, len(jobs))
+	for _, j := range jobs {
+		queue <- j
+	}
+	close(queue)
+
+	workers := opt.parallelism()
+	var busy int64 // nanoseconds, atomic
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				st := states[j.ei]
+				st.startOnce.Do(func() { st.start = time.Now() })
+				cellStart := time.Now()
+				var row any
+				var err error
+				if j.wi < 0 {
+					if err = ctx.Err(); err == nil {
+						st.started.Store(true)
+						sub := opt
+						sub.Context = ctx
+						row, err = st.exp.Run(sub)
+					}
+				} else {
+					w := ws[j.wi]
+					if err = ctx.Err(); err == nil {
+						st.started.Store(true)
+						row, err = runCell(ctx, opt, st.exp.Cells, w)
+					}
+					if sk, ok := st.exp.Cells.(StreamKeyer); ok {
+						if key, need := sk.StreamKey(opt, w); need {
+							traceCache.Release(key)
+						}
+					}
+				}
+				elapsed := time.Since(cellStart)
+				atomic.AddInt64(&busy, int64(elapsed))
+				wi := max(j.wi, 0)
+				st.rows[wi], st.errs[wi] = row, err
+				name := ""
+				if j.wi >= 0 {
+					name = ws[j.wi].Name
+				}
+				st.stats[wi] = CellStat{Workload: name, Elapsed: elapsed, Failed: err != nil}
+				if st.pending.Add(-1) == 0 {
+					assemble(j.ei)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	return SuiteStats{
+		Experiments: len(exps),
+		Cells:       len(jobs),
+		Workers:     workers,
+		Wall:        time.Since(begin),
+		Busy:        time.Duration(atomic.LoadInt64(&busy)),
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rarpred/internal/funcsim"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
@@ -14,7 +15,7 @@ func init() {
 	register(Experiment{
 		ID:    "table51",
 		Title: "Table 5.1: benchmark execution characteristics (IC, loads, stores)",
-		Run:   runTable51,
+		Cells: table51Cells,
 	})
 }
 
@@ -29,16 +30,15 @@ type Table51Result struct {
 	Rows []Table51Row
 }
 
-func runTable51(opt Options) (Result, error) {
-	size := opt.size(workload.ReferenceSize)
-	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Table51Row, error) {
+var table51Cells = tracedCells(workload.ReferenceSize,
+	func(_ Options, w workload.Workload, tr *trace.Stream) (Table51Row, error) {
 		return Table51Row{Workload: w, Counts: tr.Counts}, nil
+	},
+	func(_ Options, _ []workload.Workload, rows []Table51Row, fails []*runerr.WorkloadError) (Result, error) {
+		return annotate(&Table51Result{Rows: rows}, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&Table51Result{Rows: rows}, fails), nil
-}
+
+func runTable51(opt Options) (Result, error) { return runCells(opt, table51Cells) }
 
 // String renders the table in the paper's layout (instruction counts in
 // millions; this reproduction runs smaller full programs instead of

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rarpred/internal/cloak"
+	"rarpred/internal/runerr"
 	"rarpred/internal/stats"
 	"rarpred/internal/trace"
 	"rarpred/internal/vpred"
@@ -17,7 +18,7 @@ func init() {
 		Title: "Table 5.1 (second): loads correct via cloaking/bypassing " +
 			"but not value prediction, and vice versa (16K last-value " +
 			"predictor, 16K DPNT, 128 DDT, 2K SF)",
-		Run: runTable52,
+		Cells: table52Cells,
 	})
 }
 
@@ -59,9 +60,10 @@ func table52Config() cloak.Config {
 	}
 }
 
-func runTable52(opt Options) (Result, error) {
-	size := opt.size(workload.ReferenceSize)
-	rows, _, fails, err := forEachWorkloadTraced(opt, size, func(w workload.Workload, tr *trace.Stream) (Table52Row, error) {
+// table52Cells stays single-sink: the cloaking engine and the value
+// predictor must observe each load together to classify the overlap.
+var table52Cells = tracedCells(workload.ReferenceSize,
+	func(_ Options, w workload.Workload, tr *trace.Stream) (Table52Row, error) {
 		engine := cloak.New(table52Config())
 		vp := vpred.NewLastValue(vpred.DefaultEntries)
 		var loads, cloakOnlyRAW, cloakOnlyRAR, vpOnly uint64
@@ -90,12 +92,12 @@ func runTable52(opt Options) (Result, error) {
 			CloakOnlyRAR: stats.Ratio(cloakOnlyRAR, loads),
 			VPOnly:       stats.Ratio(vpOnly, loads),
 		}, nil
+	},
+	func(_ Options, _ []workload.Workload, rows []Table52Row, fails []*runerr.WorkloadError) (Result, error) {
+		return annotate(&Table52Result{Rows: rows}, fails), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return annotate(&Table52Result{Rows: rows}, fails), nil
-}
+
+func runTable52(opt Options) (Result, error) { return runCells(opt, table52Cells) }
 
 // String renders the paper's column layout: Cloaking/Bypassing RAW, RAR,
 // Total, then VP.

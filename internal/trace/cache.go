@@ -31,6 +31,12 @@ type Cache struct {
 	entries map[Key]*cacheEntry
 	lru     *list.List // completed entries; front = most recently used
 
+	// pins counts pending consumers per key (Retain/Release). A pinned
+	// key's entry is exempt from LRU eviction: a scheduler that knows
+	// which cells still need a stream pins it up front so the cache
+	// never drops a hot stream only to re-record it moments later.
+	pins map[Key]int
+
 	hits, misses, evictions uint64
 }
 
@@ -63,7 +69,37 @@ func NewCache(budget int64) *Cache {
 		budget:  budget,
 		entries: make(map[Key]*cacheEntry),
 		lru:     list.New(),
+		pins:    make(map[Key]int),
 	}
+}
+
+// Retain declares one pending consumer of key: until a matching Release,
+// the key's entry (present now or recorded later) is exempt from LRU
+// eviction. Retain does not populate the cache — it is the dependency
+// edge a scheduler draws from a future cell to the stream it will
+// consume. Retain/Release pairs nest (the pin is a refcount).
+func (c *Cache) Retain(key Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pins[key]++
+}
+
+// Release drops one Retain of key. When the last pin goes, the entry
+// rejoins the ordinary LRU economy and an over-budget cache may evict it
+// immediately. Releasing an unpinned key is a no-op.
+func (c *Cache) Release(key Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.pins[key]
+	if !ok {
+		return
+	}
+	if n <= 1 {
+		delete(c.pins, key)
+		c.evictLocked()
+		return
+	}
+	c.pins[key] = n - 1
 }
 
 // SetBudget changes the byte budget and evicts immediately if the
@@ -169,21 +205,26 @@ func (c *Cache) Drop(key Key) {
 }
 
 // evictLocked drops least-recently-used completed entries until the
-// resident payload fits the budget. The most recently used entry always
-// stays (a single stream larger than the budget is still returned and
-// cached until something newer displaces it). In-flight recordings are
-// not in the LRU list and are never evicted.
+// resident payload fits the budget. Pinned entries (Retain) are skipped:
+// a stream with pending consumers is never dropped, even over budget.
+// The most recently used entry always stays (a single stream larger
+// than the budget is still returned and cached until something newer
+// displaces it). In-flight recordings are not in the LRU list and are
+// never evicted.
 func (c *Cache) evictLocked() {
 	if c.budget <= 0 {
 		return
 	}
-	for c.bytes > c.budget && c.lru.Len() > 1 {
-		back := c.lru.Back()
-		e := back.Value.(*cacheEntry)
-		c.lru.Remove(back)
-		delete(c.entries, e.key)
-		c.bytes -= e.stream.Bytes()
-		c.evictions++
+	for el := c.lru.Back(); el != nil && el != c.lru.Front() && c.bytes > c.budget; {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		if c.pins[e.key] == 0 {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			c.bytes -= e.stream.Bytes()
+			c.evictions++
+		}
+		el = prev
 	}
 }
 
@@ -195,6 +236,7 @@ type Stats struct {
 	Entries   int
 	Bytes     int64
 	Budget    int64
+	Pinned    int // keys currently held by Retain
 }
 
 // Stats returns a consistent snapshot.
@@ -208,5 +250,6 @@ func (c *Cache) Stats() Stats {
 		Entries:   len(c.entries),
 		Bytes:     c.bytes,
 		Budget:    c.budget,
+		Pinned:    len(c.pins),
 	}
 }

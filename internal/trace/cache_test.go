@@ -64,6 +64,60 @@ func TestCacheSingleFlight(t *testing.T) {
 	}
 }
 
+// TestCachePinSurvivesEviction: a Retained key is exempt from LRU
+// eviction even when the budget is blown, and rejoins the eviction
+// economy once Released. Retain before the entry exists works: the pin
+// is a dependency edge from a future consumer, not a handle.
+func TestCachePinSurvivesEviction(t *testing.T) {
+	c := NewCache(2 * chunkBytes)
+	recorded := make(map[string]int)
+	get := func(name string) {
+		t.Helper()
+		_, err := c.Get(Key{Workload: name, Size: 4}, func() (*Stream, error) {
+			recorded[name]++
+			return fullStream(1), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hot := Key{Workload: "hot", Size: 4}
+	c.Retain(hot) // before the entry exists
+	c.Retain(hot) // pins nest
+	get("hot")
+	get("b")
+	get("c")
+	get("d") // budget is 2 chunks; hot would be LRU victim but is pinned
+	get("hot")
+	if recorded["hot"] != 1 {
+		t.Fatalf("pinned stream re-recorded %d times, want once", recorded["hot"])
+	}
+	if st := c.Stats(); st.Pinned != 1 {
+		t.Errorf("Stats().Pinned = %d, want 1", st.Pinned)
+	}
+
+	c.Release(hot)
+	get("e") // still pinned (refcount 1): hot must survive this insertion
+	get("hot")
+	if recorded["hot"] != 1 {
+		t.Fatalf("stream evicted while still pinned (recorded %d times)", recorded["hot"])
+	}
+	c.Release(hot)
+	if st := c.Stats(); st.Pinned != 0 {
+		t.Errorf("Stats().Pinned = %d after final release, want 0", st.Pinned)
+	}
+	// Unpinned and least-recently... make it LRU, then displace it.
+	get("f")
+	get("g")
+	get("hot")
+	if recorded["hot"] != 2 {
+		t.Errorf("unpinned stream recorded %d times, want re-record after eviction", recorded["hot"])
+	}
+
+	c.Release(Key{Workload: "never-pinned", Size: 1}) // no-op, must not panic
+}
+
 // TestCacheEviction: resident payload stays within the byte budget, old
 // entries go first, and a re-Get of an evicted key re-records.
 func TestCacheEviction(t *testing.T) {

@@ -3,6 +3,7 @@ package trace
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"rarpred/internal/funcsim"
 	"rarpred/internal/isa"
@@ -95,34 +96,57 @@ func (s *Stream) Bytes() int64 {
 	return int64(len(s.chunks)) * chunkEvents * eventBytes
 }
 
-// Replay feeds the stream to the sinks, in recorded order.
+// Replay feeds the stream to the sinks, in recorded order. Every sink
+// sees every event before the next event is delivered (lockstep), so
+// sinks may share per-event state. For independent sinks, ReplayEach
+// replays them concurrently instead.
 func (s *Stream) Replay(sinks ...Sink) {
 	if len(sinks) == 1 {
-		s.replayOne(sinks[0])
+		s.ReplayChunks(0, len(s.chunks), sinks[0])
 		return
+	}
+	// Unwrap each SinkFuncs adapter once, the way the single-sink path
+	// does, so the per-event fan-out costs direct closure calls instead
+	// of interface dispatches plus nil checks.
+	onLoads := make([]func(pc, addr, value uint32), len(sinks))
+	onStores := make([]func(pc, addr, value uint32), len(sinks))
+	for i, snk := range sinks {
+		if sf, ok := snk.(SinkFuncs); ok && sf.OnLoad != nil && sf.OnStore != nil {
+			onLoads[i], onStores[i] = sf.OnLoad, sf.OnStore
+		} else {
+			onLoads[i], onStores[i] = snk.Load, snk.Store
+		}
 	}
 	for _, c := range s.chunks {
 		for i, k := range c.kinds {
 			if Kind(k) == KindLoad {
-				for _, snk := range sinks {
-					snk.Load(c.pcs[i], c.addrs[i], c.values[i])
+				for _, onLoad := range onLoads {
+					onLoad(c.pcs[i], c.addrs[i], c.values[i])
 				}
 			} else {
-				for _, snk := range sinks {
-					snk.Store(c.pcs[i], c.addrs[i], c.values[i])
+				for _, onStore := range onStores {
+					onStore(c.pcs[i], c.addrs[i], c.values[i])
 				}
 			}
 		}
 	}
 }
 
-// replayOne is the single-sink fast path (no inner fan-out loop). The
-// common SinkFuncs adapter is unwrapped so each event costs one direct
-// closure call instead of an interface dispatch plus nil checks.
-func (s *Stream) replayOne(snk Sink) {
+// NumChunks returns the number of fixed-size chunks in the stream (the
+// granularity of ReplayChunks).
+func (s *Stream) NumChunks() int { return len(s.chunks) }
+
+// ReplayChunks feeds chunks [lo, hi) to snk, in recorded order. It is
+// the chunk-granular replay primitive: a consumer that walks the chunk
+// range itself can interleave replay with other work, and independent
+// consumers can each walk the immutable stream from their own
+// goroutine (see ReplayEach). The common SinkFuncs adapter is unwrapped
+// so each event costs one direct closure call instead of an interface
+// dispatch plus nil checks.
+func (s *Stream) ReplayChunks(lo, hi int, snk Sink) {
 	if sf, ok := snk.(SinkFuncs); ok && sf.OnLoad != nil && sf.OnStore != nil {
 		onLoad, onStore := sf.OnLoad, sf.OnStore
-		for _, c := range s.chunks {
+		for _, c := range s.chunks[lo:hi] {
 			for i, k := range c.kinds {
 				if Kind(k) == KindLoad {
 					onLoad(c.pcs[i], c.addrs[i], c.values[i])
@@ -133,7 +157,7 @@ func (s *Stream) replayOne(snk Sink) {
 		}
 		return
 	}
-	for _, c := range s.chunks {
+	for _, c := range s.chunks[lo:hi] {
 		for i, k := range c.kinds {
 			if Kind(k) == KindLoad {
 				snk.Load(c.pcs[i], c.addrs[i], c.values[i])
@@ -141,6 +165,44 @@ func (s *Stream) replayOne(snk Sink) {
 				snk.Store(c.pcs[i], c.addrs[i], c.values[i])
 			}
 		}
+	}
+}
+
+// ReplayEach replays the full stream into every sink concurrently: one
+// goroutine per sink, each consuming the immutable chunks at its own
+// pace via ReplayChunks. Unlike Replay, sinks are NOT in lockstep —
+// they must be independent of each other. ReplayEach returns once every
+// sink has seen every event; a panic in any sink is re-raised in the
+// caller's goroutine (first one wins), so the caller's recovery policy
+// applies as if the replay were inline.
+func (s *Stream) ReplayEach(sinks ...Sink) {
+	if len(sinks) == 1 {
+		s.ReplayChunks(0, len(s.chunks), sinks[0])
+		return
+	}
+	var (
+		wg       sync.WaitGroup
+		panicked any
+		once     sync.Once
+	)
+	n := len(s.chunks)
+	for _, snk := range sinks {
+		wg.Add(1)
+		go func(snk Sink) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { panicked = r })
+				}
+			}()
+			for c := 0; c < n; c++ {
+				s.ReplayChunks(c, c+1, snk)
+			}
+		}(snk)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
 	}
 }
 

@@ -83,6 +83,104 @@ func TestStreamFanOutOrder(t *testing.T) {
 	}
 }
 
+// TestReplayChunks: the chunk-granular primitive covers the stream
+// exactly when walked range by range, and a partial range sees only its
+// chunks.
+func TestReplayChunks(t *testing.T) {
+	s := NewStream()
+	const n = 2*chunkEvents + 7
+	for i := 0; i < n; i++ {
+		s.Append(KindLoad, uint32(i), 0, 0)
+	}
+	if s.NumChunks() != 3 {
+		t.Fatalf("NumChunks() = %d, want 3", s.NumChunks())
+	}
+	var pcs []uint32
+	for c := 0; c < s.NumChunks(); c++ {
+		s.ReplayChunks(c, c+1, SinkFuncs{
+			OnLoad:  func(pc, _, _ uint32) { pcs = append(pcs, pc) },
+			OnStore: func(pc, _, _ uint32) { t.Error("store in a load-only stream") },
+		})
+	}
+	if len(pcs) != n {
+		t.Fatalf("chunk walk saw %d events, want %d", len(pcs), n)
+	}
+	for i, pc := range pcs {
+		if pc != uint32(i) {
+			t.Fatalf("event %d out of order: pc %d", i, pc)
+		}
+	}
+	var mid int
+	s.ReplayChunks(1, 2, SinkFuncs{
+		OnLoad:  func(pc, _, _ uint32) { mid++ },
+		OnStore: func(_, _, _ uint32) {},
+	})
+	if mid != chunkEvents {
+		t.Errorf("middle chunk replayed %d events, want %d", mid, chunkEvents)
+	}
+}
+
+// TestReplayEach: every sink sees the full stream in order when each
+// consumes it from its own goroutine.
+func TestReplayEach(t *testing.T) {
+	s := NewStream()
+	const n = chunkEvents + 100
+	for i := 0; i < n; i++ {
+		kind := KindStore
+		if i%2 == 0 {
+			kind = KindLoad
+		}
+		s.Append(kind, uint32(i), 0, 0)
+	}
+	const sinks = 4
+	counts := make([]int, sinks)
+	ordered := make([]bool, sinks)
+	all := make([]Sink, sinks)
+	for i := 0; i < sinks; i++ {
+		i := i
+		next := uint32(0)
+		ordered[i] = true
+		on := func(pc, _, _ uint32) {
+			if pc != next {
+				ordered[i] = false
+			}
+			next++
+			counts[i]++
+		}
+		all[i] = SinkFuncs{OnLoad: on, OnStore: on}
+	}
+	s.ReplayEach(all...)
+	for i := 0; i < sinks; i++ {
+		if counts[i] != n {
+			t.Errorf("sink %d saw %d events, want %d", i, counts[i], n)
+		}
+		if !ordered[i] {
+			t.Errorf("sink %d saw events out of order", i)
+		}
+	}
+}
+
+// TestReplayEachPanicPropagates: a panic in one sink's goroutine
+// re-raises in the caller, so the harness's per-cell recovery owns it.
+func TestReplayEachPanicPropagates(t *testing.T) {
+	s := NewStream()
+	s.Append(KindLoad, 1, 2, 3)
+	s.Append(KindLoad, 4, 5, 6)
+	ok := SinkFuncs{OnLoad: func(_, _, _ uint32) {}, OnStore: func(_, _, _ uint32) {}}
+	bad := SinkFuncs{
+		OnLoad:  func(_, _, _ uint32) { panic("sink exploded") },
+		OnStore: func(_, _, _ uint32) {},
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate out of ReplayEach")
+		} else if r != "sink exploded" {
+			t.Fatalf("recovered %v, want the sink's panic value", r)
+		}
+	}()
+	s.ReplayEach(ok, bad, ok)
+}
+
 // TestRecordStreamMatchesRecord: the struct-of-arrays recorder produces
 // the same event sequence as the array-of-structs one.
 func TestRecordStreamMatchesRecord(t *testing.T) {
