@@ -44,12 +44,15 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"rarpred/internal/cloak"
 	"rarpred/internal/experiments"
+	"rarpred/internal/pipeline"
 	"rarpred/internal/workload"
 )
 
@@ -79,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout    = fs.Duration("timeout", 0, "deadline for the whole run (0 = none)")
 		wtimeout   = fs.Duration("workload-timeout", 0, "deadline per workload simulation (0 = none)")
 		keepgoing  = fs.Bool("keepgoing", false, "on experiment failure, report it and continue with the rest")
+		selfcheck  = fs.Bool("check", false, "arm the differential oracles and invariant sweeps: cloak/pipeline self-checks, replay-vs-live stream verification, and (unless -seq) a sequential shadow run compared against the scheduler's output")
 	)
 	fs.IntVar(parallel, "parallelism", 0, "alias of -p")
 	if err := fs.Parse(args); err != nil {
@@ -134,6 +138,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Live:            *live,
 		Context:         ctx,
 		WorkloadTimeout: *wtimeout,
+		Check:           *selfcheck,
+	}
+	if *selfcheck {
+		// Arm the per-package invariant sweeps for every simulator built
+		// during this run, and disarm on the way out so in-process
+		// callers (tests) do not leak checking into later runs.
+		cloak.SetSelfCheck(true)
+		pipeline.SetSelfCheck(true)
+		defer cloak.SetSelfCheck(false)
+		defer pipeline.SetSelfCheck(false)
 	}
 	if *bench != "" {
 		for _, ab := range strings.Split(*bench, ",") {
@@ -162,6 +176,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var failed []string
 	breport := newBenchReport()
+
+	// Under -check, the scheduler's rendered output is captured so a
+	// sequential shadow run can be compared against it afterwards.
+	shadowArmed := *selfcheck && !*seq
+	var schedOut strings.Builder
+	if shadowArmed {
+		stdout = io.MultiWriter(stdout, &schedOut)
+	}
 
 	// report mirrors the sequential harness's per-experiment output for a
 	// completed (or skipped) experiment, appending to failed as it goes.
@@ -218,6 +240,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			BusySeconds: stats.Busy.Seconds(),
 			Utilization: stats.Busy.Seconds() / (stats.Wall.Seconds() * float64(stats.Workers)),
 		}
+		if shadowArmed && len(failed) == 0 && ctx.Err() == nil {
+			if msg := shadowCompare(opt, todo, schedOut.String()); msg != "" {
+				fmt.Fprintf(stderr, "rarsim: -check: %s\n", msg)
+				failed = append(failed, "check-shadow")
+			}
+		}
 	}
 
 	if *benchjson != "" {
@@ -229,6 +257,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return finish(stderr, *traceStats, *memprofile, failed)
+}
+
+// timingLine matches the per-experiment elapsed-time footer, the only
+// nondeterministic bytes in a sweep's report.
+var timingLine = regexp.MustCompile(`\[([a-z0-9]+) in [0-9.]+s\]`)
+
+// shadowCompare is the scheduler-vs-sequential differential oracle: it
+// re-runs the sweep on the pre-scheduler path (one experiment at a
+// time, each over its private pool) and compares the rendered reports,
+// which the two paths promise to keep byte-identical modulo elapsed
+// times. The functional experiments replay from the already-warm trace
+// cache, so the shadow pass mostly re-prices the timing studies. It
+// runs only after a clean scheduler sweep — with failures the outputs
+// legitimately differ by failure ordering.
+func shadowCompare(opt experiments.Options, todo []experiments.Experiment, schedOut string) string {
+	var sb strings.Builder
+	for i, e := range todo {
+		if i > 0 {
+			fmt.Fprintln(&sb)
+		}
+		res, err := e.Run(opt)
+		if err != nil {
+			return fmt.Sprintf("sequential shadow run of %s failed: %v", e.ID, err)
+		}
+		fmt.Fprintf(&sb, "== %s: %s\n", e.ID, e.Title)
+		fmt.Fprint(&sb, res.String())
+		fmt.Fprintf(&sb, "[%s in 0.0s]\n", e.ID)
+	}
+	got := timingLine.ReplaceAllString(schedOut, "[$1]")
+	want := timingLine.ReplaceAllString(sb.String(), "[$1]")
+	if got == want {
+		return ""
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			return fmt.Sprintf("scheduler output diverges from sequential at line %d:\n  scheduler:  %q\n  sequential: %q",
+				i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("scheduler output diverges from sequential: %d vs %d lines", len(gl), len(wl))
 }
 
 // benchReport is the -benchjson payload: machine-readable timings for

@@ -2,7 +2,6 @@ package main
 
 import (
 	"os"
-	"regexp"
 	"strings"
 	"testing"
 
@@ -14,12 +13,10 @@ func readFile(path string) (string, error) {
 	return string(data), err
 }
 
-// timingLine matches the wall-clock report printed after each
-// experiment. Wall time varies run to run, so the golden comparison
-// normalises the duration away while keeping the line (and the id in
-// it) in place.
-var timingLine = regexp.MustCompile(`\[([a-z0-9]+) in [0-9.]+s\]`)
-
+// normalizeTiming strips the run-to-run wall-clock variation from a
+// report while keeping the timing line (and the id in it) in place;
+// timingLine itself lives in main.go, shared with the -check shadow
+// comparison.
 func normalizeTiming(out string) string {
 	return timingLine.ReplaceAllString(out, "[$1]")
 }
@@ -47,6 +44,16 @@ func TestSuiteOutputDeterministic(t *testing.T) {
 	}
 	if seq != pN {
 		t.Errorf("-parallelism 4 output differs from -seq:\n--- seq ---\n%s\n--- p 4 ---\n%s", seq, pN)
+	}
+
+	// -check arms the oracles and invariant sweeps; none of them may
+	// perturb the report, at any parallelism. The -p runs also exercise
+	// the sequential shadow comparison end to end (a divergence would
+	// exit non-zero inside run above).
+	for _, extra := range [][]string{{"-check", "-seq"}, {"-check", "-p", "1"}, {"-check", "-p", "4"}} {
+		if out := run(extra...); out != seq {
+			t.Errorf("%v output differs from -seq:\n--- seq ---\n%s\n--- checked ---\n%s", extra, seq, out)
+		}
 	}
 }
 

@@ -1,0 +1,57 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailfPanicsWithViolation(t *testing.T) {
+	v := Catch(func() { Failf("ddt.lru", "node %d unlinked", 7) })
+	if v == nil {
+		t.Fatal("Catch returned nil for a Failf panic")
+	}
+	if v.Site != "ddt.lru" || !strings.Contains(v.Msg, "node 7") {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(v.Error(), "check: ddt.lru:") {
+		t.Errorf("Error() = %q", v.Error())
+	}
+}
+
+func TestAssertf(t *testing.T) {
+	if v := Catch(func() { Assertf(true, "x", "never") }); v != nil {
+		t.Errorf("true assertion fired: %v", v)
+	}
+	if v := Catch(func() { Assertf(false, "x", "always") }); v == nil {
+		t.Error("false assertion did not fire")
+	}
+}
+
+func TestCatchPassesForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	Catch(func() { panic("boom") })
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(4)
+	var fired int
+	for i := 0; i < 16; i++ {
+		if s.Tick() {
+			fired++
+		}
+	}
+	if fired != 4 {
+		t.Errorf("sampler fired %d/16 with interval 4, want 4", fired)
+	}
+	var zero Sampler
+	if !zero.Tick() || !zero.Tick() {
+		t.Error("zero Sampler must sample every event")
+	}
+	if v := Catch(func() { NewSampler(3) }); v == nil {
+		t.Error("non-power-of-two interval accepted")
+	}
+}

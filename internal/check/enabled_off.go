@@ -1,0 +1,8 @@
+//go:build !rarcheck
+
+package check
+
+// Enabled is false in default builds: `if check.Enabled { ... }` blocks
+// are dead code the compiler removes entirely. Build with -tags rarcheck
+// to compile the per-event assertions in.
+const Enabled = false

@@ -1,0 +1,7 @@
+//go:build rarcheck
+
+package check
+
+// Enabled is true under -tags rarcheck: every per-event assertion on the
+// simulator hot paths is compiled in and runs on every event.
+const Enabled = true

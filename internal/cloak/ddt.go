@@ -1,6 +1,9 @@
 package cloak
 
-import "rarpred/internal/container"
+import (
+	"rarpred/internal/check"
+	"rarpred/internal/container"
+)
 
 // DepKind classifies a detected memory dependence.
 type DepKind uint8
@@ -79,6 +82,15 @@ type DDT struct {
 	head, tail  int32
 
 	evictions uint64
+
+	// Self-check state (see selfcheck.go); sc is snapshotted from the
+	// package gate at construction and everything below is inert when
+	// it is false.
+	sc       bool
+	scAlways bool
+	ref      *refDDT
+	scSamp   check.Sampler
+	scLeft   int
 }
 
 var _ Detector = (*DDT)(nil)
@@ -86,7 +98,13 @@ var _ Detector = (*DDT)(nil)
 // NewDDT returns a DDT holding at most capacity addresses (0 = unbounded).
 // recordLoads selects whether loads are recorded, i.e. whether RAR
 // dependences are detectable; the original RAW-only cloaking passes false.
+// Under the package self-check gate (SetSelfCheck) the table cross-checks
+// itself against a reference model on sampled windows.
 func NewDDT(capacity int, recordLoads bool) *DDT {
+	return newDDTChecked(capacity, recordLoads, SelfCheckEnabled())
+}
+
+func newDDTChecked(capacity int, recordLoads bool, sc bool) *DDT {
 	d := &DDT{
 		capacity:    capacity,
 		recordLoads: recordLoads,
@@ -98,6 +116,10 @@ func NewDDT(capacity int, recordLoads bool) *DDT {
 	}
 	if capacity > 0 {
 		d.nodes = make([]ddtNode, 0, capacity)
+	}
+	if sc {
+		d.sc = true
+		d.scSamp = check.NewSampler(scInterval)
 	}
 	return d
 }
@@ -194,6 +216,11 @@ func (d *DDT) lookup(addr uint32, alloc bool) *ddtNode {
 		*p = i
 	}
 	d.pushFront(i)
+	if check.Enabled {
+		check.Assertf(d.head == i, "ddt.lru", "fresh node %d not at head (head=%d)", i, d.head)
+		check.Assertf(d.capacity == 0 || d.idx.Len() <= d.capacity,
+			"ddt.capacity", "%d indexed entries exceed capacity %d", d.idx.Len(), d.capacity)
+	}
 	return &d.nodes[i]
 }
 
@@ -213,6 +240,12 @@ func (d *DDT) Store(addr, pc uint32) {
 	n.storePC = pc
 	n.storeValid = true
 	n.loadValid = false
+	if d.sc {
+		if d.ref != nil {
+			d.ref.store(addr, pc)
+		}
+		d.scStep()
+	}
 }
 
 // Load processes a committed load. If a store is visible for the address
@@ -221,6 +254,21 @@ func (d *DDT) Store(addr, pc uint32) {
 // otherwise the load is recorded as the earliest load for the address
 // (when load recording is enabled).
 func (d *DDT) Load(addr, pc uint32) (Dependence, bool) {
+	dep, ok := d.load(addr, pc)
+	if d.sc {
+		if d.ref != nil {
+			rdep, rok := d.ref.load(addr, pc)
+			if rok != ok || rdep != dep {
+				check.Failf("ddt.oracle", "load addr=%#x pc=%#x: table (%+v,%v), model (%+v,%v)",
+					addr, pc, dep, ok, rdep, rok)
+			}
+		}
+		d.scStep()
+	}
+	return dep, ok
+}
+
+func (d *DDT) load(addr, pc uint32) (Dependence, bool) {
 	n := d.lookup(addr, d.recordLoads)
 	if n == nil {
 		return Dependence{}, false
@@ -251,6 +299,16 @@ func (d *DDT) Load(addr, pc uint32) (Dependence, bool) {
 type SplitDDT struct {
 	stores *DDT
 	loads  *DDT
+
+	// Self-check state (see selfcheck.go). The halves are built with
+	// their own checking off: SplitDDT manipulates their nodes directly
+	// (peek-kill on stores, probe-touch on loads), so the reference
+	// model must live at the split level to see the interplay.
+	sc       bool
+	scAlways bool
+	ref      *refSplit
+	scSamp   check.Sampler
+	scLeft   int
 }
 
 var _ Detector = (*SplitDDT)(nil)
@@ -258,10 +316,19 @@ var _ Detector = (*SplitDDT)(nil)
 // NewSplitDDT returns a split detector with the given per-half
 // capacities (0 = unbounded).
 func NewSplitDDT(storeCapacity, loadCapacity int) *SplitDDT {
-	return &SplitDDT{
-		stores: NewDDT(storeCapacity, false),
-		loads:  NewDDT(loadCapacity, true),
+	return newSplitDDTChecked(storeCapacity, loadCapacity, SelfCheckEnabled())
+}
+
+func newSplitDDTChecked(storeCapacity, loadCapacity int, sc bool) *SplitDDT {
+	s := &SplitDDT{
+		stores: newDDTChecked(storeCapacity, false, false),
+		loads:  newDDTChecked(loadCapacity, true, false),
 	}
+	if sc {
+		s.sc = true
+		s.scSamp = check.NewSampler(scInterval)
+	}
+	return s
 }
 
 // Store records the store in the store half and kills any load
@@ -273,14 +340,35 @@ func (s *SplitDDT) Store(addr, pc uint32) {
 		n.loadValid = false
 		n.storeValid = false
 	}
+	if s.sc {
+		if s.ref != nil {
+			s.ref.store(addr, pc)
+		}
+		s.scStep()
+	}
 }
 
 // Load checks the store half first (RAW takes priority, as in the
 // combined table) and falls back to the load half for RAR detection and
 // earliest-load recording.
 func (s *SplitDDT) Load(addr, pc uint32) (Dependence, bool) {
+	dep, ok := s.load(addr, pc)
+	if s.sc {
+		if s.ref != nil {
+			rdep, rok := s.ref.load(addr, pc)
+			if rok != ok || rdep != dep {
+				check.Failf("splitddt.oracle", "load addr=%#x pc=%#x: table (%+v,%v), model (%+v,%v)",
+					addr, pc, dep, ok, rdep, rok)
+			}
+		}
+		s.scStep()
+	}
+	return dep, ok
+}
+
+func (s *SplitDDT) load(addr, pc uint32) (Dependence, bool) {
 	if n := s.stores.lookup(addr, false); n != nil && n.storeValid {
 		return Dependence{Kind: DepRAW, SourcePC: n.storePC, SinkPC: pc}, true
 	}
-	return s.loads.Load(addr, pc)
+	return s.loads.load(addr, pc)
 }

@@ -1,6 +1,9 @@
 package cloak
 
-import "rarpred/internal/container"
+import (
+	"rarpred/internal/check"
+	"rarpred/internal/container"
+)
 
 // MergeKind selects what happens when a dependence is detected between
 // two instructions that already carry different synonyms (Section 5.1).
@@ -176,6 +179,12 @@ func (t *DPNT) RecordDependence(dep Dependence) uint32 {
 	src.producer.onDetected()
 	src.producerIsLoad = dep.Kind == DepRAR
 	snk.consumer.onDetected()
+	if check.Enabled {
+		check.Assertf(src.hasSyn && snk.hasSyn, "dpnt.syn",
+			"dependence %v left an endpoint without a synonym", dep)
+		check.Assertf(src.synonym <= t.nextSynonym && snk.synonym <= t.nextSynonym,
+			"dpnt.syn", "synonym outside issued range 1..%d", t.nextSynonym)
+	}
 	return snk.synonym
 }
 

@@ -1,5 +1,7 @@
 package cloak
 
+import "rarpred/internal/check"
+
 // Mode selects which dependence kinds the mechanism exploits.
 type Mode uint8
 
@@ -40,6 +42,11 @@ type Config struct {
 	Mode       Mode
 	Confidence ConfKind
 	Merge      MergeKind
+
+	// SelfCheck enables the reference-model oracle and sampled invariant
+	// sweeps for this engine even when the package-wide SetSelfCheck
+	// gate is off. Checks only read state, so results are unchanged.
+	SelfCheck bool
 }
 
 // DefaultConfig is the accuracy-study configuration of Section 5.3: a
@@ -133,22 +140,31 @@ type Engine struct {
 	sf       *SynonymFile
 
 	stats Stats
+
+	sc     bool
+	scSamp check.Sampler
 }
 
 // New returns an engine for the configuration.
 func New(cfg Config) *Engine {
+	sc := cfg.SelfCheck || SelfCheckEnabled()
 	var det Detector
 	if cfg.SplitDDT {
-		det = NewSplitDDT(cfg.DDTCapacity, cfg.DDTCapacity)
+		det = newSplitDDTChecked(cfg.DDTCapacity, cfg.DDTCapacity, sc)
 	} else {
-		det = NewDDT(cfg.DDTCapacity, cfg.Mode == ModeRAWRAR)
+		det = newDDTChecked(cfg.DDTCapacity, cfg.Mode == ModeRAWRAR, sc)
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		detector: det,
 		dpnt:     NewDPNT(cfg.DPNTSets, cfg.DPNTWays, cfg.Confidence, cfg.Merge),
 		sf:       NewSynonymFile(cfg.SFSets, cfg.SFWays),
 	}
+	if sc {
+		e.sc = true
+		e.scSamp = check.NewSampler(engineSweepInterval)
+	}
+	return e
 }
 
 // Config returns the engine's configuration.
@@ -234,6 +250,9 @@ func (e *Engine) Load(pc, addr, value uint32) LoadOutcome {
 	// source for the next.
 	if havePred && pred.Producer {
 		e.sf.Write(pred.Synonym, value, DepRAR, pc)
+	}
+	if e.sc && e.scSamp.Tick() {
+		e.checkInvariants()
 	}
 	return out
 }

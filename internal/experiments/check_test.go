@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"rarpred/internal/faultsim"
+	"rarpred/internal/runerr"
+	"rarpred/internal/trace"
+	"rarpred/internal/workload"
+)
+
+// These tests use workload sizes no other test uses (13, 15, 17, 19,
+// 21, 23), so the shared trace cache and the oracle's verified-key set
+// cannot be pre-populated by another test.
+
+func mustByID(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	return e
+}
+
+func pinned(t *testing.T) int {
+	t.Helper()
+	return TraceCache().Stats().Pinned
+}
+
+// TestSuitePinsDrainOnSuccess: RunSuite retains every stream its cells
+// will consume and must release all of them by the time it returns.
+func TestSuitePinsDrainOnSuccess(t *testing.T) {
+	opt := subset("go", "tom")
+	opt.Size = 13
+	exps := []Experiment{mustByID(t, "table51"), mustByID(t, "fig2")}
+	RunSuite(opt, exps, func(item SuiteItem) bool {
+		if item.Err != nil {
+			t.Errorf("%s: %v", item.Exp.ID, item.Err)
+		}
+		return true
+	})
+	if n := pinned(t); n != 0 {
+		t.Fatalf("%d streams still pinned after a clean suite", n)
+	}
+}
+
+// TestSuitePinsDrainOnFailure: a panicking workload fails its cells but
+// every Retain still meets its Release.
+func TestSuitePinsDrainOnFailure(t *testing.T) {
+	defer faultsim.Reset()
+	opt := subset("go", "tom")
+	opt.Size = 15
+	w, _ := workload.ByAbbrev("go")
+	faultsim.Inject(w.Name, faultsim.Fault{Kind: faultsim.Panic})
+	RunSuite(opt, []Experiment{mustByID(t, "table51"), mustByID(t, "fig2")},
+		func(SuiteItem) bool { return true })
+	if n := pinned(t); n != 0 {
+		t.Fatalf("%d streams still pinned after a failing suite", n)
+	}
+}
+
+// TestSuitePinsDrainOnCancelAndStop: neither a dead run context nor a
+// deliver=false stop may leak pins — the queue is drained either way.
+func TestSuitePinsDrainOnCancelAndStop(t *testing.T) {
+	opt := subset("go", "tom")
+	opt.Size = 17
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt.Context = ctx
+	RunSuite(opt, []Experiment{mustByID(t, "table51"), mustByID(t, "fig2")},
+		func(item SuiteItem) bool {
+			if !item.NotRun {
+				t.Errorf("%s ran under a dead context", item.Exp.ID)
+			}
+			return true
+		})
+	if n := pinned(t); n != 0 {
+		t.Fatalf("%d streams still pinned after canceled suite", n)
+	}
+
+	opt = subset("go", "tom")
+	opt.Size = 19
+	RunSuite(opt, []Experiment{mustByID(t, "table51"), mustByID(t, "fig2")},
+		func(SuiteItem) bool { return false }) // stop after the first result
+	if n := pinned(t); n != 0 {
+		t.Fatalf("%d streams still pinned after stopped suite", n)
+	}
+}
+
+// TestAssemblePanicIsolated: a panicking Assemble fails its experiment
+// (typed, stamped), not the pool worker — later experiments still
+// deliver and the pins still drain.
+func TestAssemblePanicIsolated(t *testing.T) {
+	opt := subset("go", "tom")
+	opt.Size = 13 // cache-only reuse; no oracle, no faults
+	bomb := Experiment{
+		ID:    "bomb",
+		Title: "assembler that panics",
+		Cells: cells(
+			func(ctx context.Context, opt Options, w workload.Workload) (int, error) { return 1, nil },
+			func(opt Options, ws []workload.Workload, rows []int, fails []*runerr.WorkloadError) (Result, error) {
+				panic("assembler exploded")
+			},
+		),
+	}
+	var got []SuiteItem
+	RunSuite(opt, []Experiment{bomb, mustByID(t, "fig2")}, func(item SuiteItem) bool {
+		got = append(got, item)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("delivered %d items, want 2", len(got))
+	}
+	if err := got[0].Err; err == nil || !errors.Is(err, runerr.ErrWorkloadPanic) ||
+		!strings.Contains(err.Error(), "bomb") {
+		t.Errorf("bomb error = %v, want stamped ErrWorkloadPanic", err)
+	}
+	if got[1].Err != nil {
+		t.Errorf("experiment after the bomb failed: %v", got[1].Err)
+	}
+	if n := pinned(t); n != 0 {
+		t.Fatalf("%d streams still pinned after assembler panic", n)
+	}
+}
+
+// TestCheckOracleCleanRun: the replay-vs-live oracle passes on an honest
+// cache and does not perturb the rendered result.
+func TestCheckOracleCleanRun(t *testing.T) {
+	opt := subset("com", "hyd")
+	opt.Size = 21
+	plain, err := runFig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Check = true
+	checked, err := runFig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, partial := checked.(*PartialResult); partial {
+		t.Fatalf("oracle flagged an honest stream: %s", checked)
+	}
+	if plain.String() != checked.String() {
+		t.Errorf("-check perturbed the result:\n--- plain ---\n%s--- checked ---\n%s",
+			plain.String(), checked.String())
+	}
+}
+
+// TestCheckOracleCatchesDivergence: a cached stream that passes Validate
+// (tallies intact) but holds one wrong value is exactly what the
+// event-level oracle exists for — the tally check cannot see it.
+func TestCheckOracleCatchesDivergence(t *testing.T) {
+	opt := subset("com", "m88")
+	opt.Size = 23
+	opt.MaxInsts = 1_000_000
+	opt.Check = true
+	w := opt.Workloads[0]
+
+	correct, err := trace.RecordStreamBaselineContext(context.Background(), w.Assemble(opt.Size), opt.MaxInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := trace.NewStream()
+	i := 0
+	flip := func(kind trace.Kind) func(pc, addr, value uint32) {
+		return func(pc, addr, value uint32) {
+			if i == 7 {
+				value ^= 1
+			}
+			bad.Append(kind, pc, addr, value)
+			i++
+		}
+	}
+	correct.Replay(trace.SinkFuncs{OnLoad: flip(trace.KindLoad), OnStore: flip(trace.KindStore)})
+	bad.Counts = correct.Counts
+	if bad.Validate() != nil || trace.DiffStreams(bad, correct) == nil {
+		t.Fatal("test setup: bad stream must pass Validate yet differ")
+	}
+
+	key := trace.Key{Workload: w.Name, Size: opt.Size, MaxInsts: opt.MaxInsts}
+	if _, err := TraceCache().Get(key, func() (*trace.Stream, error) { return bad, nil }); err != nil {
+		t.Fatal(err)
+	}
+	defer TraceCache().Drop(key)
+
+	res, err := runFig2(opt)
+	if err != nil {
+		t.Fatalf("divergence aborted the run instead of failing the workload: %v", err)
+	}
+	p, ok := res.(*PartialResult)
+	if !ok {
+		t.Fatalf("poisoned stream produced a clean result: %s", res)
+	}
+	if len(p.Fails) != 1 || p.Fails[0].Workload != w.Name {
+		t.Fatalf("failures = %v, want exactly the poisoned workload", p.Fails)
+	}
+	if msg := p.Fails[0].Error(); !strings.Contains(msg, "diverges") {
+		t.Errorf("failure does not describe the divergence: %s", msg)
+	}
+}

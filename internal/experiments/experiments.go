@@ -60,6 +60,15 @@ type Options struct {
 	// collected as a runerr.ErrDeadline failure while the rest of the
 	// suite completes (0 = no per-workload bound).
 	WorkloadTimeout time.Duration
+
+	// Check arms the run's differential oracle: the first time each
+	// cached reference stream is served, it is re-recorded live on the
+	// independent baseline interpreter and the two streams compared
+	// event by event (trace.DiffStreams). A divergence fails the
+	// workload with the first differing event. The cloak/pipeline
+	// invariant sweeps are armed separately via their packages'
+	// SetSelfCheck (cmd/rarsim -check does both).
+	Check bool
 }
 
 func (o Options) workloads() []workload.Workload {
@@ -399,7 +408,21 @@ func runCells(opt Options, r CellRunner) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.Assemble(opt, outWs, outRows, fails)
+	return assembleCells(opt, r, outWs, outRows, fails)
+}
+
+// assembleCells invokes the experiment's assembler under the same panic
+// isolation as its cells: a panicking Assemble fails its experiment
+// instead of the process — and, under the suite scheduler, instead of
+// the pool worker that happened to retire the last cell (which still
+// owns queued cells and their stream pins).
+func assembleCells(opt Options, r CellRunner, ws []workload.Workload, rows []any, fails []*runerr.WorkloadError) (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, runerr.FromPanic("assemble", p, debug.Stack())
+		}
+	}()
+	return r.Assemble(opt, ws, rows, fails)
 }
 
 // parallelSims runs n independent deterministic simulations of one cell
@@ -516,7 +539,38 @@ func workloadStream(ctx context.Context, opt Options, w workload.Workload, size 
 	if tr.Truncated {
 		return nil, funcsim.ErrMaxInsts
 	}
+	if opt.Check {
+		if err := verifyStreamOnce(ctx, key, tr, w, size, maxInsts); err != nil {
+			return nil, err
+		}
+	}
 	return tr, nil
+}
+
+// streamVerified tracks which cache keys the differential oracle has
+// already cross-checked, so a -check run pays the live re-record once
+// per stream rather than once per consuming cell.
+var streamVerified sync.Map // trace.Key -> struct{}
+
+// verifyStreamOnce is the replay-vs-live differential oracle: the served
+// stream must be event-for-event identical to a fresh recording on the
+// baseline Step interpreter (an independent implementation of the same
+// semantics — different memory model, no recording fast path). The first
+// caller per key performs the comparison; concurrent callers may race to
+// verify the same key once each, which is only redundant work.
+func verifyStreamOnce(ctx context.Context, key trace.Key, tr *trace.Stream, w workload.Workload, size int, maxInsts uint64) error {
+	if _, done := streamVerified.LoadOrStore(key, struct{}{}); done {
+		return nil
+	}
+	live, err := trace.RecordStreamBaselineContext(ctx, w.Assemble(size), maxInsts)
+	if err != nil {
+		streamVerified.Delete(key) // transient; let a retry re-verify
+		return fmt.Errorf("check: live re-record for oracle failed: %w", err)
+	}
+	if err := trace.DiffStreams(tr, live); err != nil {
+		return fmt.Errorf("check: replayed stream diverges from live baseline: %w", err)
+	}
+	return nil
 }
 
 // meansByClass computes the SPECint, SPECfp and overall arithmetic means

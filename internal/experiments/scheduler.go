@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +62,18 @@ type suiteExp struct {
 	startOnce sync.Once
 	start     time.Time
 	started   atomic.Bool // any cell began with the run context alive
+}
+
+// runWhole runs an undecomposed experiment (no Cells) as a single unit
+// with the same panic isolation a cell gets, so a panicking Run fails
+// its experiment rather than the pool worker executing it.
+func runWhole(opt Options, e Experiment) (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, runerr.FromPanic(e.ID, p, debug.Stack())
+		}
+	}()
+	return e.Run(opt)
 }
 
 // RunSuite executes the experiments as one work pool over their
@@ -170,7 +183,7 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 		default:
 			outRows, outWs, fails, err := collectCells(ws, st.rows, st.errs)
 			if err == nil {
-				item.Result, err = st.exp.Cells.Assemble(opt, outWs, outRows, fails)
+				item.Result, err = assembleCells(opt, st.exp.Cells, outWs, outRows, fails)
 			}
 			item.Result, item.Err = stamp(st.exp.ID, item.Result, err)
 		}
@@ -204,7 +217,7 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 						st.started.Store(true)
 						sub := opt
 						sub.Context = ctx
-						row, err = st.exp.Run(sub)
+						row, err = runWhole(sub, st.exp)
 					}
 				} else {
 					w := ws[j.wi]

@@ -1,0 +1,18 @@
+package funcsim
+
+import "rarpred/internal/check"
+
+// CheckInvariants validates the execution-profile tallies: memory
+// operations and calls are subsets of the instruction count, and taken
+// branches are a subset of branches.
+func (c Counts) CheckInvariants() {
+	if c.Loads+c.Stores > c.Insts {
+		check.Failf("funcsim.counts", "loads %d + stores %d exceed insts %d", c.Loads, c.Stores, c.Insts)
+	}
+	if c.Taken > c.Branches {
+		check.Failf("funcsim.counts", "taken %d exceeds branches %d", c.Taken, c.Branches)
+	}
+	if c.Calls > c.Insts {
+		check.Failf("funcsim.counts", "calls %d exceed insts %d", c.Calls, c.Insts)
+	}
+}

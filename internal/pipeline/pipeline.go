@@ -33,6 +33,7 @@ import (
 
 	"rarpred/internal/bpred"
 	"rarpred/internal/cache"
+	"rarpred/internal/check"
 	"rarpred/internal/cloak"
 	"rarpred/internal/funcsim"
 	"rarpred/internal/isa"
@@ -136,6 +137,11 @@ type Config struct {
 	// ObservationSize is the timing-phase length when sampling (default
 	// 50,000 instructions, the paper's observation size).
 	ObservationSize uint64
+
+	// SelfCheck enables sampled invariant sweeps over the timing state
+	// for this run even when the package-wide SetSelfCheck gate is off.
+	// Sweeps only read state; cycle counts are unchanged.
+	SelfCheck bool
 }
 
 // DefaultConfig is the Section 5.1 base processor.
@@ -331,6 +337,9 @@ type Sim struct {
 	memEv    funcsim.MemEvent
 	sawLoad  bool
 	sawStore bool
+
+	sc     bool
+	scSamp check.Sampler
 }
 
 // New prepares a timing simulation of prog.
@@ -354,6 +363,10 @@ func New(prog *isa.Program, cfg Config) *Sim {
 	}
 	if cfg.MemSpec == StoreSets {
 		s.ssets = newStoreSetTable()
+	}
+	if cfg.SelfCheck || SelfCheckEnabled() {
+		s.sc = true
+		s.scSamp = check.NewSampler(sweepInterval)
 	}
 	s.arch.OnLoad = func(e funcsim.MemEvent) { s.memEv = e; s.sawLoad = true }
 	s.arch.OnStore = func(e funcsim.MemEvent) { s.memEv = e; s.sawStore = true }
@@ -540,8 +553,17 @@ func (s *Sim) opTimes(in isa.Inst) (ready, verify uint64) {
 	return
 }
 
-// setDest records the destination register's timing.
+// setDest records the destination register's timing. verify is clamped
+// up to ready: a value cannot be verified before it exists. ALU and
+// jump results inherit opVerify from their sources, which can precede
+// the result's own availability; every consumer maxes verify with a
+// time that already covers ready, so the clamp is output-neutral, but
+// without it the documented regState invariant (verify >= ready) is
+// violated on any operation whose sources verify early.
 func (s *Sim) setDest(in isa.Inst, ready, verify uint64) {
+	if verify < ready {
+		verify = ready
+	}
 	if d, ok := in.Dest(); ok {
 		s.regs[d] = regState{ready: ready, verify: verify}
 	}
@@ -672,11 +694,22 @@ func (s *Sim) step() error {
 	if ct < s.lastCommit {
 		ct = s.lastCommit
 	}
+	if check.Enabled {
+		check.Assertf(decode >= fetch, "pipeline.time", "decode %d precedes fetch %d", decode, fetch)
+		check.Assertf(entry >= decode, "pipeline.time", "window entry %d precedes decode %d", entry, decode)
+		check.Assertf(ct > done, "pipeline.time", "commit %d not after completion %d", ct, done)
+		check.Assertf(ct >= s.lastCommit, "pipeline.time", "commit %d regresses behind %d", ct, s.lastCommit)
+		check.Assertf(ct >= s.commitRing[int(s.seq)%s.cfg.WindowSize], "pipeline.window",
+			"commit %d precedes the slot's previous occupant", ct)
+	}
 	s.lastCommit = ct
 	s.commitRing[int(s.seq)%s.cfg.WindowSize] = ct
 	s.seq++
 	s.res.Insts++
 	s.res.TimedInsts++
+	if s.sc && s.scSamp.Tick() {
+		s.checkInvariants()
+	}
 	return nil
 }
 

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestMeanEdgeSemantics pins the documented zero/degenerate semantics of
+// every mean so a refactor cannot silently change what the experiment
+// tables print for short or empty runs.
+func TestMeanEdgeSemantics(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		fn   func([]float64) float64
+		xs   []float64
+		want float64 // NaN means "expect NaN"
+	}{
+		{"mean empty", Mean, nil, 0},
+		{"harmonic empty", HarmonicMean, nil, 0},
+		{"harmonic zero element", HarmonicMean, []float64{1, 0, 2}, math.NaN()},
+		{"harmonic negative", HarmonicMean, []float64{1, -2}, math.NaN()},
+		{"harmonic ones", HarmonicMean, []float64{1, 1, 1}, 1},
+		{"geo empty", GeoMean, nil, 0},
+		{"geo zero element", GeoMean, []float64{3, 0, 5}, 0},
+		{"geo zero and inf", GeoMean, []float64{0, inf}, 0},
+		{"geo negative", GeoMean, []float64{4, -1}, math.NaN()},
+		{"geo identity", GeoMean, []float64{2, 8}, 4},
+	}
+	for _, c := range cases {
+		got := c.fn(c.xs)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: got %v, want NaN", c.name, got)
+			}
+		} else if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestZeroDenominatorRenderChain: Ratio with a zero denominator must
+// flow through the formatting helpers without NaN artifacts — short
+// runs legitimately produce zero-load cells in every table.
+func TestZeroDenominatorRenderChain(t *testing.T) {
+	frac := Ratio(17, 0)
+	if frac != 0 {
+		t.Fatalf("Ratio(17, 0) = %v, want 0", frac)
+	}
+	if got := Pct(frac); got != "0.0%" {
+		t.Errorf("Pct: %q", got)
+	}
+	if got := Pct2(frac); got != "0.00%" {
+		t.Errorf("Pct2: %q", got)
+	}
+	if got := Bar(frac, 10); got != "" {
+		t.Errorf("Bar of zero fraction: %q", got)
+	}
+}
+
+// TestBarNonFinite: NaN renders as empty (the int conversion it used to
+// reach is implementation-defined), infinities clamp like out-of-range
+// finites, and output length is always bounded by width+1.
+func TestBarNonFinite(t *testing.T) {
+	if got := Bar(math.NaN(), 12); got != "" {
+		t.Errorf("Bar(NaN) = %q, want empty", got)
+	}
+	if got, wantFull := Bar(math.Inf(1), 4), strings.Repeat("█", 4); got != wantFull {
+		t.Errorf("Bar(+Inf) = %q, want %q", got, wantFull)
+	}
+	if got := Bar(math.Inf(-1), 4); !strings.HasPrefix(got, "-") || len([]rune(got)) != 5 {
+		t.Errorf("Bar(-Inf) = %q, want '-' plus 4 blocks", got)
+	}
+	for _, frac := range []float64{-5, -0.3, 0, 0.49, 1, 7, math.NaN(), math.Inf(1)} {
+		if n := len([]rune(Bar(frac, 8))); n > 9 {
+			t.Errorf("Bar(%v, 8) is %d runes", frac, n)
+		}
+	}
+}

@@ -41,8 +41,12 @@ func HarmonicMean(xs []float64) float64 {
 	return float64(len(xs)) / sum
 }
 
-// GeoMean returns the geometric mean of xs, or 0 for an empty slice, and
-// NaN if any element is negative.
+// GeoMean returns the geometric mean of xs, or 0 for an empty slice, 0
+// if any element is zero (the product is zero regardless of the rest),
+// and NaN if any element is negative. The zero case is handled
+// explicitly rather than through Log(0) = -Inf: -Inf sums poison the
+// accumulator, so a slice containing both 0 and +Inf would otherwise
+// return NaN instead of the indeterminate-but-conventional 0.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -51,6 +55,9 @@ func GeoMean(xs []float64) float64 {
 	for _, x := range xs {
 		if x < 0 {
 			return math.NaN()
+		}
+		if x == 0 {
+			return 0
 		}
 		sum += math.Log(x)
 	}
@@ -178,7 +185,10 @@ func (t *Table) String() string {
 // to the numbers so figures read as figures. Negative fractions render a
 // left-pointing bar prefixed with '-'.
 func Bar(frac float64, width int) string {
-	if width <= 0 {
+	if width <= 0 || math.IsNaN(frac) {
+		// NaN would otherwise reach int(frac*...), whose result the Go
+		// spec leaves implementation-defined for NaN — on some targets
+		// that is a huge positive count of full blocks.
 		return ""
 	}
 	neg := frac < 0

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"fmt"
+
+	"rarpred/internal/check"
+)
+
+// Self-checks for the trace layer (rarsim -check): structural invariants
+// for Stream and Cache, and the stream-vs-live differential used by the
+// experiment harness to prove a cached replay matches what a fresh
+// functional simulation would commit.
+
+// CheckInvariants validates the stream's chunked layout: parallel slices
+// stay in lockstep, every chunk but the last is exactly full (Append
+// only ever grows the tail chunk), kinds are well-formed, and the
+// event/load tallies match the chunk contents. Panics with
+// *check.Violation on the first breach.
+func (s *Stream) CheckInvariants() {
+	total := 0
+	var loads uint64
+	for ci, c := range s.chunks {
+		n := len(c.kinds)
+		if len(c.pcs) != n || len(c.addrs) != n || len(c.values) != n {
+			check.Failf("stream.chunk", "chunk %d: ragged slices (%d kinds, %d pcs, %d addrs, %d values)",
+				ci, n, len(c.pcs), len(c.addrs), len(c.values))
+		}
+		if n == 0 || n > chunkEvents {
+			check.Failf("stream.chunk", "chunk %d holds %d events, want 1..%d", ci, n, chunkEvents)
+		}
+		if ci < len(s.chunks)-1 && n != chunkEvents {
+			check.Failf("stream.chunk", "interior chunk %d holds %d events, want exactly %d",
+				ci, n, chunkEvents)
+		}
+		for i, k := range c.kinds {
+			switch Kind(k) {
+			case KindLoad:
+				loads++
+			case KindStore:
+			default:
+				check.Failf("stream.kind", "chunk %d event %d: bad kind %d", ci, i, k)
+			}
+		}
+		total += n
+	}
+	if total != s.n {
+		check.Failf("stream.counts", "chunks hold %d events, stream says %d", total, s.n)
+	}
+	if loads != s.loads {
+		check.Failf("stream.counts", "chunks hold %d loads, stream says %d", loads, s.loads)
+	}
+}
+
+// DiffStreams compares two streams event-by-event (and over their
+// execution profiles) and returns a descriptive error at the first
+// divergence, or nil when they are identical. The harness uses it as the
+// replay-vs-live oracle: a cached stream must be bit-identical to a
+// fresh baseline recording of the same workload.
+func DiffStreams(got, want *Stream) error {
+	if got.n != want.n || got.loads != want.loads {
+		return fmt.Errorf("stream size: got %d events (%d loads), want %d (%d)",
+			got.n, got.loads, want.n, want.loads)
+	}
+	if got.Truncated != want.Truncated {
+		return fmt.Errorf("truncation: got %v, want %v", got.Truncated, want.Truncated)
+	}
+	if got.Counts != want.Counts {
+		return fmt.Errorf("execution profile: got %+v, want %+v", got.Counts, want.Counts)
+	}
+	for ci := range want.chunks {
+		g, w := got.chunks[ci], want.chunks[ci]
+		for i := range w.kinds {
+			if g.kinds[i] != w.kinds[i] || g.pcs[i] != w.pcs[i] ||
+				g.addrs[i] != w.addrs[i] || g.values[i] != w.values[i] {
+				return fmt.Errorf("event %d: got {kind:%d pc:%#x addr:%#x val:%#x}, want {kind:%d pc:%#x addr:%#x val:%#x}",
+					ci*chunkEvents+i,
+					g.kinds[i], g.pcs[i], g.addrs[i], g.values[i],
+					w.kinds[i], w.pcs[i], w.addrs[i], w.values[i])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariants validates the cache's accounting under its lock: the
+// LRU list holds exactly the completed entries, each resident entry is
+// owned by the map and error-free, resident bytes equal the sum of
+// entry sizes, and every pin is a positive refcount (so Stats.Pinned
+// counts keys with live consumers, nothing else). Panics with
+// *check.Violation on the first breach.
+func (c *Cache) CheckInvariants() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	resident := 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if e.elem != el {
+			check.Failf("cache.lru", "key %+v: entry's elem does not point at its list node", e.key)
+		}
+		if cur, ok := c.entries[e.key]; !ok || cur != e {
+			check.Failf("cache.lru", "key %+v: resident entry disowned by the map", e.key)
+		}
+		select {
+		case <-e.ready:
+		default:
+			check.Failf("cache.lru", "key %+v: in-flight recording resident in the LRU", e.key)
+		}
+		if e.err != nil {
+			check.Failf("cache.lru", "key %+v: failed recording resident in the LRU: %v", e.key, e.err)
+		}
+		sum += e.stream.Bytes()
+		resident++
+	}
+	if sum != c.bytes {
+		check.Failf("cache.bytes", "resident bytes %d != sum of entry sizes %d", c.bytes, sum)
+	}
+	completed := 0
+	for key, e := range c.entries {
+		if e.elem != nil {
+			completed++
+		} else {
+			select {
+			case <-e.ready:
+				check.Failf("cache.lru", "key %+v: completed entry missing from the LRU", key)
+			default:
+			}
+		}
+	}
+	if completed != resident {
+		check.Failf("cache.lru", "map holds %d completed entries, LRU holds %d", completed, resident)
+	}
+	for key, n := range c.pins {
+		if n <= 0 {
+			check.Failf("cache.pins", "key %+v pinned %d times", key, n)
+		}
+	}
+}

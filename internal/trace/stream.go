@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"rarpred/internal/check"
 	"rarpred/internal/funcsim"
 	"rarpred/internal/isa"
 	"rarpred/internal/runerr"
@@ -77,6 +78,12 @@ func (s *Stream) Append(kind Kind, pc, addr, value uint32) {
 	if kind == KindLoad {
 		s.loads++
 	}
+	if check.Enabled {
+		check.Assertf(len(c.kinds) <= chunkEvents, "stream.chunk",
+			"tail chunk grew to %d events (cap %d)", len(c.kinds), chunkEvents)
+		check.Assertf(kind == KindLoad || kind == KindStore, "stream.kind",
+			"appended bad kind %d", kind)
+	}
 }
 
 // Len returns the number of recorded events.
@@ -111,11 +118,7 @@ func (s *Stream) Replay(sinks ...Sink) {
 	onLoads := make([]func(pc, addr, value uint32), len(sinks))
 	onStores := make([]func(pc, addr, value uint32), len(sinks))
 	for i, snk := range sinks {
-		if sf, ok := snk.(SinkFuncs); ok && sf.OnLoad != nil && sf.OnStore != nil {
-			onLoads[i], onStores[i] = sf.OnLoad, sf.OnStore
-		} else {
-			onLoads[i], onStores[i] = snk.Load, snk.Store
-		}
+		onLoads[i], onStores[i] = sinkCallbacks(snk)
 	}
 	for _, c := range s.chunks {
 		for i, k := range c.kinds {
@@ -142,30 +145,39 @@ func (s *Stream) NumChunks() int { return len(s.chunks) }
 // consumers can each walk the immutable stream from their own
 // goroutine (see ReplayEach). The common SinkFuncs adapter is unwrapped
 // so each event costs one direct closure call instead of an interface
-// dispatch plus nil checks.
+// dispatch plus nil checks; a partial SinkFuncs (nil callback) skips
+// that event kind, exactly like the interface path.
 func (s *Stream) ReplayChunks(lo, hi int, snk Sink) {
-	if sf, ok := snk.(SinkFuncs); ok && sf.OnLoad != nil && sf.OnStore != nil {
-		onLoad, onStore := sf.OnLoad, sf.OnStore
-		for _, c := range s.chunks[lo:hi] {
-			for i, k := range c.kinds {
-				if Kind(k) == KindLoad {
-					onLoad(c.pcs[i], c.addrs[i], c.values[i])
-				} else {
-					onStore(c.pcs[i], c.addrs[i], c.values[i])
-				}
-			}
-		}
-		return
-	}
+	onLoad, onStore := sinkCallbacks(snk)
 	for _, c := range s.chunks[lo:hi] {
 		for i, k := range c.kinds {
 			if Kind(k) == KindLoad {
-				snk.Load(c.pcs[i], c.addrs[i], c.values[i])
+				onLoad(c.pcs[i], c.addrs[i], c.values[i])
 			} else {
-				snk.Store(c.pcs[i], c.addrs[i], c.values[i])
+				onStore(c.pcs[i], c.addrs[i], c.values[i])
 			}
 		}
 	}
+}
+
+// sinkCallbacks resolves snk to one load and one store function for the
+// replay inner loops. A SinkFuncs adapter is unwrapped to its closures
+// with nil callbacks replaced by no-ops, so nil-means-skip holds on the
+// unwrapped fast path and the interface path alike (the methods on
+// SinkFuncs nil-check too); any other sink contributes its bound
+// methods.
+func sinkCallbacks(snk Sink) (onLoad, onStore func(pc, addr, value uint32)) {
+	if sf, ok := snk.(SinkFuncs); ok {
+		onLoad, onStore = sf.OnLoad, sf.OnStore
+		if onLoad == nil {
+			onLoad = func(pc, addr, value uint32) {}
+		}
+		if onStore == nil {
+			onStore = func(pc, addr, value uint32) {}
+		}
+		return onLoad, onStore
+	}
+	return snk.Load, snk.Store
 }
 
 // ReplayEach replays the full stream into every sink concurrently: one
