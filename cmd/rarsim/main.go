@@ -175,7 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var failed []string
-	breport := newBenchReport()
+	breport := newBenchReport(*parallel)
 
 	// Under -check, the scheduler's rendered output is captured so a
 	// sequential shadow run can be compared against it afterwards.
@@ -300,9 +300,21 @@ func shadowCompare(opt experiments.Options, todo []experiments.Experiment, sched
 	return fmt.Sprintf("scheduler output diverges from sequential: %d vs %d lines", len(gl), len(wl))
 }
 
+// benchSchemaVersion identifies the -benchjson layout so downstream
+// tooling can reject payloads it does not understand. Version 1 had no
+// schema_version/timestamp/parallelism fields; version 2 added them.
+const benchSchemaVersion = 2
+
 // benchReport is the -benchjson payload: machine-readable timings for
 // the whole sweep.
 type benchReport struct {
+	SchemaVersion int `json:"schema_version"`
+	// Timestamp is the wall-clock time the report was written (RFC 3339,
+	// UTC).
+	Timestamp string `json:"timestamp"`
+	// Parallelism is the worker count the run actually used (the
+	// -parallel flag resolved against GOMAXPROCS).
+	Parallelism int             `json:"parallelism"`
 	Experiments []benchExp      `json:"experiments"`
 	Scheduler   *benchScheduler `json:"scheduler,omitempty"`
 	TraceCache  benchCache      `json:"trace_cache"`
@@ -342,8 +354,15 @@ type benchCache struct {
 	BudgetMiB float64 `json:"budget_mib"`
 }
 
-func newBenchReport() *benchReport {
-	return &benchReport{Experiments: []benchExp{}}
+func newBenchReport(parallelism int) *benchReport {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &benchReport{
+		SchemaVersion: benchSchemaVersion,
+		Parallelism:   parallelism,
+		Experiments:   []benchExp{},
+	}
 }
 
 func (b *benchReport) add(item experiments.SuiteItem) {
@@ -363,6 +382,7 @@ func (b *benchReport) add(item experiments.SuiteItem) {
 }
 
 func (b *benchReport) write(path string) error {
+	b.Timestamp = time.Now().UTC().Format(time.RFC3339)
 	st := experiments.TraceCache().Stats()
 	b.TraceCache = benchCache{
 		Hits:      st.Hits,

@@ -12,6 +12,8 @@
 // matching the level of detail timing studies of this era used.
 package cache
 
+import "rarpred/internal/container"
+
 // Config shapes one cache level.
 type Config struct {
 	// SizeBytes is the total capacity.
@@ -139,7 +141,12 @@ type WriteBuffer struct {
 	blockMask uint32
 	drainRate int
 
-	blocks    map[uint32]struct{}
+	// Buffered blocks: an open-addressed index for the combining check
+	// plus a FIFO ring ordering drains oldest-first (entries are unique,
+	// so the two structures always hold the same block set).
+	present   *container.U32Map[struct{}]
+	fifo      []uint32
+	head, n   int
 	lastDrain uint64
 
 	// Stats
@@ -155,7 +162,8 @@ func NewWriteBuffer(capacity, blockBytes, drainRate int) *WriteBuffer {
 		capacity:  capacity,
 		blockMask: ^uint32(blockBytes - 1),
 		drainRate: drainRate,
-		blocks:    make(map[uint32]struct{}),
+		present:   container.NewU32Map[struct{}](capacity + 1),
+		fifo:      make([]uint32, capacity+1),
 	}
 }
 
@@ -165,23 +173,29 @@ func (w *WriteBuffer) Write(addr uint32, now uint64) int {
 	w.drain(now)
 	w.Writes++
 	block := addr & w.blockMask
-	if _, ok := w.blocks[block]; ok {
+	if w.present.Ptr(block) != nil {
 		w.Combines++ // write combining: no new entry
 		return 0
 	}
-	if len(w.blocks) >= w.capacity {
+	if w.n >= w.capacity {
 		w.FullStall++
 		// The store waits for one drain period to free a slot.
 		w.forceDrainOne()
-		w.blocks[block] = struct{}{}
+		w.insert(block)
 		return w.drainRate
 	}
-	w.blocks[block] = struct{}{}
+	w.insert(block)
 	return 0
 }
 
+func (w *WriteBuffer) insert(block uint32) {
+	w.present.GetOrPut(block)
+	w.fifo[(w.head+w.n)%len(w.fifo)] = block
+	w.n++
+}
+
 // Pending returns the number of buffered blocks.
-func (w *WriteBuffer) Pending() int { return len(w.blocks) }
+func (w *WriteBuffer) Pending() int { return w.n }
 
 func (w *WriteBuffer) drain(now uint64) {
 	if w.drainRate <= 0 {
@@ -193,16 +207,19 @@ func (w *WriteBuffer) drain(now uint64) {
 		return
 	}
 	w.lastDrain = now
-	for i := 0; i < n && len(w.blocks) > 0; i++ {
+	for i := 0; i < n && w.n > 0; i++ {
 		w.forceDrainOne()
 	}
 }
 
 func (w *WriteBuffer) forceDrainOne() {
-	for b := range w.blocks {
-		delete(w.blocks, b)
+	if w.n == 0 {
 		return
 	}
+	block := w.fifo[w.head]
+	w.head = (w.head + 1) % len(w.fifo)
+	w.n--
+	w.present.Delete(block)
 }
 
 // Hierarchy is the full Section 5.1 memory system.

@@ -116,6 +116,9 @@ func newDDTChecked(capacity int, recordLoads bool, sc bool) *DDT {
 	}
 	if capacity > 0 {
 		d.nodes = make([]ddtNode, 0, capacity)
+		// The free list holds at most one victim per insertion; sizing it
+		// up front keeps the steady-state eviction path allocation-free.
+		d.free = make([]int32, 0, capacity)
 	}
 	if sc {
 		d.sc = true

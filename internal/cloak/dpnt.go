@@ -155,16 +155,11 @@ func (t *DPNT) RecordDependence(dep Dependence) uint32 {
 		switch t.merge {
 		case MergeIncremental:
 			// Replace the larger synonym, only for that instruction.
-			if src.synonym > snk.synonym {
-				src.synonym = snk.synonym
-			} else {
-				snk.synonym = src.synonym
-			}
+			m := min(src.synonym, snk.synonym)
+			src.synonym, snk.synonym = m, m
 		case MergeFull:
-			winner, loser := src.synonym, snk.synonym
-			if loser < winner {
-				winner, loser = loser, winner
-			}
+			winner := min(src.synonym, snk.synonym)
+			loser := max(src.synonym, snk.synonym)
 			t.fullScans++
 			t.table.ForEach(func(_ uint32, e *dpntEntry) {
 				if e.hasSyn && e.synonym == loser {

@@ -181,11 +181,21 @@ func (e *Engine) SF() *SynonymFile { return e.sf }
 
 // Store processes one committed store in program order.
 func (e *Engine) Store(pc, addr, value uint32) {
+	pred, havePred := e.dpnt.Lookup(pc)
+	e.StoreWith(pc, addr, value, pred, havePred)
+}
+
+// StoreWith is Store with the DPNT prediction supplied by the caller.
+// The timing model consults the table for scheduling immediately before
+// handing the access to the engine; passing the result in avoids a
+// second probe (the prediction must come from DPNT().Lookup(pc) with no
+// intervening engine mutation).
+func (e *Engine) StoreWith(pc, addr, value uint32, pred Prediction, havePred bool) {
 	e.stats.Stores++
 	// Predict: a store marked as a producer deposits its value in the
 	// synonym file so predicted consumers can name it.
-	if p, ok := e.dpnt.Lookup(pc); ok && p.Producer {
-		e.sf.Write(p.Synonym, value, DepRAW, pc)
+	if havePred && pred.Producer {
+		e.sf.Write(pred.Synonym, value, DepRAW, pc)
 	}
 	// Detect (at commit): record the store; this also breaks RAR chains
 	// through addr.
@@ -195,12 +205,17 @@ func (e *Engine) Store(pc, addr, value uint32) {
 // Load processes one committed load in program order and reports what the
 // mechanism did for it.
 func (e *Engine) Load(pc, addr, value uint32) LoadOutcome {
-	e.stats.Loads++
-	var out LoadOutcome
-
 	// Predict: the DPNT is consulted with the state established by
 	// *earlier* instances (Figure 4(b) actions 5–8).
 	pred, havePred := e.dpnt.Lookup(pc)
+	return e.LoadWith(pc, addr, value, pred, havePred)
+}
+
+// LoadWith is Load with the DPNT prediction supplied by the caller (same
+// contract as StoreWith).
+func (e *Engine) LoadWith(pc, addr, value uint32, pred Prediction, havePred bool) LoadOutcome {
+	e.stats.Loads++
+	var out LoadOutcome
 	if havePred && (pred.Consumer || pred.ConsumerShadow) {
 		if entry, ok := e.sf.Read(pred.Synonym); ok && entry.Full {
 			correct := entry.Value == value

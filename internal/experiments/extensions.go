@@ -50,22 +50,20 @@ type MemSpecResult struct {
 }
 
 // ablMemSpecCells runs the three LSQ scheduling policies as concurrent
-// independent simulations of each workload (parallelSims).
-var ablMemSpecCells = cells(
+// independent simulations of each workload, replaying one shared
+// instruction recording (runTimingConfigs).
+var ablMemSpecCells = timingCellsOf(
 	func(ctx context.Context, opt Options, w workload.Workload) (MemSpecRow, error) {
 		size := opt.size(workload.TimingSize)
 		row := MemSpecRow{Workload: w}
 		pols := []pipeline.MemSpecPolicy{pipeline.NoSpec, pipeline.NaiveSpec, pipeline.StoreSets}
-		results := make([]pipeline.Result, len(pols))
-		err := parallelSims(ctx, len(pols), func(i int) error {
-			cfg := pipeline.DefaultConfig()
-			cfg.MemSpec = pols[i]
-			res, err := pipeline.RunProgram(w.Program(size), cfg)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", w.Name, pols[i], err)
-			}
-			results[i] = res
-			return nil
+		cfgs := make([]pipeline.Config, len(pols))
+		for i, pol := range pols {
+			cfgs[i] = pipeline.DefaultConfig()
+			cfgs[i].MemSpec = pol
+		}
+		results, err := runTimingConfigs(ctx, opt, w, size, cfgs, func(i int, err error) error {
+			return fmt.Errorf("%s/%s: %w", w.Name, pols[i], err)
 		})
 		if err != nil {
 			return row, err
@@ -114,8 +112,9 @@ type RecoveryResult struct {
 }
 
 // ablRecoveryCells runs the base processor and the three recovery
-// policies as four concurrent independent simulations (parallelSims).
-var ablRecoveryCells = cells(
+// policies as four concurrent independent simulations replaying one
+// shared instruction recording (runTimingConfigs).
+var ablRecoveryCells = timingCellsOf(
 	func(ctx context.Context, opt Options, w workload.Workload) (RecoveryRow, error) {
 		size := opt.size(workload.TimingSize)
 		row := RecoveryRow{Workload: w}
@@ -129,10 +128,7 @@ var ablRecoveryCells = cells(
 			cfg.Recovery = rec
 			cfgs = append(cfgs, cfg)
 		}
-		results := make([]pipeline.Result, len(cfgs))
-		err := parallelSims(ctx, len(cfgs), func(i int) error {
-			res, err := pipeline.RunProgram(w.Program(size), cfgs[i])
-			results[i] = res
+		results, err := runTimingConfigs(ctx, opt, w, size, cfgs, func(_ int, err error) error {
 			return err
 		})
 		if err != nil {

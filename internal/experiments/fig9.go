@@ -92,13 +92,13 @@ func speedup(base, mech uint64) float64 {
 }
 
 // timingCells runs each workload's three (fig10) or five (fig9) pipeline
-// configurations as concurrent simulations: each configuration
-// re-assembles and re-runs the program independently, the simulators are
-// deterministic, and no state is shared, so the cell uses one core per
+// configurations as concurrent simulations replaying one shared
+// instruction recording (runTimingConfigs): the simulators are
+// deterministic and no state is shared, so the cell uses one core per
 // configuration (parallelSims). The context is checked once per
 // simulation — the cycle-level model has no in-loop poll.
 func timingCells(nospec bool) CellRunner {
-	return cells(
+	return timingCellsOf(
 		func(ctx context.Context, opt Options, w workload.Workload) (Fig9Row, error) {
 			size := opt.size(workload.TimingSize)
 			row := Fig9Row{Workload: w}
@@ -112,17 +112,11 @@ func timingCells(nospec bool) CellRunner {
 					timingConfig(cloak.ModeRAW, pipeline.Squash, nospec),
 					timingConfig(cloak.ModeRAWRAR, pipeline.Squash, nospec))
 			}
-			results := make([]pipeline.Result, len(cfgs))
-			err := parallelSims(ctx, len(cfgs), func(i int) error {
-				res, err := pipeline.RunProgram(w.Program(size), cfgs[i])
-				if err != nil {
-					if i == 0 {
-						return fmt.Errorf("%s base: %w", w.Name, err)
-					}
-					return err
+			results, err := runTimingConfigs(ctx, opt, w, size, cfgs, func(i int, err error) error {
+				if i == 0 {
+					return fmt.Errorf("%s base: %w", w.Name, err)
 				}
-				results[i] = res
-				return nil
+				return err
 			})
 			if err != nil {
 				return row, err

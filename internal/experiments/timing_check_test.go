@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"rarpred/internal/faultsim"
+	"rarpred/internal/trace"
+)
+
+// These tests use workload sizes no other test uses (8, 10, 14, 16),
+// so the shared trace cache and the timing oracle's verified-key set
+// cannot be pre-populated by another test.
+
+// TestTimingLiveMatchesReplay: -live forces every configuration onto a
+// private live interpreter; the rendered result must be identical to
+// the shared-recording replay path. This is the experiment-level twin
+// of pipeline's TestReplayMatchesLive.
+func TestTimingLiveMatchesReplay(t *testing.T) {
+	opt := subset("go", "tom")
+	opt.Size = 8
+	replayed, err := runFig9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Live = true
+	live, err := runFig9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != replayed.String() {
+		t.Errorf("-live diverges from replay:\n--- replay ---\n%s--- live ---\n%s",
+			replayed.String(), live.String())
+	}
+}
+
+// TestTimingCheckCleanRun: the replay-vs-live pipeline oracle passes on
+// an honest recording and does not perturb the rendered result.
+func TestTimingCheckCleanRun(t *testing.T) {
+	opt := subset("com", "hyd")
+	opt.Size = 14
+	plain, err := runFig10(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Check = true
+	checked, err := runFig10(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, partial := checked.(*PartialResult); partial {
+		t.Fatalf("oracle flagged an honest recording: %s", checked)
+	}
+	if plain.String() != checked.String() {
+		t.Errorf("-check perturbed the result:\n--- plain ---\n%s--- checked ---\n%s",
+			plain.String(), checked.String())
+	}
+}
+
+// TestTimingCheckCatchesDivergence: a cached instruction recording that
+// passes Validate (tallies intact) but steers one branch the wrong way
+// is invisible to the tally check — only the replay-vs-live pipeline
+// shadow can see it.
+func TestTimingCheckCatchesDivergence(t *testing.T) {
+	opt := subset("com", "m88")
+	opt.Size = 16
+	opt.Check = true
+	w := opt.Workloads[0]
+	prog := w.Program(opt.Size)
+
+	correct, err := trace.RecordIStreamBaselineContext(context.Background(), w.Assemble(opt.Size), opt.maxInsts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := trace.NewIStream()
+	cur := correct.Cursor()
+	branches, flipped := 0, false
+	for {
+		idx, next, ok := cur.NextInst()
+		if !ok {
+			break
+		}
+		in := prog.Insts[idx]
+		if in.IsBranch() && !flipped {
+			if branches++; branches == 50 {
+				// Invert the recorded direction of the 50th branch: the
+				// replayed predictor trains on (and redirects to) a path
+				// the live run never took.
+				if next == idx*4+4 {
+					next = idx*4 + 8
+				} else {
+					next = idx*4 + 4
+				}
+				flipped = true
+			}
+		}
+		bad.AppendInst(idx, next)
+		if in.IsMem() {
+			addr, value, ok := cur.NextMem()
+			if !ok {
+				t.Fatal("test setup: recording ran out of memory events")
+			}
+			bad.AppendMem(addr, value)
+		}
+	}
+	bad.Counts = correct.Counts
+	if !flipped {
+		t.Fatal("test setup: fewer than 50 branches recorded")
+	}
+	if bad.Validate() != nil {
+		t.Fatal("test setup: bad stream must pass Validate")
+	}
+
+	key := trace.Key{Workload: w.Name, Size: opt.Size, MaxInsts: opt.maxInsts(), Timing: true}
+	if _, err := TraceCache().GetIStreamContext(context.Background(), key,
+		func() (*trace.IStream, error) { return bad, nil }); err != nil {
+		t.Fatal(err)
+	}
+	defer TraceCache().Drop(key)
+
+	res, err := runFig10(opt)
+	if err != nil {
+		t.Fatalf("divergence aborted the run instead of failing the workload: %v", err)
+	}
+	p, ok := res.(*PartialResult)
+	if !ok {
+		t.Fatalf("poisoned recording produced a clean result: %s", res)
+	}
+	if len(p.Fails) != 1 || p.Fails[0].Workload != w.Name {
+		t.Fatalf("failures = %v, want exactly the poisoned workload", p.Fails)
+	}
+	if msg := p.Fails[0].Error(); !strings.Contains(msg, "diverges") {
+		t.Errorf("failure does not describe the divergence: %s", msg)
+	}
+}
+
+// TestTimingCorruptRecordingDegrades: an injected recording corruption
+// fails Validate, the poisoned cache entry is dropped, and the baseline
+// interpreter re-records — the experiment still delivers a result
+// identical to an unfaulted run.
+func TestTimingCorruptRecordingDegrades(t *testing.T) {
+	defer faultsim.Reset()
+	opt := subset("li")
+	opt.Size = 10
+	faultsim.Inject(opt.Workloads[0].Name, faultsim.Fault{Kind: faultsim.Corrupt, Times: 1})
+	degraded, err := runFig10(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, partial := degraded.(*PartialResult); partial {
+		t.Fatalf("corrupt recording failed the workload instead of degrading: %s", degraded)
+	}
+	faultsim.Reset()
+	plain, err := runFig10(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.String() != plain.String() {
+		t.Errorf("degraded run diverges from clean run:\n--- degraded ---\n%s--- plain ---\n%s",
+			degraded.String(), plain.String())
+	}
+}
+
+// TestSuitePinsDrainTimingKeys: timing experiments declare their
+// recording dependencies through StreamKey like the functional ones do;
+// a suite over both kinds must release every pin it takes.
+func TestSuitePinsDrainTimingKeys(t *testing.T) {
+	opt := subset("go", "tom")
+	opt.Size = 8 // shares the TestTimingLiveMatchesReplay recordings
+	exps := []Experiment{mustByID(t, "fig9"), mustByID(t, "ablmemspec"), mustByID(t, "fig2")}
+	RunSuite(opt, exps, func(item SuiteItem) bool {
+		if item.Err != nil {
+			t.Errorf("%s: %v", item.Exp.ID, item.Err)
+		}
+		return true
+	})
+	if n := pinned(t); n != 0 {
+		t.Fatalf("%d streams still pinned after a clean timing suite", n)
+	}
+}

@@ -148,6 +148,24 @@ func (s *Sim) Step() error {
 	return nil
 }
 
+// StepIn executes in as the instruction at the current PC, committing it
+// exactly as Step would. It is the hook for callers that predecode the
+// text segment themselves (the timing-trace recorder): the caller owns
+// the PC-to-instruction lookup and its bounds check, StepIn owns the
+// architectural step. It is a no-op once Halted.
+func (s *Sim) StepIn(in isa.Inst) error {
+	if s.Halted {
+		return nil
+	}
+	next, err := s.exec(in, s.PC)
+	if err != nil {
+		return err
+	}
+	s.Counts.Insts++
+	s.PC = next
+	return nil
+}
+
 // exec executes in, fetched at pc, and returns the next PC. It updates
 // registers, memory, and all counters except Counts.Insts, which the
 // caller commits; on halt it sets Halted and returns pc unchanged. Both

@@ -29,7 +29,7 @@
 package pipeline
 
 import (
-	"fmt"
+	"sync"
 
 	"rarpred/internal/bpred"
 	"rarpred/internal/cache"
@@ -202,27 +202,41 @@ func (r Result) EstimatedCycles() uint64 {
 }
 
 // slotCounter allocates per-cycle resource slots (issue width, memory
-// ports, commit width) with a lazily-reset ring.
+// ports, commit width) with a lazily-reset ring. The ring length must be
+// a power of two so reserve's cycle-to-slot mapping is a mask, not a
+// division.
 type slotCounter struct {
-	cycle []uint64
-	count []uint16
+	slots []cycleSlot // one cache line per probe: cycle and count together
+	mask  uint64
 	limit uint16
 }
 
+type cycleSlot struct {
+	cycle uint64
+	count uint16
+}
+
 func newSlotCounter(limit, ring int) *slotCounter {
-	return &slotCounter{cycle: make([]uint64, ring), count: make([]uint16, ring), limit: uint16(limit)}
+	if ring&(ring-1) != 0 {
+		panic("pipeline: slotCounter ring must be a power of two")
+	}
+	return &slotCounter{
+		slots: make([]cycleSlot, ring),
+		mask:  uint64(ring - 1),
+		limit: uint16(limit),
+	}
 }
 
 // reserve returns the first cycle >= t with a free slot and takes it.
 func (s *slotCounter) reserve(t uint64) uint64 {
 	for {
-		i := t % uint64(len(s.cycle))
-		if s.cycle[i] != t {
-			s.cycle[i] = t
-			s.count[i] = 0
+		sl := &s.slots[t&s.mask]
+		if sl.cycle != t {
+			sl.cycle = t
+			sl.count = 0
 		}
-		if s.count[i] < s.limit {
-			s.count[i]++
+		if sl.count < s.limit {
+			sl.count++
 			return t
 		}
 		t++
@@ -298,10 +312,85 @@ func (t *storeSetTable) train(storePC, loadPC uint32) {
 	}
 }
 
+// Timing class of a predecoded instruction (the dispatch order of
+// step's switch).
+const (
+	kALU uint8 = iota
+	kLoad
+	kStore
+	kBranch
+	kJump
+	kHalt
+)
+
+// noDest marks a decoded instruction without a destination register.
+const noDest = 0xff
+
+// decoded is the per-static-instruction timing metadata step needs every
+// cycle: timing class, non-R0 source registers, destination (noDest if
+// none), and ALU latency. Precomputing it once per program removes the
+// Sources/Dest/Class calls from the per-instruction path.
+type decoded struct {
+	srcs [3]uint8
+	nsrc uint8
+	dest uint8
+	kind uint8
+	lat  uint8
+}
+
+// decCache memoizes decode tables per program. Programs themselves are
+// memoized per (workload, size), so the table is computed once
+// process-wide for each and shared by every live and replay simulation.
+var decCache sync.Map // *isa.Program -> []decoded
+
+func decodeFor(prog *isa.Program) []decoded {
+	if v, ok := decCache.Load(prog); ok {
+		return v.([]decoded)
+	}
+	v, _ := decCache.LoadOrStore(prog, decodeProgram(prog))
+	return v.([]decoded)
+}
+
+func decodeProgram(prog *isa.Program) []decoded {
+	dec := make([]decoded, len(prog.Insts))
+	var buf [3]isa.Reg
+	for i, in := range prog.Insts {
+		d := &dec[i]
+		d.dest = noDest
+		if r, ok := in.Dest(); ok {
+			d.dest = uint8(r)
+		}
+		for _, r := range in.Sources(buf[:0]) {
+			if r == isa.R0 {
+				continue // R0 is always ready; opTimes skipped it too
+			}
+			d.srcs[d.nsrc] = uint8(r)
+			d.nsrc++
+		}
+		switch {
+		case in.IsLoad():
+			d.kind = kLoad
+		case in.IsStore():
+			d.kind = kStore
+		case in.IsBranch():
+			d.kind = kBranch
+		case in.IsJump():
+			d.kind = kJump
+		case in.Op == isa.OpHalt:
+			d.kind = kHalt
+		default:
+			d.kind = kALU
+			d.lat = uint8(in.Op.Class().Latency())
+		}
+	}
+	return dec
+}
+
 // Sim runs timing simulations. Create with New; one Sim per program run.
 type Sim struct {
 	cfg  Config
-	arch *funcsim.Sim
+	feed Feed
+	dec  []decoded
 	mem  *cache.Hierarchy
 	bp   *bpred.Predictor
 
@@ -322,7 +411,9 @@ type Sim struct {
 	lastFetchBlock uint32
 
 	commitRing []uint64 // commit time of the last WindowSize instructions
+	winIdx     int      // seq % WindowSize, maintained incrementally
 	lsqRing    []uint64 // commit time of the last LSQSize memory operations
+	lsqIdx     int      // memOps % LSQSize, maintained incrementally
 	memOps     uint64
 	lastCommit uint64
 
@@ -331,22 +422,52 @@ type Sim struct {
 	ssets     *storeSetTable
 	seq       uint64
 
+	// tags is a counting address filter over the store ring: a load whose
+	// address hashes to an empty bucket provably has no in-flight
+	// conflicting store, skipping the ring scan entirely.
+	tags [numTags]uint16
+
+	// amax is a monotonic deque over the store ring's addrReady times
+	// (front = exact sliding-window max), allocated only under NoSpec —
+	// the one policy that gates loads on every earlier store address.
+	amax     []amaxEntry
+	amaxHead int
+	amaxLen  int
+
 	res Result
 
-	// per-step scratch, filled by funcsim observers
-	memEv    funcsim.MemEvent
-	sawLoad  bool
-	sawStore bool
+	st Step // the current committed instruction, filled by feed.Next
 
 	sc     bool
 	scSamp check.Sampler
 }
 
-// New prepares a timing simulation of prog.
+// numTags is the size of the store-address filter; buckets index by
+// word-address low bits, so the filter is exact for working sets under
+// 8 KiB and merely conservative (never wrong) beyond.
+const numTags = 2048
+
+func tagIdx(addr uint32) uint32 { return (addr >> 2) & (numTags - 1) }
+
+// amaxEntry is one candidate in the sliding-window max over store
+// address-ready times.
+type amaxEntry struct {
+	seq       uint64
+	addrReady uint64
+}
+
+// New prepares a timing simulation of prog with a live functional feed.
 func New(prog *isa.Program, cfg Config) *Sim {
+	s := newSim(prog, cfg)
+	s.feed = newLiveFeed(prog)
+	return s
+}
+
+// newSim builds everything but the feed (see New and NewReplay).
+func newSim(prog *isa.Program, cfg Config) *Sim {
 	s := &Sim{
 		cfg:            cfg,
-		arch:           funcsim.New(prog),
+		dec:            decodeFor(prog),
 		mem:            cache.NewHierarchy(),
 		bp:             bpred.New(bpred.DefaultConfig()),
 		issue:          newSlotCounter(cfg.Width, 1<<14),
@@ -364,12 +485,13 @@ func New(prog *isa.Program, cfg Config) *Sim {
 	if cfg.MemSpec == StoreSets {
 		s.ssets = newStoreSetTable()
 	}
+	if cfg.MemSpec == NoSpec {
+		s.amax = make([]amaxEntry, cfg.LSQSize+1)
+	}
 	if cfg.SelfCheck || SelfCheckEnabled() {
 		s.sc = true
 		s.scSamp = check.NewSampler(sweepInterval)
 	}
-	s.arch.OnLoad = func(e funcsim.MemEvent) { s.memEv = e; s.sawLoad = true }
-	s.arch.OnStore = func(e funcsim.MemEvent) { s.memEv = e; s.sawStore = true }
 	return s
 }
 
@@ -384,7 +506,7 @@ func (s *Sim) Run() (Result, error) {
 	if s.cfg.SampleRatio > 0 {
 		phaseLeft = obs
 	}
-	for !s.arch.Halted {
+	for {
 		if s.cfg.MaxInsts != 0 && s.res.Insts >= s.cfg.MaxInsts {
 			break
 		}
@@ -400,80 +522,96 @@ func (s *Sim) Run() (Result, error) {
 				s.redirect(s.lastCommit)
 			}
 		}
-		var err error
-		if timingPhase {
-			err = s.step()
-		} else {
-			err = s.stepFunctional()
-		}
+		ok, err := s.feed.Next(&s.st)
 		if err != nil {
 			return s.res, err
+		}
+		if !ok {
+			break
+		}
+		if timingPhase {
+			s.step()
+		} else {
+			s.stepFunctional()
 		}
 		if s.cfg.SampleRatio > 0 {
 			phaseLeft--
 		}
 	}
 	s.res.Cycles = s.lastCommit
-	s.res.Insts = s.arch.Counts.Insts
+	s.res.Insts = s.feed.Counts().Insts
 	s.res.L1DMissRate = s.mem.L1D.MissRate()
 	s.res.L1IMissRate = s.mem.L1I.MissRate()
 	s.res.BranchAcc = s.bp.Accuracy()
 	return s.res, nil
 }
 
-// stepFunctional executes one instruction in functional-simulation mode:
-// no cycles pass, but the caches, branch predictors and cloaking tables
-// observe the instruction (the paper's functional-sampling semantics).
-func (s *Sim) stepFunctional() error {
-	pc := s.arch.PC
-	in, ok := s.arch.Prog.InstAt(pc)
-	if !ok {
-		return fmt.Errorf("pipeline: PC 0x%08x outside text", pc)
+// advanceSeq commits one instruction's sequence bookkeeping: the global
+// order counter and its maintained window-ring index.
+func (s *Sim) advanceSeq() {
+	s.seq++
+	s.winIdx++
+	if s.winIdx == s.cfg.WindowSize {
+		s.winIdx = 0
 	}
+}
+
+// stepFunctional processes the current committed instruction (s.st) in
+// functional-sampling mode: no cycles pass, but the caches, branch
+// predictors and cloaking tables observe the instruction (the paper's
+// functional-sampling semantics).
+func (s *Sim) stepFunctional() {
+	pc := s.st.PC
+	in := s.st.Inst
 	// I-cache training, one access per fetch block.
 	if block := pc &^ 15; block != s.lastFetchBlock {
 		s.lastFetchBlock = block
 		s.mem.FetchLatency(pc)
 	}
-	s.sawLoad, s.sawStore = false, false
-	if err := s.arch.Step(); err != nil {
-		return err
-	}
-	nextPC := s.arch.PC
+	nextPC := s.st.NextPC
 
-	switch {
-	case s.sawLoad:
-		s.mem.LoadLatency(s.memEv.Addr)
+	switch s.dec[pc>>2].kind {
+	case kLoad:
+		s.mem.LoadLatency(s.st.Addr)
 		if s.engine != nil {
-			s.engineLoad(s.memEv, s.lastCommit)
+			s.engineLoad(s.memEvent(), s.lastCommit)
 		}
-	case s.sawStore:
-		s.mem.StoreLatency(s.memEv.Addr, s.lastCommit)
+	case kStore:
+		s.mem.StoreLatency(s.st.Addr, s.lastCommit)
 		if s.engine != nil {
-			if pred, ok := s.engine.DPNT().Lookup(s.memEv.PC); ok && pred.Producer {
+			pred, ok := s.engine.DPNT().Lookup(pc)
+			if ok && pred.Producer {
 				s.srt.Install(pred.Synonym, s.lastCommit, s.seq)
 			}
-			s.engine.Store(s.memEv.PC, s.memEv.Addr, s.memEv.Value)
+			s.engine.StoreWith(pc, s.st.Addr, s.st.Value, pred, ok)
 		}
-	case in.IsBranch():
+	case kBranch:
 		taken := nextPC != pc+4
 		predTaken := s.bp.PredictDirection(pc)
 		s.bp.UpdateDirection(pc, taken, predTaken)
-	case in.Op == isa.OpJal, in.Op == isa.OpJalr:
-		s.bp.PushReturn(pc + 4)
-		if in.Op == isa.OpJalr {
-			s.bp.UpdateIndirect(pc, nextPC)
-		}
-	case in.Op == isa.OpJr:
-		if in.IsReturn() {
-			s.bp.PopReturn()
-		} else {
-			s.bp.UpdateIndirect(pc, nextPC)
+	case kJump:
+		switch in.Op {
+		case isa.OpJal, isa.OpJalr:
+			s.bp.PushReturn(pc + 4)
+			if in.Op == isa.OpJalr {
+				s.bp.UpdateIndirect(pc, nextPC)
+			}
+		case isa.OpJr:
+			if in.IsReturn() {
+				s.bp.PopReturn()
+			} else {
+				s.bp.UpdateIndirect(pc, nextPC)
+			}
 		}
 	}
-	s.seq++
+	s.advanceSeq()
 	s.res.Insts++
-	return nil
+}
+
+// memEvent views the current step's memory access as a funcsim event
+// (the access PC is the instruction's own).
+func (s *Sim) memEvent() funcsim.MemEvent {
+	return funcsim.MemEvent{PC: s.st.PC, Addr: s.st.Addr, Value: s.st.Value}
 }
 
 // fetchSlot assigns the fetch cycle for the next instruction, honouring
@@ -508,8 +646,7 @@ func (s *Sim) redirect(at uint64) {
 // windowEntry returns the cycle the instruction can occupy a window slot.
 func (s *Sim) windowEntry(decode uint64) uint64 {
 	// The entry used WindowSize instructions ago must have committed.
-	idx := int(s.seq) % s.cfg.WindowSize
-	free := s.commitRing[idx]
+	free := s.commitRing[s.winIdx]
 	if decode < free {
 		return free
 	}
@@ -520,8 +657,7 @@ func (s *Sim) windowEntry(decode uint64) uint64 {
 // scheduler slot: the entry used LSQSize memory operations ago must have
 // committed.
 func (s *Sim) lsqEntry(entry uint64) uint64 {
-	idx := int(s.memOps) % s.cfg.LSQSize
-	if free := s.lsqRing[idx]; entry < free {
+	if free := s.lsqRing[s.lsqIdx]; entry < free {
 		entry = free
 	}
 	return entry
@@ -532,22 +668,23 @@ func (s *Sim) lsqEntry(entry uint64) uint64 {
 // only known later, so the ring stores the instruction's completion,
 // which commit can never precede.
 func (s *Sim) retireMemOp(done uint64) {
-	s.lsqRing[int(s.memOps)%s.cfg.LSQSize] = done + 1
+	s.lsqRing[s.lsqIdx] = done + 1
 	s.memOps++
+	s.lsqIdx++
+	if s.lsqIdx == s.cfg.LSQSize {
+		s.lsqIdx = 0
+	}
 }
 
 // opTimes returns the max ready and verify times over the source regs.
-func (s *Sim) opTimes(in isa.Inst) (ready, verify uint64) {
-	var buf [3]isa.Reg
-	for _, r := range in.Sources(buf[:0]) {
-		if r == isa.R0 {
-			continue
+func (s *Sim) opTimes(d *decoded) (ready, verify uint64) {
+	for _, r := range d.srcs[:d.nsrc] {
+		reg := &s.regs[r]
+		if reg.ready > ready {
+			ready = reg.ready
 		}
-		if s.regs[r].ready > ready {
-			ready = s.regs[r].ready
-		}
-		if s.regs[r].verify > verify {
-			verify = s.regs[r].verify
+		if reg.verify > verify {
+			verify = reg.verify
 		}
 	}
 	return
@@ -560,78 +697,114 @@ func (s *Sim) opTimes(in isa.Inst) (ready, verify uint64) {
 // time that already covers ready, so the clamp is output-neutral, but
 // without it the documented regState invariant (verify >= ready) is
 // violated on any operation whose sources verify early.
-func (s *Sim) setDest(in isa.Inst, ready, verify uint64) {
+func (s *Sim) setDest(dest uint8, ready, verify uint64) {
 	if verify < ready {
 		verify = ready
 	}
-	if d, ok := in.Dest(); ok {
-		s.regs[d] = regState{ready: ready, verify: verify}
+	if dest != noDest {
+		s.regs[dest] = regState{ready: ready, verify: verify}
 	}
 }
 
-// priorStoreScan finds the latest earlier store to addr and the latest
-// address-ready time over all earlier stores still in the scheduler.
-func (s *Sim) priorStoreScan(addr uint32) (conflict *storeRec, maxAddrReady uint64) {
-	for i := range s.stores {
-		st := &s.stores[i]
-		if st.addrReady > maxAddrReady {
-			maxAddrReady = st.addrReady
+// latestConflict finds the latest earlier store to addr still in the
+// scheduler. The counting filter answers the common case (no earlier
+// store anywhere near the address) without touching the ring; otherwise
+// the ring is scanned newest-first so the first address match is the
+// latest by sequence, ending the scan.
+func (s *Sim) latestConflict(addr uint32) *storeRec {
+	if s.tags[tagIdx(addr)] == 0 {
+		return nil
+	}
+	n := len(s.stores)
+	i := s.storeHead
+	for k := 0; k < n; k++ {
+		i--
+		if i < 0 {
+			i += n
 		}
-		if st.addr == addr && (conflict == nil || st.seq > conflict.seq) {
-			conflict = st
+		if s.stores[i].addr == addr {
+			return &s.stores[i]
 		}
 	}
-	return
+	return nil
 }
 
-// recordStore inserts a store into the scheduler ring.
+// maxStoreAddrReady returns the latest address-ready time over all
+// stores in the scheduler (the NoSpec issue gate): the front of the
+// monotonic deque maintained by recordStore.
+func (s *Sim) maxStoreAddrReady() uint64 {
+	if s.amaxLen == 0 {
+		return 0
+	}
+	return s.amax[s.amaxHead].addrReady
+}
+
+// recordStore inserts a store into the scheduler ring and keeps the
+// address filter (and, under NoSpec, the sliding-window max of
+// address-ready times) in sync with the ring contents.
 func (s *Sim) recordStore(rec storeRec) {
+	s.tags[tagIdx(rec.addr)]++
+	if s.amax != nil {
+		// Dominated candidates (no later than the newcomer and older) can
+		// never again be the window max.
+		for s.amaxLen > 0 {
+			back := (s.amaxHead + s.amaxLen - 1) % len(s.amax)
+			if s.amax[back].addrReady > rec.addrReady {
+				break
+			}
+			s.amaxLen--
+		}
+	}
 	if len(s.stores) < s.cfg.LSQSize {
 		s.stores = append(s.stores, rec)
-		return
+	} else {
+		old := s.stores[s.storeHead]
+		s.tags[tagIdx(old.addr)]--
+		if s.amax != nil && s.amaxLen > 0 && s.amax[s.amaxHead].seq == old.seq {
+			s.amaxHead = (s.amaxHead + 1) % len(s.amax)
+			s.amaxLen--
+		}
+		s.stores[s.storeHead] = rec
+		s.storeHead++
+		if s.storeHead == s.cfg.LSQSize {
+			s.storeHead = 0
+		}
 	}
-	s.stores[s.storeHead] = rec
-	s.storeHead = (s.storeHead + 1) % s.cfg.LSQSize
+	if s.amax != nil {
+		s.amax[(s.amaxHead+s.amaxLen)%len(s.amax)] = amaxEntry{seq: rec.seq, addrReady: rec.addrReady}
+		s.amaxLen++
+	}
 }
 
-// step processes one dynamic instruction: functional execution via the
-// oracle, then timing.
-func (s *Sim) step() error {
-	pc := s.arch.PC
-	in, ok := s.arch.Prog.InstAt(pc)
-	if !ok {
-		return fmt.Errorf("pipeline: PC 0x%08x outside text", pc)
-	}
+// step processes the current committed instruction (s.st) through the
+// dataflow timing model.
+func (s *Sim) step() {
+	pc := s.st.PC
+	d := &s.dec[pc>>2]
 
 	// --- Front end ---
 	fetch := s.fetchSlot(pc)
 	decode := fetch + uint64(s.cfg.FrontEndDepth)
 	entry := s.windowEntry(decode)
 
-	// --- Functional execution (oracle) ---
-	s.sawLoad, s.sawStore = false, false
-	prevPC := pc
-	if err := s.arch.Step(); err != nil {
-		return err
-	}
-	nextPC := s.arch.PC
-	_ = prevPC
+	nextPC := s.st.NextPC
 
 	// --- Timing by class ---
-	opReady, opVerify := s.opTimes(in)
+	opReady, opVerify := s.opTimes(d)
 	var done, verify uint64
 
-	switch {
-	case in.IsLoad():
-		done, verify = s.timeLoad(in, entry, opReady, decode)
-	case in.IsStore():
-		s.timeStore(in, entry, decode)
+	switch d.kind {
+	case kLoad:
+		done, verify = s.timeLoad(entry, opReady, decode)
+		s.setDest(d.dest, done, verify)
+	case kStore:
+		s.timeStore(s.st.Inst, entry, decode)
 		done, verify = entry, opVerify // stores retire via the write buffer
-	case in.IsBranch():
-		done = s.issue.reserve(maxU64(entry, opReady)) + 1
+	case kBranch:
+		done = s.issue.reserve(max(entry, opReady)) + 1
 		// Control with value-speculative inputs cannot resolve until the
 		// inputs verify (Section 5.6.1).
-		resolve := maxU64(done, opVerify)
+		resolve := max(done, opVerify)
 		taken := nextPC != pc+4
 		predTaken := s.bp.PredictDirection(pc)
 		s.bp.UpdateDirection(pc, taken, predTaken)
@@ -641,17 +814,17 @@ func (s *Sim) step() error {
 			s.redirect(resolve)
 		}
 		verify = opVerify
-	case in.IsJump():
-		done = s.issue.reserve(maxU64(entry, opReady)) + 1
-		resolve := maxU64(done, opVerify)
-		switch in.Op {
+	case kJump:
+		done = s.issue.reserve(max(entry, opReady)) + 1
+		resolve := max(done, opVerify)
+		switch s.st.Inst.Op {
 		case isa.OpJal:
 			s.bp.PushReturn(pc + 4)
 		case isa.OpJalr:
 			s.bp.PushReturn(pc + 4)
 			s.jumpIndirect(pc, nextPC, resolve)
 		case isa.OpJr:
-			if in.IsReturn() {
+			if s.st.Inst.IsReturn() {
 				if s.bp.PopReturn() != nextPC {
 					s.res.BranchMispredicts++
 					s.redirect(resolve)
@@ -660,28 +833,22 @@ func (s *Sim) step() error {
 				s.jumpIndirect(pc, nextPC, resolve)
 			}
 		}
-		s.setDest(in, done, opVerify)
+		s.setDest(d.dest, done, opVerify)
 		verify = opVerify
-	case in.Op == isa.OpHalt:
+	case kHalt:
 		done = entry
 		verify = opVerify
-	default: // ALU / FP
-		start := s.issue.reserve(maxU64(entry, opReady))
-		done = start + uint64(in.Op.Class().Latency())
+	default: // kALU (ALU / FP)
+		start := s.issue.reserve(max(entry, opReady))
+		done = start + uint64(d.lat)
 		verify = opVerify
-		s.setDest(in, done, verify)
-	}
-
-	if in.IsBranch() || in.Op == isa.OpHalt {
-		// no destination
-	} else if in.IsLoad() {
-		s.setDest(in, done, verify)
+		s.setDest(d.dest, done, verify)
 	}
 
 	// The fetch unit delivers contiguous instructions: a taken control
 	// transfer ends the fetch group (the front end continues at the
 	// predicted target next cycle).
-	if in.IsControl() && nextPC != pc+4 {
+	if (d.kind == kBranch || d.kind == kJump) && nextPC != pc+4 {
 		if s.nextFetch <= fetch {
 			s.nextFetch = fetch + 1
 			s.fetchCount = 0
@@ -689,7 +856,7 @@ func (s *Sim) step() error {
 	}
 
 	// --- Commit (in order, width-limited) ---
-	ct := maxU64(done+1, s.lastCommit)
+	ct := max(done+1, s.lastCommit)
 	ct = s.commits.reserve(ct)
 	if ct < s.lastCommit {
 		ct = s.lastCommit
@@ -699,18 +866,17 @@ func (s *Sim) step() error {
 		check.Assertf(entry >= decode, "pipeline.time", "window entry %d precedes decode %d", entry, decode)
 		check.Assertf(ct > done, "pipeline.time", "commit %d not after completion %d", ct, done)
 		check.Assertf(ct >= s.lastCommit, "pipeline.time", "commit %d regresses behind %d", ct, s.lastCommit)
-		check.Assertf(ct >= s.commitRing[int(s.seq)%s.cfg.WindowSize], "pipeline.window",
+		check.Assertf(ct >= s.commitRing[s.winIdx], "pipeline.window",
 			"commit %d precedes the slot's previous occupant", ct)
 	}
 	s.lastCommit = ct
-	s.commitRing[int(s.seq)%s.cfg.WindowSize] = ct
-	s.seq++
+	s.commitRing[s.winIdx] = ct
+	s.advanceSeq()
 	s.res.Insts++
 	s.res.TimedInsts++
 	if s.sc && s.scSamp.Tick() {
 		s.checkInvariants()
 	}
-	return nil
 }
 
 // jumpIndirect handles non-return indirect jump prediction.
@@ -724,14 +890,14 @@ func (s *Sim) jumpIndirect(pc, target uint32, resolve uint64) {
 
 // timeLoad computes a load's completion and verification times, handling
 // memory dependence speculation and cloaking.
-func (s *Sim) timeLoad(in isa.Inst, entry, opReady, decode uint64) (done, verify uint64) {
-	ev := s.memEv
+func (s *Sim) timeLoad(entry, opReady, decode uint64) (done, verify uint64) {
+	ev := s.memEvent()
 	entry = s.lsqEntry(entry)
-	addrReady := s.issue.reserve(maxU64(entry, opReady)) + 1 // agen
+	addrReady := s.issue.reserve(max(entry, opReady)) + 1 // agen
 	// One cycle through the load/store scheduler after agen, then a port.
-	port := s.ports.reserve(maxU64(addrReady+1, entry))
+	port := s.ports.reserve(max(addrReady+1, entry))
 
-	conflict, maxStoreAddr := s.priorStoreScan(ev.Addr)
+	conflict := s.latestConflict(ev.Addr)
 
 	memStart := port
 	violation := false
@@ -746,7 +912,7 @@ func (s *Sim) timeLoad(in isa.Inst, entry, opReady, decode uint64) (done, verify
 		}
 		if conflict != nil {
 			if conflict.addrReady <= memStart {
-				t := maxU64(memStart, conflict.dataReady)
+				t := max(memStart, conflict.dataReady)
 				s.res.StoreForwards++
 				done = t + 1
 			} else {
@@ -756,15 +922,15 @@ func (s *Sim) timeLoad(in isa.Inst, entry, opReady, decode uint64) (done, verify
 				detect := conflict.addrReady
 				s.redirect(detect)
 				restart := detect + 1 + uint64(s.cfg.FrontEndDepth)
-				done = maxU64(restart, conflict.dataReady) + 1
+				done = max(restart, conflict.dataReady) + 1
 			}
 		}
 	case NoSpec:
 		// Wait for every earlier store address.
-		memStart = maxU64(memStart, maxStoreAddr)
+		memStart = max(memStart, s.maxStoreAddrReady())
 		if conflict != nil {
 			// Forward once data is ready.
-			t := maxU64(memStart, conflict.dataReady)
+			t := max(memStart, conflict.dataReady)
 			s.res.StoreForwards++
 			done = t + 1
 		}
@@ -772,7 +938,7 @@ func (s *Sim) timeLoad(in isa.Inst, entry, opReady, decode uint64) (done, verify
 		if conflict != nil {
 			if conflict.addrReady <= memStart {
 				// Known conflict: wait and forward (rule 2).
-				t := maxU64(memStart, conflict.dataReady)
+				t := max(memStart, conflict.dataReady)
 				s.res.StoreForwards++
 				done = t + 1
 			} else {
@@ -785,7 +951,7 @@ func (s *Sim) timeLoad(in isa.Inst, entry, opReady, decode uint64) (done, verify
 				// Re-executed load: re-fetch through the front end, then
 				// forward from the store.
 				restart := detect + 1 + uint64(s.cfg.FrontEndDepth)
-				done = maxU64(restart, conflict.dataReady) + 1
+				done = max(restart, conflict.dataReady) + 1
 			}
 		}
 	}
@@ -798,7 +964,7 @@ func (s *Sim) timeLoad(in isa.Inst, entry, opReady, decode uint64) (done, verify
 	// --- Cloaking: predicted consumer loads obtain a speculative value
 	// at decode; verification happens when the memory access completes.
 	if s.engine != nil && !violation {
-		done = s.cloakLoad(in, ev, decode, done)
+		done = s.cloakLoad(ev, decode, done)
 	} else if s.engine != nil {
 		// Keep the engine's tables in sync even on violations.
 		s.engineLoad(ev, done)
@@ -809,22 +975,23 @@ func (s *Sim) timeLoad(in isa.Inst, entry, opReady, decode uint64) (done, verify
 
 // cloakLoad consults the cloaking engine for a load and returns the
 // load's effective result-availability time.
-func (s *Sim) cloakLoad(in isa.Inst, ev funcsim.MemEvent, decode, memDone uint64) uint64 {
+func (s *Sim) cloakLoad(ev funcsim.MemEvent, decode, memDone uint64) uint64 {
 	// Capture the prediction and the SF timing before the engine mutates
 	// its state for this access.
 	var specReady uint64
 	var predicted bool
-	if pred, ok := s.engine.DPNT().Lookup(ev.PC); ok && pred.Consumer {
+	pred, havePred := s.engine.DPNT().Lookup(ev.PC)
+	if havePred && pred.Consumer {
 		if t, ok2 := s.srt.Lookup(pred.Synonym); ok2 {
 			predicted = true
-			specReady = maxU64(decode+1, t)
+			specReady = max(decode+1, t)
 			if s.cfg.Bypassing {
 				// Consumers link directly to the producer (Section 3.2).
-				specReady = maxU64(decode, t)
+				specReady = max(decode, t)
 			}
 		}
 	}
-	out := s.engineLoad(ev, memDone)
+	out := s.engineLoadWith(ev, memDone, pred, havePred)
 	if !predicted || !out.Used {
 		return memDone
 	}
@@ -862,17 +1029,19 @@ func (s *Sim) cloakLoad(in isa.Inst, ev funcsim.MemEvent, decode, memDone uint64
 // engineLoad feeds a committed load to the cloak engine and updates the
 // synonym timing table for producer loads.
 func (s *Sim) engineLoad(ev funcsim.MemEvent, valueTime uint64) cloak.LoadOutcome {
-	var syn uint32
-	var isProd bool
-	if pred, ok := s.engine.DPNT().Lookup(ev.PC); ok && pred.Producer {
-		syn, isProd = pred.Synonym, true
-	}
-	out := s.engine.Load(ev.PC, ev.Addr, ev.Value)
-	if isProd {
+	pred, havePred := s.engine.DPNT().Lookup(ev.PC)
+	return s.engineLoadWith(ev, valueTime, pred, havePred)
+}
+
+// engineLoadWith is engineLoad with the DPNT prediction already probed
+// by the caller, so each committed load costs one table lookup.
+func (s *Sim) engineLoadWith(ev funcsim.MemEvent, valueTime uint64, pred cloak.Prediction, havePred bool) cloak.LoadOutcome {
+	out := s.engine.LoadWith(ev.PC, ev.Addr, ev.Value, pred, havePred)
+	if havePred && pred.Producer {
 		// The producing load deposits its value when its memory access
 		// completes ("the value has to be fetched from memory by the
 		// first load", Section 3.1).
-		s.srt.Install(syn, valueTime, s.seq)
+		s.srt.Install(pred.Synonym, valueTime, s.seq)
 	}
 	return out
 }
@@ -880,7 +1049,7 @@ func (s *Sim) engineLoad(ev funcsim.MemEvent, valueTime uint64) cloak.LoadOutcom
 // timeStore computes a store's scheduling and records it for dependence
 // checks; stores complete into the write buffer at commit.
 func (s *Sim) timeStore(in isa.Inst, entry, decode uint64) {
-	ev := s.memEv
+	ev := s.memEvent()
 	entry = s.lsqEntry(entry)
 	// Address generation needs the base register; data needs Rt. Stores
 	// post address and data independently (rules 3 and 4).
@@ -892,15 +1061,15 @@ func (s *Sim) timeStore(in isa.Inst, entry, decode uint64) {
 	if in.Rt == isa.R0 {
 		dataReady = 0
 	}
-	addrReady := s.issue.reserve(maxU64(entry, baseReady)) + 1
-	port := s.ports.reserve(maxU64(addrReady+1, entry))
+	addrReady := s.issue.reserve(max(entry, baseReady)) + 1
+	port := s.ports.reserve(max(addrReady+1, entry))
 	_ = s.mem.StoreLatency(ev.Addr, port)
 
 	rec := storeRec{
 		pc:        ev.PC,
 		addr:      ev.Addr,
 		addrReady: port,
-		dataReady: maxU64(dataReady, port),
+		dataReady: max(dataReady, port),
 		seq:       s.seq,
 	}
 	s.recordStore(rec)
@@ -911,22 +1080,16 @@ func (s *Sim) timeStore(in isa.Inst, entry, decode uint64) {
 
 	if s.engine != nil {
 		// Producer stores deposit their value once the data is known.
-		if pred, ok := s.engine.DPNT().Lookup(ev.PC); ok && pred.Producer {
-			s.srt.Install(pred.Synonym, maxU64(decode+1, dataReady), s.seq)
+		pred, ok := s.engine.DPNT().Lookup(ev.PC)
+		if ok && pred.Producer {
+			s.srt.Install(pred.Synonym, max(decode+1, dataReady), s.seq)
 		}
-		s.engine.Store(ev.PC, ev.Addr, ev.Value)
+		s.engine.StoreWith(ev.PC, ev.Addr, ev.Value, pred, ok)
 	}
 }
 
 // Engine exposes the cloaking engine (nil for base runs).
 func (s *Sim) Engine() *cloak.Engine { return s.engine }
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
 
 // RunProgram is a convenience wrapper: simulate prog under cfg.
 func RunProgram(prog *isa.Program, cfg Config) (Result, error) {

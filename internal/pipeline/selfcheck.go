@@ -65,8 +65,36 @@ func (s *Sim) checkInvariants() {
 				st.pc, st.seq, s.seq)
 		}
 	}
-	if s.srt != nil {
-		s.srt.CheckInvariants(s.seq)
+	if int(s.seq)%s.cfg.WindowSize != s.winIdx {
+		check.Failf("pipeline.window", "maintained window index %d != seq %d mod %d",
+			s.winIdx, s.seq, s.cfg.WindowSize)
 	}
-	s.arch.Counts.CheckInvariants()
+	if int(s.memOps)%s.cfg.LSQSize != s.lsqIdx {
+		check.Failf("pipeline.lsq", "maintained LSQ index %d != memOps %d mod %d",
+			s.lsqIdx, s.memOps, s.cfg.LSQSize)
+	}
+	s.checkStoreFilter()
+	s.feed.Counts().CheckInvariants()
+}
+
+// checkStoreFilter recomputes the store-address filter and (under
+// NoSpec) the sliding-window max from the ring and compares them with
+// the incrementally maintained versions.
+func (s *Sim) checkStoreFilter() {
+	var tags [numTags]uint16
+	var want uint64
+	for i := range s.stores {
+		tags[tagIdx(s.stores[i].addr)]++
+		if s.stores[i].addrReady > want {
+			want = s.stores[i].addrReady
+		}
+	}
+	if tags != s.tags {
+		check.Failf("pipeline.lsq", "store-address filter out of sync with the ring")
+	}
+	if s.amax != nil {
+		if got := s.maxStoreAddrReady(); got != want {
+			check.Failf("pipeline.lsq", "window max addrReady %d, ring says %d", got, want)
+		}
+	}
 }

@@ -12,11 +12,20 @@ import (
 // Key identifies one recorded stream: a workload name, its size
 // parameter, and the instruction budget the recording ran under. Any of
 // those changing changes the committed reference stream, so all three
-// are part of the identity.
+// are part of the identity. Timing distinguishes the two recording
+// shapes sharing the cache: false keys a memory-event Stream, true an
+// instruction-level IStream (the timing experiments' replay source).
 type Key struct {
 	Workload string
 	Size     int
 	MaxInsts uint64
+	Timing   bool
+}
+
+// Cached is what the cache stores: any recording that can report its
+// resident size for the byte budget. Stream and IStream satisfy it.
+type Cached interface {
+	Bytes() int64
 }
 
 // Cache is a process-wide, memory-bounded store of recorded streams.
@@ -47,14 +56,14 @@ type Cache struct {
 var testWaiterJoined func()
 
 // cacheEntry is one cached (or in-flight) recording. ready is closed
-// once stream/err are set; elem is non-nil only for completed entries
+// once val/err are set; elem is non-nil only for completed entries
 // resident in the LRU list.
 type cacheEntry struct {
-	key    Key
-	ready  chan struct{}
-	stream *Stream
-	err    error
-	elem   *list.Element
+	key   Key
+	ready chan struct{}
+	val   Cached
+	err   error
+	elem  *list.Element
 }
 
 // DefaultBudget bounds the default shared cache: the full 18-workload
@@ -128,6 +137,40 @@ func (c *Cache) Get(key Key, record func() (*Stream, error)) (*Stream, error) {
 // recording itself is not canceled (it belongs to the goroutine that
 // started it, which carries its own context).
 func (c *Cache) GetContext(ctx context.Context, key Key, record func() (*Stream, error)) (*Stream, error) {
+	v, err := c.getContext(ctx, key, func() (Cached, error) {
+		s, err := record()
+		if s == nil {
+			return nil, err // avoid a typed-nil Cached
+		}
+		return s, err
+	})
+	if v == nil {
+		return nil, err
+	}
+	return v.(*Stream), err
+}
+
+// GetIStreamContext is GetContext for instruction-level timing
+// recordings: same single-flight, budget, and pinning semantics, with
+// the entry keyed (by convention) with Key.Timing set so functional and
+// timing recordings of one workload coexist.
+func (c *Cache) GetIStreamContext(ctx context.Context, key Key, record func() (*IStream, error)) (*IStream, error) {
+	v, err := c.getContext(ctx, key, func() (Cached, error) {
+		s, err := record()
+		if s == nil {
+			return nil, err
+		}
+		return s, err
+	})
+	if v == nil {
+		return nil, err
+	}
+	return v.(*IStream), err
+}
+
+// getContext is the untyped single-flight core shared by the Stream and
+// IStream getters.
+func (c *Cache) getContext(ctx context.Context, key Key, record func() (Cached, error)) (Cached, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		if e.elem != nil {
@@ -140,7 +183,7 @@ func (c *Cache) GetContext(ctx context.Context, key Key, record func() (*Stream,
 		}
 		select {
 		case <-e.ready:
-			return e.stream, e.err
+			return e.val, e.err
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -167,7 +210,7 @@ func (c *Cache) GetContext(ctx context.Context, key Key, record func() (*Stream,
 				delete(c.entries, key)
 			} else {
 				e.elem = c.lru.PushFront(e)
-				c.bytes += e.stream.Bytes()
+				c.bytes += e.val.Bytes()
 				c.evictLocked()
 			}
 		}
@@ -175,9 +218,9 @@ func (c *Cache) GetContext(ctx context.Context, key Key, record func() (*Stream,
 		close(e.ready)
 	}()
 
-	e.stream, e.err = record()
+	e.val, e.err = record()
 	panicked = false
-	return e.stream, e.err
+	return e.val, e.err
 }
 
 // Drop removes a completed entry (a stream the caller found to be
@@ -199,7 +242,7 @@ func (c *Cache) Drop(key Key) {
 	delete(c.entries, key)
 	if e.elem != nil {
 		c.lru.Remove(e.elem)
-		c.bytes -= e.stream.Bytes()
+		c.bytes -= e.val.Bytes()
 		e.elem = nil
 	}
 }
@@ -221,7 +264,7 @@ func (c *Cache) evictLocked() {
 		if c.pins[e.key] == 0 {
 			c.lru.Remove(el)
 			delete(c.entries, e.key)
-			c.bytes -= e.stream.Bytes()
+			c.bytes -= e.val.Bytes()
 			c.evictions++
 		}
 		el = prev

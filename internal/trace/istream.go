@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+
+	"rarpred/internal/funcsim"
+	"rarpred/internal/isa"
+	"rarpred/internal/runerr"
+)
+
+// IStream is the compact in-memory form of a committed *instruction*
+// stream: one entry per committed instruction (predecoded instruction
+// index and next PC), plus one (address, value) record per committed
+// memory operation, consumed in commit order. It is the timing-level
+// sibling of Stream: where Stream carries only the memory reference
+// stream the functional analyzers need, an IStream carries everything
+// the cycle-level pipeline model needs to re-time an execution without
+// re-executing it — the paper's fixed-committed-stream methodology.
+//
+// Like Stream, the layout is chunked struct-of-arrays: no per-event
+// padding, fixed-size growth (no doubling spikes), and exact byte-size
+// accounting so recordings can live in the memory-bounded Cache. An
+// IStream is append-only while recording and immutable afterwards;
+// cursors over it are safe from many goroutines at once.
+type IStream struct {
+	ichunks []*ichunk // one entry per committed instruction
+	mchunks []*mchunk // one entry per committed load or store
+
+	n    uint64 // committed instructions
+	mems uint64 // memory events among them
+
+	// Counts is the full dynamic execution profile of the traced run,
+	// recorded so Validate can cross-check the tallies and so consumers
+	// need only the stream.
+	Counts funcsim.Counts
+
+	// Truncated reports that recording stopped at the instruction budget
+	// rather than at a halt; the stream covers a prefix of the program.
+	Truncated bool
+}
+
+// ichunk holds a fixed-capacity block of per-instruction records.
+type ichunk struct {
+	idx  []uint32 // instruction index (PC/4) — predecoded dispatch
+	next []uint32 // next PC after the instruction committed
+}
+
+// mchunk holds a fixed-capacity block of memory-event records. The
+// owning instruction is implicit: events append in commit order, one
+// per committed load or store.
+type mchunk struct {
+	addrs  []uint32
+	values []uint32
+}
+
+// NewIStream returns an empty instruction stream ready for appends.
+func NewIStream() *IStream { return &IStream{} }
+
+// AppendInst adds one committed instruction: its predecoded index and
+// the PC that followed it.
+func (s *IStream) AppendInst(idx, next uint32) {
+	var c *ichunk
+	if len(s.ichunks) > 0 {
+		c = s.ichunks[len(s.ichunks)-1]
+	}
+	if c == nil || len(c.idx) == chunkEvents {
+		c = &ichunk{
+			idx:  make([]uint32, 0, chunkEvents),
+			next: make([]uint32, 0, chunkEvents),
+		}
+		s.ichunks = append(s.ichunks, c)
+	}
+	c.idx = append(c.idx, idx)
+	c.next = append(c.next, next)
+	s.n++
+}
+
+// AppendMem adds one committed memory access (the word-aligned effective
+// address and the word read or written), owned by the next appended (or
+// just-appended) memory instruction.
+func (s *IStream) AppendMem(addr, value uint32) {
+	var c *mchunk
+	if len(s.mchunks) > 0 {
+		c = s.mchunks[len(s.mchunks)-1]
+	}
+	if c == nil || len(c.addrs) == chunkEvents {
+		c = &mchunk{
+			addrs:  make([]uint32, 0, chunkEvents),
+			values: make([]uint32, 0, chunkEvents),
+		}
+		s.mchunks = append(s.mchunks, c)
+	}
+	c.addrs = append(c.addrs, addr)
+	c.values = append(c.values, value)
+	s.mems++
+}
+
+// Len returns the number of committed instructions recorded.
+func (s *IStream) Len() uint64 { return s.n }
+
+// MemEvents returns the number of memory events recorded.
+func (s *IStream) MemEvents() uint64 { return s.mems }
+
+// istreamEntryBytes is the payload of one per-instruction record (idx +
+// next) and of one memory record (addr + value) alike: two words.
+const istreamEntryBytes = 8
+
+// Bytes returns the allocated size of the stream in bytes: full chunk
+// capacity (allocation, not occupancy) so the cache budget reflects
+// real memory use.
+func (s *IStream) Bytes() int64 {
+	return int64(len(s.ichunks)+len(s.mchunks)) * chunkEvents * istreamEntryBytes
+}
+
+// Validate cross-checks the recorded tallies against the execution
+// profile captured alongside them: every committed instruction appends
+// exactly one instruction record and every committed load or store
+// exactly one memory record, so any mismatch means the stream was
+// mangled after recording (or recorded by a broken path). It returns an
+// error wrapping runerr.ErrTraceCorrupt, which the harness treats as a
+// poisoned cache entry: drop it and re-record before giving up on the
+// workload.
+func (s *IStream) Validate() error {
+	if s.n != s.Counts.Insts || s.mems != s.Counts.Loads+s.Counts.Stores {
+		return fmt.Errorf("%w: %d instruction records (%d memory), but the run committed %d insts (%d loads + %d stores)",
+			runerr.ErrTraceCorrupt, s.n, s.mems, s.Counts.Insts, s.Counts.Loads, s.Counts.Stores)
+	}
+	return nil
+}
+
+// ICursor walks an IStream in commit order. NextInst yields successive
+// instruction records; NextMem yields successive memory records — the
+// caller interleaves them (one NextMem per memory instruction), which is
+// exactly the recorded order. The zero ICursor is not useful; obtain one
+// from Cursor. Each cursor is independent, so concurrent replays of one
+// immutable stream need no synchronisation.
+type ICursor struct {
+	s *IStream
+
+	ci   int // current instruction chunk
+	ii   int // index within it
+	idx  []uint32
+	next []uint32
+
+	mci   int // current memory chunk
+	mi    int
+	maddr []uint32
+	mval  []uint32
+}
+
+// Cursor returns a cursor positioned at the start of the stream.
+func (s *IStream) Cursor() ICursor {
+	c := ICursor{s: s}
+	if len(s.ichunks) > 0 {
+		c.idx, c.next = s.ichunks[0].idx, s.ichunks[0].next
+	}
+	if len(s.mchunks) > 0 {
+		c.maddr, c.mval = s.mchunks[0].addrs, s.mchunks[0].values
+	}
+	return c
+}
+
+// NextInst returns the next instruction record, or ok=false at the end
+// of the stream.
+func (c *ICursor) NextInst() (idx, next uint32, ok bool) {
+	if c.ii < len(c.idx) {
+		idx, next = c.idx[c.ii], c.next[c.ii]
+		c.ii++
+		return idx, next, true
+	}
+	if c.ci+1 >= len(c.s.ichunks) {
+		return 0, 0, false
+	}
+	c.ci++
+	ch := c.s.ichunks[c.ci]
+	c.idx, c.next, c.ii = ch.idx, ch.next, 1
+	if len(ch.idx) == 0 {
+		return 0, 0, false
+	}
+	return ch.idx[0], ch.next[0], true
+}
+
+// NextMem returns the next memory record, or ok=false when the stream
+// holds no further memory events (which a validated stream's consumer
+// never observes before its last memory instruction).
+func (c *ICursor) NextMem() (addr, value uint32, ok bool) {
+	if c.mi < len(c.maddr) {
+		addr, value = c.maddr[c.mi], c.mval[c.mi]
+		c.mi++
+		return addr, value, true
+	}
+	if c.mci+1 >= len(c.s.mchunks) {
+		return 0, 0, false
+	}
+	c.mci++
+	ch := c.s.mchunks[c.mci]
+	c.maddr, c.mval, c.mi = ch.addrs, ch.values, 1
+	if len(ch.addrs) == 0 {
+		return 0, 0, false
+	}
+	return ch.addrs[0], ch.values[0], true
+}
+
+// RecordIStream executes prog functionally (up to maxInsts; 0 = to
+// completion) and returns its committed instruction stream. An exhausted
+// instruction budget is reported through IStream.Truncated, not as an
+// error, matching RecordStream.
+func RecordIStream(prog *isa.Program, maxInsts uint64) (*IStream, error) {
+	return RecordIStreamContext(context.Background(), prog, maxInsts, nil)
+}
+
+// RecordIStreamContext is RecordIStream with cancellation and an
+// optional extra interrupt hook, both polled every
+// funcsim.InterruptEvery committed instructions (the hook is where fault
+// injection reaches the loop). The recording loop walks the predecoded
+// text segment directly, like funcsim.Run, and appends each committed
+// instruction's (index, next-PC) pair after the architectural step
+// commits it; the memory observers fill the parallel event arrays.
+func RecordIStreamContext(ctx context.Context, prog *isa.Program, maxInsts uint64, interrupt func() error) (*IStream, error) {
+	s := NewIStream()
+	sim := funcsim.New(prog)
+	sim.OnLoad = func(e funcsim.MemEvent) { s.AppendMem(e.Addr, e.Value) }
+	sim.OnStore = func(e funcsim.MemEvent) { s.AppendMem(e.Addr, e.Value) }
+	insts := prog.Insts
+	limit := uint32(len(insts)) * 4
+	cancelable := ctx.Done() != nil
+	countdown := 0 // polls on the first iteration, then every InterruptEvery
+	for !sim.Halted {
+		if maxInsts != 0 && sim.Counts.Insts >= maxInsts {
+			s.Truncated = true
+			break
+		}
+		if cancelable || interrupt != nil {
+			if countdown == 0 {
+				countdown = funcsim.InterruptEvery
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("trace: timing recording interrupted after %d insts: %w",
+						sim.Counts.Insts, err)
+				}
+				if interrupt != nil {
+					if err := interrupt(); err != nil {
+						return nil, fmt.Errorf("trace: timing recording interrupted after %d insts: %w",
+							sim.Counts.Insts, err)
+					}
+				}
+			}
+			countdown--
+		}
+		pc := sim.PC
+		if pc >= limit || pc&3 != 0 {
+			return nil, fmt.Errorf("trace: PC 0x%08x outside text segment", pc)
+		}
+		if err := sim.StepIn(insts[pc>>2]); err != nil {
+			return nil, err
+		}
+		s.AppendInst(pc>>2, sim.PC)
+	}
+	s.Counts = sim.Counts
+	return s, nil
+}
+
+// RecordIStreamBaselineContext records the same stream as
+// RecordIStreamContext, but Step-driven over fully paged memory — the
+// independent interpreter configuration the harness falls back to when
+// a cached timing trace fails Validate. Because Step and the fast loop
+// funnel through the same exec core, the recording is bit-identical to
+// RecordIStreamContext's.
+func RecordIStreamBaselineContext(ctx context.Context, prog *isa.Program, maxInsts uint64) (*IStream, error) {
+	s := NewIStream()
+	sim := funcsim.NewPaged(prog)
+	sim.OnLoad = func(e funcsim.MemEvent) { s.AppendMem(e.Addr, e.Value) }
+	sim.OnStore = func(e funcsim.MemEvent) { s.AppendMem(e.Addr, e.Value) }
+	cancelable := ctx.Done() != nil
+	countdown := 0
+	for !sim.Halted {
+		if maxInsts > 0 && sim.Counts.Insts >= maxInsts {
+			s.Truncated = true
+			break
+		}
+		if cancelable {
+			if countdown == 0 {
+				countdown = funcsim.InterruptEvery
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("trace: baseline timing recording interrupted after %d insts: %w",
+						sim.Counts.Insts, err)
+				}
+			}
+			countdown--
+		}
+		pc := sim.PC
+		if err := sim.Step(); err != nil {
+			return nil, err
+		}
+		s.AppendInst(pc>>2, sim.PC)
+	}
+	s.Counts = sim.Counts
+	return s, nil
+}

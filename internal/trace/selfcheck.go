@@ -51,6 +51,52 @@ func (s *Stream) CheckInvariants() {
 	}
 }
 
+// CheckInvariants validates the instruction stream's chunked layout:
+// parallel slices stay in lockstep, every chunk but the last is exactly
+// full (appends only ever grow the tail chunk), and the recorded
+// tallies match the chunk contents. Panics with *check.Violation on the
+// first breach.
+func (s *IStream) CheckInvariants() {
+	var insts uint64
+	for ci, c := range s.ichunks {
+		n := len(c.idx)
+		if len(c.next) != n {
+			check.Failf("istream.chunk", "inst chunk %d: ragged slices (%d idx, %d next)",
+				ci, n, len(c.next))
+		}
+		if n == 0 || n > chunkEvents {
+			check.Failf("istream.chunk", "inst chunk %d holds %d records, want 1..%d", ci, n, chunkEvents)
+		}
+		if ci < len(s.ichunks)-1 && n != chunkEvents {
+			check.Failf("istream.chunk", "interior inst chunk %d holds %d records, want exactly %d",
+				ci, n, chunkEvents)
+		}
+		insts += uint64(n)
+	}
+	var mems uint64
+	for ci, c := range s.mchunks {
+		n := len(c.addrs)
+		if len(c.values) != n {
+			check.Failf("istream.chunk", "mem chunk %d: ragged slices (%d addrs, %d values)",
+				ci, n, len(c.values))
+		}
+		if n == 0 || n > chunkEvents {
+			check.Failf("istream.chunk", "mem chunk %d holds %d records, want 1..%d", ci, n, chunkEvents)
+		}
+		if ci < len(s.mchunks)-1 && n != chunkEvents {
+			check.Failf("istream.chunk", "interior mem chunk %d holds %d records, want exactly %d",
+				ci, n, chunkEvents)
+		}
+		mems += uint64(n)
+	}
+	if insts != s.n {
+		check.Failf("istream.counts", "inst chunks hold %d records, stream says %d", insts, s.n)
+	}
+	if mems != s.mems {
+		check.Failf("istream.counts", "mem chunks hold %d records, stream says %d", mems, s.mems)
+	}
+}
+
 // DiffStreams compares two streams event-by-event (and over their
 // execution profiles) and returns a descriptive error at the first
 // divergence, or nil when they are identical. The harness uses it as the
@@ -109,7 +155,7 @@ func (c *Cache) CheckInvariants() {
 		if e.err != nil {
 			check.Failf("cache.lru", "key %+v: failed recording resident in the LRU: %v", e.key, e.err)
 		}
-		sum += e.stream.Bytes()
+		sum += e.val.Bytes()
 		resident++
 	}
 	if sum != c.bytes {
