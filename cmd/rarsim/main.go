@@ -19,6 +19,8 @@
 //	rarsim -exp all -cpuprofile cpu.pprof   # profile the run
 //	rarsim -exp all -timeout 10m -keepgoing # bounded, best-effort sweep
 //	rarsim -exp all -benchjson BENCH_suite.json  # machine-readable timings
+//	rarsim -exp all -store .rarstore        # persist traces + run journal
+//	rarsim -exp all -store .rarstore -resume  # continue an interrupted sweep
 //
 // Multi-experiment sweeps run on a suite-level scheduler: every
 // (experiment × workload) cell from every requested experiment feeds
@@ -27,12 +29,20 @@
 // print in paper order as they complete — the output is byte-identical
 // to the sequential per-experiment path, which -seq restores.
 //
-// The run is cancellable: Ctrl-C (SIGINT) and -timeout both stop the
-// simulators at the next poll point. A workload exceeding
+// The run is cancellable: Ctrl-C (SIGINT), SIGTERM, and -timeout all
+// stop the simulators at the next poll point. A workload exceeding
 // -workload-timeout fails alone — the experiment renders its remaining
 // rows and annotates the loss. With -keepgoing an experiment that fails
 // outright is reported and the sweep continues; either way rarsim exits
 // non-zero if anything failed.
+//
+// -store makes the run crash-safe: trace recordings persist as
+// checksummed artifacts (a durable second tier behind the in-memory
+// cache, shared across runs and processes), and multi-experiment sweeps
+// journal each completed (experiment × workload) cell durably.
+// After an interruption — SIGKILL included — rerunning with -resume
+// replays the journaled cells' rows and simulates only the remainder,
+// producing byte-identical aggregate output.
 package main
 
 import (
@@ -48,11 +58,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"rarpred/internal/cloak"
 	"rarpred/internal/experiments"
 	"rarpred/internal/pipeline"
+	"rarpred/internal/store"
 	"rarpred/internal/workload"
 )
 
@@ -82,6 +94,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout    = fs.Duration("timeout", 0, "deadline for the whole run (0 = none)")
 		wtimeout   = fs.Duration("workload-timeout", 0, "deadline per workload simulation (0 = none)")
 		keepgoing  = fs.Bool("keepgoing", false, "on experiment failure, report it and continue with the rest")
+		storeDir   = fs.String("store", "", "directory for durable artifacts: persisted trace recordings and the suite run journal")
+		resume     = fs.Bool("resume", false, "with -store: replay cells the journal recorded as complete and simulate only the remainder")
 		selfcheck  = fs.Bool("check", false, "arm the differential oracles and invariant sweeps: cloak/pipeline self-checks, replay-vs-live stream verification, and (unless -seq) a sequential shadow run compared against the scheduler's output")
 	)
 	fs.IntVar(parallel, "parallelism", 0, "alias of -p")
@@ -104,6 +118,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *exp == "":
 		fmt.Fprintln(stderr, "rarsim: -exp required (try -list)")
 		return 2
+	case *resume && *storeDir == "":
+		fmt.Fprintln(stderr, "rarsim: -resume requires -store")
+		return 2
+	case *resume && *seq:
+		fmt.Fprintln(stderr, "rarsim: -resume needs the suite scheduler (drop -seq)")
+		return 2
 	}
 
 	if *traceMB > 0 {
@@ -124,7 +144,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer pprof.StopCPUProfile()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (the polite kill a scheduler or container runtime sends)
+	// drains exactly like Ctrl-C: simulators stop at the next poll point
+	// and everything journaled so far stays journaled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -174,8 +197,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The durable artifact store plugs in as the trace cache's second
+	// tier, and (on scheduler sweeps) opens the run journal that makes
+	// the sweep resumable. The tier is detached on the way out because
+	// the cache is process-wide and in-process callers (tests) must not
+	// inherit a closed run's store.
+	var artifacts *store.Store
+	if *storeDir != "" {
+		// The fault-injecting FS wrapper costs one atomic load per
+		// operation when nothing is armed, so the CLI always routes
+		// through it: disk-fault drills then exercise the exact
+		// production store path, not a test-only double.
+		st, err := store.Open(*storeDir, store.WithFS(store.NewFaultFS(store.OS{}, nil)))
+		if err != nil {
+			fmt.Fprintf(stderr, "rarsim: -store: %v\n", err)
+			return 1
+		}
+		artifacts = st
+		experiments.TraceCache().SetTier(st)
+		defer experiments.TraceCache().SetTier(nil)
+		if !*seq {
+			// The journal is bound to the run configuration: resuming
+			// under different experiments, workloads, or modes would
+			// splice rows that mean something else into the report.
+			fingerprint := fmt.Sprintf("v1 exp=%s size=%d bench=%s live=%t check=%t",
+				expIDs(todo), *size, *bench, *live, *selfcheck)
+			jnl, err := st.OpenJournal(fingerprint, *resume)
+			if err != nil {
+				fmt.Fprintf(stderr, "rarsim: -store: %v\n", err)
+				return 1
+			}
+			defer jnl.Close()
+			opt.Journal = jnl
+			if *resume && jnl.Resumed() > 0 {
+				fmt.Fprintf(stderr, "rarsim: resuming: %d cell(s) journaled by a previous run\n", jnl.Resumed())
+			}
+		}
+	}
+
 	var failed []string
 	breport := newBenchReport(*parallel)
+	breport.store = artifacts
 
 	// Under -check, the scheduler's rendered output is captured so a
 	// sequential shadow run can be compared against it afterwards.
@@ -256,7 +318,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	return finish(stderr, *traceStats, *memprofile, failed)
+	return finish(stderr, *traceStats, *memprofile, artifacts, failed)
+}
+
+// expIDs renders the sweep's experiment list for the journal
+// fingerprint.
+func expIDs(todo []experiments.Experiment) string {
+	ids := make([]string, len(todo))
+	for i, e := range todo {
+		ids[i] = e.ID
+	}
+	return strings.Join(ids, ",")
 }
 
 // timingLine matches the per-experiment elapsed-time footer, the only
@@ -302,8 +374,10 @@ func shadowCompare(opt experiments.Options, todo []experiments.Experiment, sched
 
 // benchSchemaVersion identifies the -benchjson layout so downstream
 // tooling can reject payloads it does not understand. Version 1 had no
-// schema_version/timestamp/parallelism fields; version 2 added them.
-const benchSchemaVersion = 2
+// schema_version/timestamp/parallelism fields; version 2 added them;
+// version 3 added the optional artifact-store section (disk tier and
+// resume statistics) and the per-cell resumed flag.
+const benchSchemaVersion = 3
 
 // benchReport is the -benchjson payload: machine-readable timings for
 // the whole sweep.
@@ -318,6 +392,12 @@ type benchReport struct {
 	Experiments []benchExp      `json:"experiments"`
 	Scheduler   *benchScheduler `json:"scheduler,omitempty"`
 	TraceCache  benchCache      `json:"trace_cache"`
+	// Store reports the durable artifact tier; present only when the run
+	// used -store.
+	Store *benchStore `json:"store,omitempty"`
+
+	store        *store.Store // nil without -store
+	resumedCells int
 }
 
 type benchExp struct {
@@ -332,6 +412,7 @@ type benchCell struct {
 	Workload string  `json:"workload"`
 	Seconds  float64 `json:"seconds"`
 	Failed   bool    `json:"failed,omitempty"`
+	Resumed  bool    `json:"resumed,omitempty"`
 }
 
 type benchScheduler struct {
@@ -342,6 +423,19 @@ type benchScheduler struct {
 	// Utilization is busy / (wall × workers): 1.0 means every worker
 	// executed cells for the whole run.
 	Utilization float64 `json:"utilization"`
+}
+
+type benchStore struct {
+	DiskHits     uint64 `json:"disk_hits"`
+	DiskMisses   uint64 `json:"disk_misses"`
+	BytesRead    uint64 `json:"bytes_read"`
+	BytesWritten uint64 `json:"bytes_written"`
+	Quarantines  uint64 `json:"quarantines"`
+	Retries      uint64 `json:"retries"`
+	SaveErrors   uint64 `json:"save_errors"`
+	// ResumedCells counts cells replayed from the run journal instead of
+	// simulated.
+	ResumedCells int `json:"resumed_cells"`
 }
 
 type benchCache struct {
@@ -376,7 +470,10 @@ func (b *benchReport) add(item experiments.SuiteItem) {
 		if c.Workload == "" {
 			continue
 		}
-		e.Cells = append(e.Cells, benchCell{Workload: c.Workload, Seconds: c.Elapsed.Seconds(), Failed: c.Failed})
+		if c.Resumed {
+			b.resumedCells++
+		}
+		e.Cells = append(e.Cells, benchCell{Workload: c.Workload, Seconds: c.Elapsed.Seconds(), Failed: c.Failed, Resumed: c.Resumed})
 	}
 	b.Experiments = append(b.Experiments, e)
 }
@@ -393,6 +490,19 @@ func (b *benchReport) write(path string) error {
 		MiB:       float64(st.Bytes) / (1 << 20),
 		BudgetMiB: float64(st.Budget) / (1 << 20),
 	}
+	if b.store != nil {
+		ss := b.store.Stats()
+		b.Store = &benchStore{
+			DiskHits:     ss.DiskHits,
+			DiskMisses:   ss.DiskMisses,
+			BytesRead:    ss.BytesRead,
+			BytesWritten: ss.BytesWritten,
+			Quarantines:  ss.Quarantines,
+			Retries:      ss.Retries,
+			SaveErrors:   ss.SaveErrors,
+			ResumedCells: b.resumedCells,
+		}
+	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
@@ -402,13 +512,21 @@ func (b *benchReport) write(path string) error {
 
 // finish emits end-of-run diagnostics and converts the failure list into
 // the process exit code.
-func finish(stderr io.Writer, traceStats bool, memprofile string, failed []string) int {
+func finish(stderr io.Writer, traceStats bool, memprofile string, artifacts *store.Store, failed []string) int {
 	if traceStats {
 		st := experiments.TraceCache().Stats()
 		fmt.Fprintf(stderr,
 			"trace cache: %d hits, %d misses, %d evictions, %d streams resident (%.1f of %.0f MiB)\n",
 			st.Hits, st.Misses, st.Evictions, st.Entries,
 			float64(st.Bytes)/(1<<20), float64(st.Budget)/(1<<20))
+		if artifacts != nil {
+			ss := artifacts.Stats()
+			fmt.Fprintf(stderr,
+				"artifact store: %d disk hits, %d misses, %.1f MiB read, %.1f MiB written, %d quarantined, %d retries, %d save errors\n",
+				ss.DiskHits, ss.DiskMisses,
+				float64(ss.BytesRead)/(1<<20), float64(ss.BytesWritten)/(1<<20),
+				ss.Quarantines, ss.Retries, ss.SaveErrors)
+		}
 	}
 
 	if memprofile != "" {

@@ -7,7 +7,9 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"runtime"
@@ -60,6 +62,15 @@ type Options struct {
 	// collected as a runerr.ErrDeadline failure while the rest of the
 	// suite completes (0 = no per-workload bound).
 	WorkloadTimeout time.Duration
+
+	// Journal, when non-nil, makes the suite run resumable: RunSuite
+	// consults it before scheduling each (experiment × workload) cell —
+	// a journaled cell's row is decoded and delivered without
+	// re-simulation — and records each successfully completed cell's
+	// encoded row as it retires. The implementation lives in
+	// internal/store; this seam keeps experiments free of the
+	// persistence layer.
+	Journal SuiteJournal
 
 	// Check arms the run's differential oracle: the first time each
 	// cached reference stream is served, it is re-recorded live on the
@@ -243,6 +254,31 @@ type CellRunner interface {
 	Assemble(opt Options, ws []workload.Workload, rows []any, fails []*runerr.WorkloadError) (Result, error)
 }
 
+// SuiteJournal is the resume seam between the suite scheduler and the
+// durable run journal. Lookup returns the encoded row a previous run
+// journaled for one cell; Record durably appends a cell that just
+// completed. Both must be safe for concurrent use. Only successful
+// cells are journaled — failures re-run on resume, because a failure
+// may have been environmental (deadline, fault) and deserves a fresh
+// attempt.
+type SuiteJournal interface {
+	Lookup(exp, workload string) ([]byte, bool)
+	Record(exp, workload string, row []byte) error
+}
+
+// RowCodec is implemented by cell runners whose rows can round-trip
+// through the suite run journal. The typed cellRunner implements it
+// with gob over the concrete row type, so every experiment built from
+// cells/tracedCells/timingCells journals for free; a runner without the
+// interface simply is not journaled (its cells re-run on resume).
+type RowCodec interface {
+	// EncodeRow serializes one cell's row (as returned by Cell).
+	EncodeRow(row any) ([]byte, error)
+	// DecodeRow reverses EncodeRow into the concrete row type Assemble
+	// expects.
+	DecodeRow(data []byte) (any, error)
+}
+
 // StreamKeyer is implemented by cell runners whose cells consume the
 // recorded reference stream. The suite scheduler uses it to draw the
 // dependency edge from each pending cell to its workload's stream,
@@ -271,6 +307,31 @@ func (r cellRunner[T]) Assemble(opt Options, ws []workload.Workload, rows []any,
 		typed[i] = row.(T)
 	}
 	return r.assemble(opt, ws, typed, fails)
+}
+
+// EncodeRow implements RowCodec: gob over the concrete row type. Row
+// types are plain structs of exported fields (plus an embedded
+// workload.Workload, whose unexported build function gob skips and the
+// workload registry rehydrates), so gob needs no registration.
+func (r cellRunner[T]) EncodeRow(row any) ([]byte, error) {
+	t, ok := row.(T)
+	if !ok {
+		return nil, fmt.Errorf("journal: row is %T, want %T", row, *new(T))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&t); err != nil {
+		return nil, fmt.Errorf("journal: encoding row: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRow implements RowCodec.
+func (r cellRunner[T]) DecodeRow(data []byte) (any, error) {
+	var t T
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&t); err != nil {
+		return nil, fmt.Errorf("journal: decoding row: %w", err)
+	}
+	return t, nil
 }
 
 // cells builds a CellRunner from a typed per-workload function and

@@ -37,6 +37,10 @@ type CellStat struct {
 	Workload string
 	Elapsed  time.Duration
 	Failed   bool
+	// Resumed reports the cell was replayed from the suite run journal
+	// (Options.Journal) instead of simulated: a previous interrupted run
+	// completed it and journaled its row.
+	Resumed bool
 }
 
 // SuiteStats summarises a RunSuite call for benchmarking: utilization is
@@ -99,6 +103,14 @@ func runWhole(opt Options, e Experiment) (res Result, err error) {
 // started are delivered with NotRun set; experiments caught mid-flight
 // get the context error as a hard failure, exactly like their
 // standalone Run would.
+//
+// With Options.Journal set the suite is resumable: cells a previous run
+// journaled are prefilled from their decoded rows (CellStat.Resumed)
+// and never scheduled — no simulation, no stream pin — and each cell
+// that completes successfully in this run is journaled as it retires.
+// Because delivery order, row order, and assembly are unchanged, a
+// resumed run's aggregate output is byte-identical to an uninterrupted
+// one.
 func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) SuiteStats {
 	begin := time.Now()
 	runCtx := opt.ctx()
@@ -112,6 +124,7 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 	states := make([]*suiteExp, len(exps))
 	type job struct{ ei, wi int }
 	var jobs []job
+	var fullyResumed []int // experiments with every cell journaled
 	for ei, e := range exps {
 		st := &suiteExp{exp: e}
 		if e.Cells == nil {
@@ -125,19 +138,49 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 			st.rows = make([]any, len(ws))
 			st.errs = make([]error, len(ws))
 			st.stats = make([]CellStat, len(ws))
-			st.pending.Store(int32(len(ws)))
-			for wi := range ws {
-				jobs = append(jobs, job{ei, wi})
+			// Prefill cells the journal already holds: the decoded row
+			// lands exactly where the worker would have put it, so
+			// assembly cannot tell a resumed cell from a fresh one. An
+			// undecodable journal row (foreign build's gob layout, say)
+			// just re-runs the cell — resume is an optimisation, never a
+			// correctness risk.
+			resumed := make([]bool, len(ws))
+			if codec, ok := e.Cells.(RowCodec); ok && opt.Journal != nil {
+				for wi, w := range ws {
+					enc, hit := opt.Journal.Lookup(e.ID, w.Name)
+					if !hit {
+						continue
+					}
+					row, derr := codec.DecodeRow(enc)
+					if derr != nil {
+						continue
+					}
+					resumed[wi] = true
+					st.rows[wi] = row
+					st.stats[wi] = CellStat{Workload: w.Name, Resumed: true}
+				}
 			}
-			// Pin every stream this experiment's cells will consume, so
-			// the cache cannot evict a hot stream between now and the
-			// pool reaching those cells.
-			if sk, ok := e.Cells.(StreamKeyer); ok {
-				for _, w := range ws {
+			remaining := 0
+			for wi, w := range ws {
+				if resumed[wi] {
+					continue
+				}
+				remaining++
+				jobs = append(jobs, job{ei, wi})
+				// Pin the stream this cell will consume, so the cache
+				// cannot evict a hot stream between now and the pool
+				// reaching the cell. Resumed cells never touch their
+				// stream, so they take no pin.
+				if sk, ok := e.Cells.(StreamKeyer); ok {
 					if key, need := sk.StreamKey(opt, w); need {
 						traceCache.Retain(key)
 					}
 				}
+			}
+			st.pending.Store(int32(remaining))
+			if remaining == 0 {
+				st.startOnce.Do(func() { st.start = time.Now() })
+				fullyResumed = append(fullyResumed, ei)
 			}
 		}
 		states[ei] = st
@@ -193,6 +236,13 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 		complete(ei, item)
 	}
 
+	// Experiments the journal completed outright assemble before the pool
+	// starts: their rows are all present, and in-order delivery buffers
+	// them behind any still-running predecessors as usual.
+	for _, ei := range fullyResumed {
+		assemble(ei)
+	}
+
 	queue := make(chan job, len(jobs))
 	for _, j := range jobs {
 		queue <- j
@@ -224,6 +274,16 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 					if err = ctx.Err(); err == nil {
 						st.started.Store(true)
 						row, err = runCell(ctx, opt, st.exp.Cells, w)
+						if err == nil && opt.Journal != nil {
+							// Journal the finished cell durably, best
+							// effort: a failed append costs only this
+							// cell's resumability, never the run.
+							if codec, ok := st.exp.Cells.(RowCodec); ok {
+								if enc, eerr := codec.EncodeRow(row); eerr == nil {
+									_ = opt.Journal.Record(st.exp.ID, w.Name, enc)
+								}
+							}
+						}
 					}
 					if sk, ok := st.exp.Cells.(StreamKeyer); ok {
 						if key, need := sk.StreamKey(opt, w); need {

@@ -36,6 +36,19 @@ var (
 	// ErrTraceCorrupt: a recorded stream failed its integrity check
 	// (event counts inconsistent with the execution profile).
 	ErrTraceCorrupt = errors.New("trace stream corrupt")
+
+	// ErrStoreCorrupt: a durable artifact (on-disk trace or journal
+	// record) failed its integrity check — bad magic, unsupported
+	// version, a chunk checksum mismatch, or tallies inconsistent with
+	// the header. The store quarantines the file and the harness falls
+	// back to live re-recording; the bad bytes are never served.
+	ErrStoreCorrupt = errors.New("stored artifact corrupt")
+
+	// ErrDiskFault: a filesystem operation against the artifact store
+	// failed (write error, rename failure, out of space) and stayed
+	// failed through the bounded retry. Persistence is lost for that
+	// artifact; the in-memory run continues.
+	ErrDiskFault = errors.New("artifact store I/O failed")
 )
 
 // WorkloadError is a failure attributed to one workload of one

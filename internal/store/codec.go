@@ -1,0 +1,428 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"rarpred/internal/check"
+	"rarpred/internal/funcsim"
+	"rarpred/internal/runerr"
+	"rarpred/internal/trace"
+)
+
+// On-disk artifact layout (version 1, little endian throughout):
+//
+//	header (84 bytes):
+//	  0  magic "RARA"
+//	  4  version   u16
+//	  6  kind      u8   (1 = Stream, 2 = IStream)
+//	  7  flags     u8   (bit 0 = truncated recording)
+//	  8  Counts    6×u64 (insts, loads, stores, branches, taken, calls)
+//	  56 n         u64  (events for a Stream; instructions for an IStream)
+//	  64 aux       u64  (loads for a Stream; memory events for an IStream)
+//	  72 chunks    u32  (primary chunk count)
+//	  76 auxChunks u32  (0 for a Stream; memory chunks for an IStream)
+//	  80 crc32c    u32  over bytes [0, 80)
+//
+//	then each chunk: u32 payload length | payload | u32 crc32c(payload).
+//	A Stream chunk's payload is count, kinds[count], then the pc/addr/
+//	value planes; an IStream's primary chunks carry (idx, next) planes
+//	and its aux chunks (addr, value) planes.
+//
+// Every structural surprise — short file, bad magic, unknown version,
+// wrong kind for the requested key, checksum mismatch, or decoded
+// tallies that disagree with the header — is reported as a typed
+// runerr.ErrStoreCorrupt so the caller quarantines the file instead of
+// trusting any part of it.
+
+var artifactMagic = [4]byte{'R', 'A', 'R', 'A'}
+
+const (
+	codecVersion = 1
+
+	kindStream  = 1
+	kindIStream = 2
+
+	flagTruncated = 1
+
+	headerBytes = 84
+
+	// codecChunk is the entry span of one checksummed chunk. It matches
+	// the in-memory chunk size, so encoding a Stream walks each resident
+	// chunk exactly once.
+	codecChunk = 1 << 16
+)
+
+// castagnoli is the CRC32C table (the checksum used by filesystems and
+// storage formats for exactly this torn-write detection job).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// corruptf builds the typed corruption error every decode failure
+// funnels through.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{runerr.ErrStoreCorrupt}, args...)...)
+}
+
+// header is the decoded fixed-size artifact prefix.
+type header struct {
+	kind      uint8
+	truncated bool
+	counts    funcsim.Counts
+	n, aux    uint64
+	chunks    uint32
+	auxChunks uint32
+}
+
+func putHeader(buf []byte, h header) {
+	copy(buf, artifactMagic[:])
+	binary.LittleEndian.PutUint16(buf[4:], codecVersion)
+	buf[6] = h.kind
+	if h.truncated {
+		buf[7] = flagTruncated
+	}
+	binary.LittleEndian.PutUint64(buf[8:], h.counts.Insts)
+	binary.LittleEndian.PutUint64(buf[16:], h.counts.Loads)
+	binary.LittleEndian.PutUint64(buf[24:], h.counts.Stores)
+	binary.LittleEndian.PutUint64(buf[32:], h.counts.Branches)
+	binary.LittleEndian.PutUint64(buf[40:], h.counts.Taken)
+	binary.LittleEndian.PutUint64(buf[48:], h.counts.Calls)
+	binary.LittleEndian.PutUint64(buf[56:], h.n)
+	binary.LittleEndian.PutUint64(buf[64:], h.aux)
+	binary.LittleEndian.PutUint32(buf[72:], h.chunks)
+	binary.LittleEndian.PutUint32(buf[76:], h.auxChunks)
+	binary.LittleEndian.PutUint32(buf[80:], crc32.Checksum(buf[:80], castagnoli))
+}
+
+func parseHeader(data []byte) (header, error) {
+	var h header
+	if len(data) < headerBytes {
+		return h, corruptf("artifact shorter than its header: %d bytes", len(data))
+	}
+	if [4]byte(data[:4]) != artifactMagic {
+		return h, corruptf("bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != codecVersion {
+		return h, corruptf("unsupported format version %d (want %d)", v, codecVersion)
+	}
+	if got, want := binary.LittleEndian.Uint32(data[80:]), crc32.Checksum(data[:80], castagnoli); got != want {
+		return h, corruptf("header checksum mismatch: %08x != %08x", got, want)
+	}
+	h.kind = data[6]
+	h.truncated = data[7]&flagTruncated != 0
+	h.counts = funcsim.Counts{
+		Insts:    binary.LittleEndian.Uint64(data[8:]),
+		Loads:    binary.LittleEndian.Uint64(data[16:]),
+		Stores:   binary.LittleEndian.Uint64(data[24:]),
+		Branches: binary.LittleEndian.Uint64(data[32:]),
+		Taken:    binary.LittleEndian.Uint64(data[40:]),
+		Calls:    binary.LittleEndian.Uint64(data[48:]),
+	}
+	h.n = binary.LittleEndian.Uint64(data[56:])
+	h.aux = binary.LittleEndian.Uint64(data[64:])
+	h.chunks = binary.LittleEndian.Uint32(data[72:])
+	h.auxChunks = binary.LittleEndian.Uint32(data[76:])
+	return h, nil
+}
+
+// chunkWriter appends length-prefixed, checksummed chunks to buf.
+type chunkWriter struct {
+	buf []byte
+}
+
+func (w *chunkWriter) add(payload []byte) {
+	var pre [4]byte
+	binary.LittleEndian.PutUint32(pre[:], uint32(len(payload)))
+	w.buf = append(w.buf, pre[:]...)
+	w.buf = append(w.buf, payload...)
+	binary.LittleEndian.PutUint32(pre[:], crc32.Checksum(payload, castagnoli))
+	w.buf = append(w.buf, pre[:]...)
+}
+
+// chunkReader walks the checksummed chunks of data.
+type chunkReader struct {
+	data []byte
+	off  int
+	idx  int
+}
+
+func (r *chunkReader) next() ([]byte, error) {
+	if len(r.data)-r.off < 8 {
+		return nil, corruptf("chunk %d: truncated at byte %d", r.idx, r.off)
+	}
+	n := int(binary.LittleEndian.Uint32(r.data[r.off:]))
+	if n < 0 || len(r.data)-r.off-8 < n {
+		return nil, corruptf("chunk %d: implausible length %d at byte %d", r.idx, n, r.off)
+	}
+	payload := r.data[r.off+4 : r.off+4+n]
+	got := binary.LittleEndian.Uint32(r.data[r.off+4+n:])
+	if want := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, corruptf("chunk %d: checksum mismatch: %08x != %08x", r.idx, got, want)
+	}
+	r.off += 8 + n
+	r.idx++
+	return payload, nil
+}
+
+func putU32s(dst []byte, src []uint32) []byte {
+	for _, v := range src {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// EncodeStream serializes s into the versioned, checksummed artifact
+// format.
+func EncodeStream(s *trace.Stream) []byte {
+	h := header{
+		kind:      kindStream,
+		truncated: s.Truncated,
+		counts:    s.Counts,
+		n:         uint64(s.Len()),
+		aux:       s.Loads(),
+	}
+	nChunks := s.NumChunks()
+	h.chunks = uint32(nChunks)
+
+	w := &chunkWriter{buf: make([]byte, headerBytes, headerBytes+s.Len()*16)}
+	putHeader(w.buf[:headerBytes], h)
+
+	// Gather each in-memory chunk through the public replay surface: one
+	// ReplayChunks call per chunk keeps the chunk boundaries (and so the
+	// checksum granularity) identical to the resident layout.
+	kinds := make([]uint8, 0, codecChunk)
+	pcs := make([]uint32, 0, codecChunk)
+	addrs := make([]uint32, 0, codecChunk)
+	values := make([]uint32, 0, codecChunk)
+	for c := 0; c < nChunks; c++ {
+		kinds, pcs, addrs, values = kinds[:0], pcs[:0], addrs[:0], values[:0]
+		s.ReplayChunks(c, c+1, trace.SinkFuncs{
+			OnLoad: func(pc, addr, value uint32) {
+				kinds = append(kinds, uint8(trace.KindLoad))
+				pcs, addrs, values = append(pcs, pc), append(addrs, addr), append(values, value)
+			},
+			OnStore: func(pc, addr, value uint32) {
+				kinds = append(kinds, uint8(trace.KindStore))
+				pcs, addrs, values = append(pcs, pc), append(addrs, addr), append(values, value)
+			},
+		})
+		payload := make([]byte, 0, 4+len(kinds)*13)
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(kinds)))
+		payload = append(payload, cnt[:]...)
+		payload = append(payload, kinds...)
+		payload = putU32s(payload, pcs)
+		payload = putU32s(payload, addrs)
+		payload = putU32s(payload, values)
+		w.add(payload)
+	}
+	return w.buf
+}
+
+// DecodeStream rebuilds a Stream from artifact bytes, verifying the
+// header and every chunk checksum, and cross-checking the rebuilt
+// tallies against both the header and the embedded execution profile
+// (Stream.Validate). Any mismatch returns a typed
+// runerr.ErrStoreCorrupt error and no stream.
+func DecodeStream(data []byte) (*trace.Stream, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if h.kind != kindStream {
+		return nil, corruptf("artifact kind %d, want memory stream", h.kind)
+	}
+	const maxEvents = 1 << 33 // sanity bound against corrupt headers
+	if h.n > maxEvents || h.aux > h.n {
+		return nil, corruptf("implausible tallies: %d events, %d loads", h.n, h.aux)
+	}
+	s := trace.NewStream()
+	s.Counts = h.counts
+	s.Truncated = h.truncated
+	r := &chunkReader{data: data, off: headerBytes}
+	for c := uint32(0); c < h.chunks; c++ {
+		payload, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) < 4 {
+			return nil, corruptf("chunk %d: no event count", c)
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		if n > codecChunk || len(payload) != 4+n*13 {
+			return nil, corruptf("chunk %d: %d events in %d payload bytes", c, n, len(payload))
+		}
+		kinds := payload[4 : 4+n]
+		pcs := payload[4+n:]
+		addrs := pcs[4*n:]
+		values := addrs[4*n:]
+		for i := 0; i < n; i++ {
+			k := trace.Kind(kinds[i])
+			if k != trace.KindLoad && k != trace.KindStore {
+				return nil, corruptf("chunk %d: event %d has bad kind %d", c, i, kinds[i])
+			}
+			s.Append(k,
+				binary.LittleEndian.Uint32(pcs[4*i:]),
+				binary.LittleEndian.Uint32(addrs[4*i:]),
+				binary.LittleEndian.Uint32(values[4*i:]))
+		}
+	}
+	if r.off != len(data) {
+		return nil, corruptf("%d trailing bytes after last chunk", len(data)-r.off)
+	}
+	if uint64(s.Len()) != h.n || s.Loads() != h.aux {
+		return nil, corruptf("decoded %d events (%d loads), header says %d (%d)",
+			s.Len(), s.Loads(), h.n, h.aux)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, corruptf("decoded stream fails validation: %v", err)
+	}
+	if check.Enabled {
+		check.Assertf(s.NumChunks() == int(h.chunks) || h.n == 0, "store.decode",
+			"rebuilt %d chunks from a %d-chunk artifact", s.NumChunks(), h.chunks)
+	}
+	return s, nil
+}
+
+// EncodeIStream serializes s into the versioned, checksummed artifact
+// format.
+func EncodeIStream(s *trace.IStream) []byte {
+	h := header{
+		kind:      kindIStream,
+		truncated: s.Truncated,
+		counts:    s.Counts,
+		n:         s.Len(),
+		aux:       s.MemEvents(),
+	}
+	h.chunks = uint32((s.Len() + codecChunk - 1) / codecChunk)
+	h.auxChunks = uint32((s.MemEvents() + codecChunk - 1) / codecChunk)
+
+	w := &chunkWriter{buf: make([]byte, headerBytes, headerBytes+int(s.Len())*8+int(s.MemEvents())*8)}
+	putHeader(w.buf[:headerBytes], h)
+
+	cur := s.Cursor()
+	idx := make([]uint32, 0, codecChunk)
+	next := make([]uint32, 0, codecChunk)
+	for remaining := s.Len(); remaining > 0; {
+		idx, next = idx[:0], next[:0]
+		for len(idx) < codecChunk && remaining > 0 {
+			i, nx, ok := cur.NextInst()
+			if !ok {
+				remaining = 0 // tally said more than the cursor held; stop
+				break
+			}
+			idx, next = append(idx, i), append(next, nx)
+			remaining--
+		}
+		if len(idx) == 0 {
+			break
+		}
+		payload := make([]byte, 0, 4+len(idx)*8)
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(idx)))
+		payload = append(payload, cnt[:]...)
+		payload = putU32s(payload, idx)
+		payload = putU32s(payload, next)
+		w.add(payload)
+	}
+	addrs := make([]uint32, 0, codecChunk)
+	values := make([]uint32, 0, codecChunk)
+	for remaining := s.MemEvents(); remaining > 0; {
+		addrs, values = addrs[:0], values[:0]
+		for len(addrs) < codecChunk && remaining > 0 {
+			a, v, ok := cur.NextMem()
+			if !ok {
+				remaining = 0
+				break
+			}
+			addrs, values = append(addrs, a), append(values, v)
+			remaining--
+		}
+		if len(addrs) == 0 {
+			break
+		}
+		payload := make([]byte, 0, 4+len(addrs)*8)
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(addrs)))
+		payload = append(payload, cnt[:]...)
+		payload = putU32s(payload, addrs)
+		payload = putU32s(payload, values)
+		w.add(payload)
+	}
+	return w.buf
+}
+
+// DecodeIStream rebuilds an IStream from artifact bytes, verifying the
+// header and every chunk checksum, and cross-checking the rebuilt
+// tallies against both the header and the embedded execution profile
+// (IStream.Validate).
+func DecodeIStream(data []byte) (*trace.IStream, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if h.kind != kindIStream {
+		return nil, corruptf("artifact kind %d, want instruction stream", h.kind)
+	}
+	const maxInsts = 1 << 40 // sanity bound against corrupt headers
+	if h.n > maxInsts || h.aux > h.n {
+		return nil, corruptf("implausible tallies: %d insts, %d memory events", h.n, h.aux)
+	}
+	s := trace.NewIStream()
+	s.Counts = h.counts
+	s.Truncated = h.truncated
+	r := &chunkReader{data: data, off: headerBytes}
+	for c := uint32(0); c < h.chunks; c++ {
+		payload, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) < 4 {
+			return nil, corruptf("inst chunk %d: no count", c)
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		if n > codecChunk || len(payload) != 4+n*8 {
+			return nil, corruptf("inst chunk %d: %d entries in %d payload bytes", c, n, len(payload))
+		}
+		idx := payload[4:]
+		next := idx[4*n:]
+		for i := 0; i < n; i++ {
+			s.AppendInst(
+				binary.LittleEndian.Uint32(idx[4*i:]),
+				binary.LittleEndian.Uint32(next[4*i:]))
+		}
+	}
+	for c := uint32(0); c < h.auxChunks; c++ {
+		payload, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) < 4 {
+			return nil, corruptf("mem chunk %d: no count", c)
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		if n > codecChunk || len(payload) != 4+n*8 {
+			return nil, corruptf("mem chunk %d: %d entries in %d payload bytes", c, n, len(payload))
+		}
+		addrs := payload[4:]
+		values := addrs[4*n:]
+		for i := 0; i < n; i++ {
+			s.AppendMem(
+				binary.LittleEndian.Uint32(addrs[4*i:]),
+				binary.LittleEndian.Uint32(values[4*i:]))
+		}
+	}
+	if r.off != len(data) {
+		return nil, corruptf("%d trailing bytes after last chunk", len(data)-r.off)
+	}
+	if s.Len() != h.n || s.MemEvents() != h.aux {
+		return nil, corruptf("decoded %d insts (%d memory), header says %d (%d)",
+			s.Len(), s.MemEvents(), h.n, h.aux)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, corruptf("decoded stream fails validation: %v", err)
+	}
+	return s, nil
+}

@@ -28,6 +28,18 @@ type Cached interface {
 	Bytes() int64
 }
 
+// Tier is a durable second tier behind the in-memory cache. On a miss
+// the cache asks the tier before recording live; after a successful
+// recording it offers the result back. Load returns (nil, nil) when the
+// tier has nothing for the key; any error is treated as a miss (the
+// cache records live) — the tier owns quarantining whatever produced
+// it. Store failures are likewise non-fatal: the run continues with the
+// in-memory copy. A Tier must be safe for concurrent use.
+type Tier interface {
+	Load(Key) (Cached, error)
+	Store(Key, Cached) error
+}
+
 // Cache is a process-wide, memory-bounded store of recorded streams.
 // Lookups are single-flight: when several goroutines request the same
 // key at once, exactly one records and the rest wait for its result.
@@ -37,6 +49,7 @@ type Cache struct {
 	mu      sync.Mutex
 	budget  int64
 	bytes   int64
+	tier    Tier
 	entries map[Key]*cacheEntry
 	lru     *list.List // completed entries; front = most recently used
 
@@ -111,6 +124,14 @@ func (c *Cache) Release(key Key) {
 	c.pins[key] = n - 1
 }
 
+// SetTier installs (or, with nil, removes) the durable second tier.
+// Only cache misses that start after SetTier returns consult it.
+func (c *Cache) SetTier(t Tier) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tier = t
+}
+
 // SetBudget changes the byte budget and evicts immediately if the
 // resident total now exceeds it.
 func (c *Cache) SetBudget(budget int64) {
@@ -147,7 +168,14 @@ func (c *Cache) GetContext(ctx context.Context, key Key, record func() (*Stream,
 	if v == nil {
 		return nil, err
 	}
-	return v.(*Stream), err
+	s, ok := v.(*Stream)
+	if !ok {
+		// A tier keyed wrongly (Timing mismatch) could hand back the
+		// other recording shape; refuse it rather than panic.
+		return nil, fmt.Errorf("trace: cached value for %s/%d is %T, want *Stream: %w",
+			key.Workload, key.Size, v, runerr.ErrTraceCorrupt)
+	}
+	return s, err
 }
 
 // GetIStreamContext is GetContext for instruction-level timing
@@ -165,7 +193,12 @@ func (c *Cache) GetIStreamContext(ctx context.Context, key Key, record func() (*
 	if v == nil {
 		return nil, err
 	}
-	return v.(*IStream), err
+	s, ok := v.(*IStream)
+	if !ok {
+		return nil, fmt.Errorf("trace: cached value for %s/%d is %T, want *IStream: %w",
+			key.Workload, key.Size, v, runerr.ErrTraceCorrupt)
+	}
+	return s, err
 }
 
 // getContext is the untyped single-flight core shared by the Stream and
@@ -191,6 +224,7 @@ func (c *Cache) getContext(ctx context.Context, key Key, record func() (Cached, 
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
+	tier := c.tier
 	c.mu.Unlock()
 
 	// The completion runs deferred so it executes even when record
@@ -218,8 +252,26 @@ func (c *Cache) getContext(ctx context.Context, key Key, record func() (Cached, 
 		close(e.ready)
 	}()
 
+	// The durable tier is consulted inside the flight, so concurrent
+	// requesters share one disk read exactly as they share one recording.
+	// A tier error — corruption, I/O failure — is a miss: the tier has
+	// already quarantined or reported what it needed to, and live
+	// re-recording is the degradation path that always works.
+	if tier != nil {
+		if v, lerr := tier.Load(key); lerr == nil && v != nil {
+			e.val = v
+			panicked = false
+			return e.val, nil
+		}
+	}
+
 	e.val, e.err = record()
 	panicked = false
+	if e.err == nil && tier != nil && e.val != nil {
+		// Best-effort publish: a failed save (after the tier's own
+		// bounded retry) costs durability, not the run.
+		_ = tier.Store(key, e.val)
+	}
 	return e.val, e.err
 }
 

@@ -65,6 +65,13 @@ type Workload struct {
 	// build assembles the program for a given size parameter n; n = 100
 	// is the reference ("functional") size, smaller values shrink the
 	// outer iteration counts proportionally for timing runs.
+	//
+	// Being unexported, build is skipped by gob: a Workload round-tripped
+	// through the suite run journal comes back with build == nil, and
+	// builder() rehydrates it from the registry by Name. (Do not "fix"
+	// this with GobEncode/GobDecode on Workload — the methods would be
+	// promoted into every row struct embedding it and silently replace
+	// the rows' own encoding.)
 	build func(n int) *isa.Program
 }
 
@@ -98,8 +105,23 @@ func (w Workload) Program(n int) *isa.Program {
 	if p, ok := progCache.Load(key); ok {
 		return p.(*isa.Program)
 	}
-	p, _ := progCache.LoadOrStore(key, w.build(n))
+	p, _ := progCache.LoadOrStore(key, w.builder()(n))
 	return p.(*isa.Program)
+}
+
+// builder returns the assembly function, rehydrating from the registry
+// when this Workload value was deserialized (gob skips the unexported
+// build field). A name the registry does not know is a bug — serialized
+// workloads only ever originate from the registry.
+func (w Workload) builder() func(n int) *isa.Program {
+	if w.build != nil {
+		return w.build
+	}
+	r, ok := ByName(w.Name)
+	if !ok || r.build == nil {
+		panic(fmt.Sprintf("workload %q not in registry (deserialized from a foreign run?)", w.Name))
+	}
+	return r.build
 }
 
 // Assemble builds the program fresh, bypassing the memoization cache.
@@ -110,7 +132,7 @@ func (w Workload) Assemble(n int) *isa.Program {
 	if n <= 0 {
 		n = ReferenceSize
 	}
-	return w.build(n)
+	return w.builder()(n)
 }
 
 var registry []Workload
@@ -141,6 +163,16 @@ var paperOrder = map[string]int{
 }
 
 func (w Workload) order() int { return paperOrder[w.Abbrev] }
+
+// ByName returns the workload with the full analog name (e.g. "go_like").
+func ByName(name string) (Workload, bool) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
 
 // ByAbbrev returns the workload with the paper abbreviation (e.g. "gcc").
 func ByAbbrev(abbrev string) (Workload, bool) {
