@@ -65,6 +65,7 @@ import (
 	"rarpred/internal/experiments"
 	"rarpred/internal/pipeline"
 	"rarpred/internal/store"
+	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
 
@@ -88,7 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchjson  = fs.String("benchjson", "", "write machine-readable suite timings (per-experiment, per-cell, trace cache, scheduler utilization) to this JSON file")
 		live       = fs.Bool("live", false, "re-simulate workloads per experiment instead of replaying the shared trace cache")
 		traceMB    = fs.Int64("tracebudget", 0, "trace cache budget in MiB (0 = default 512)")
-		traceStats = fs.Bool("tracestats", false, "print trace cache statistics to stderr after the run")
+		traceStats = fs.Bool("tracestats", false, "print trace cache statistics (per-stream raw/compressed sizes) to stderr after the run")
+		traceComp  = fs.String("tracecompress", "on", "columnar compression of cached and persisted traces: on or off (off keeps raw chunks, for A/B verification)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		timeout    = fs.Duration("timeout", 0, "deadline for the whole run (0 = none)")
@@ -124,7 +126,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *resume && *seq:
 		fmt.Fprintln(stderr, "rarsim: -resume needs the suite scheduler (drop -seq)")
 		return 2
+	case *traceComp != "on" && *traceComp != "off":
+		fmt.Fprintf(stderr, "rarsim: -tracecompress must be on or off, got %q\n", *traceComp)
+		return 2
 	}
+
+	// Compression changes only how streams are stored (in memory and on
+	// disk), never their event content, so it stays out of the journal
+	// fingerprint and the report is byte-identical either way. The
+	// previous setting is restored on the way out for in-process callers.
+	defer trace.SetCompression(trace.SetCompression(*traceComp == "on"))
 
 	if *traceMB > 0 {
 		experiments.TraceCache().SetBudget(*traceMB << 20)
@@ -203,6 +214,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// the cache is process-wide and in-process callers (tests) must not
 	// inherit a closed run's store.
 	var artifacts *store.Store
+	var jnl *store.Journal
 	if *storeDir != "" {
 		// The fault-injecting FS wrapper costs one atomic load per
 		// operation when nothing is armed, so the CLI always routes
@@ -222,7 +234,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// splice rows that mean something else into the report.
 			fingerprint := fmt.Sprintf("v1 exp=%s size=%d bench=%s live=%t check=%t",
 				expIDs(todo), *size, *bench, *live, *selfcheck)
-			jnl, err := st.OpenJournal(fingerprint, *resume)
+			jnl, err = st.OpenJournal(fingerprint, *resume)
 			if err != nil {
 				fmt.Fprintf(stderr, "rarsim: -store: %v\n", err)
 				return 1
@@ -233,6 +245,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "rarsim: resuming: %d cell(s) journaled by a previous run\n", jnl.Resumed())
 			}
 		}
+	}
+
+	if !*seq {
+		// Feed the scheduler a longest-first cost model from whatever
+		// timing history exists: a previous sweep's -benchjson payload,
+		// with the resume journal's exact per-cell seconds taking
+		// precedence. No history at all leaves the queue in paper order.
+		opt.CellCost = cellCost(*benchjson, jnl)
 	}
 
 	var failed []string
@@ -321,6 +341,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return finish(stderr, *traceStats, *memprofile, artifacts, failed)
 }
 
+// cellCost builds the scheduler's longest-processing-time cost model.
+// Estimates come from a previous sweep's -benchjson payload; the resume
+// journal's exact seconds override them for any cell it has seen (a
+// journaled-but-undecodable cell re-runs, and its last true runtime is
+// a better estimate than a stale benchmark). Returns nil when no source
+// exists, which keeps the queue in construction (paper) order.
+func cellCost(benchPath string, jnl *store.Journal) func(exp, wl string) (float64, bool) {
+	fromBench := loadBenchSeconds(benchPath)
+	if fromBench == nil && jnl == nil {
+		return nil
+	}
+	return func(exp, wl string) (float64, bool) {
+		if jnl != nil {
+			if sec, ok := jnl.Seconds(exp, wl); ok {
+				return sec, true
+			}
+		}
+		sec, ok := fromBench[[2]string{exp, wl}]
+		return sec, ok
+	}
+}
+
+// loadBenchSeconds parses just the per-cell timings out of an earlier
+// -benchjson payload — the -benchjson path if that file already exists,
+// else BENCH_suite.json in the working directory. Cost estimation is
+// best effort: any missing file or parse problem means "no estimates",
+// never a failed run. Cells the earlier run resumed from its journal
+// carry near-zero seconds and are skipped rather than mistaken for
+// cheap.
+func loadBenchSeconds(benchPath string) map[[2]string]float64 {
+	data, err := os.ReadFile(benchPath)
+	if benchPath == "" || err != nil {
+		if data, err = os.ReadFile("BENCH_suite.json"); err != nil {
+			return nil
+		}
+	}
+	var doc struct {
+		Experiments []struct {
+			ID    string `json:"id"`
+			Cells []struct {
+				Workload string  `json:"workload"`
+				Seconds  float64 `json:"seconds"`
+				Resumed  bool    `json:"resumed"`
+			} `json:"cells"`
+		} `json:"experiments"`
+	}
+	if json.Unmarshal(data, &doc) != nil {
+		return nil
+	}
+	m := make(map[[2]string]float64)
+	for _, e := range doc.Experiments {
+		for _, c := range e.Cells {
+			if c.Resumed {
+				continue
+			}
+			m[[2]string{e.ID, c.Workload}] = c.Seconds
+		}
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
 // expIDs renders the sweep's experiment list for the journal
 // fingerprint.
 func expIDs(todo []experiments.Experiment) string {
@@ -376,8 +460,10 @@ func shadowCompare(opt experiments.Options, todo []experiments.Experiment, sched
 // tooling can reject payloads it does not understand. Version 1 had no
 // schema_version/timestamp/parallelism fields; version 2 added them;
 // version 3 added the optional artifact-store section (disk tier and
-// resume statistics) and the per-cell resumed flag.
-const benchSchemaVersion = 3
+// resume statistics) and the per-cell resumed flag; version 4 added
+// trace compression accounting (trace_cache raw/resident bytes and
+// ratio, store raw_bytes_written).
+const benchSchemaVersion = 4
 
 // benchReport is the -benchjson payload: machine-readable timings for
 // the whole sweep.
@@ -433,6 +519,10 @@ type benchStore struct {
 	Quarantines  uint64 `json:"quarantines"`
 	Retries      uint64 `json:"retries"`
 	SaveErrors   uint64 `json:"save_errors"`
+	// RawBytesWritten is the uncompressed payload of the artifacts behind
+	// BytesWritten; the gap between the two is what compression saved on
+	// disk.
+	RawBytesWritten uint64 `json:"raw_bytes_written"`
 	// ResumedCells counts cells replayed from the run journal instead of
 	// simulated.
 	ResumedCells int `json:"resumed_cells"`
@@ -446,6 +536,13 @@ type benchCache struct {
 	Pinned    int     `json:"pinned"`
 	MiB       float64 `json:"mib"`
 	BudgetMiB float64 `json:"budget_mib"`
+	// TraceRawBytes is the resident streams' uncompressed event payload;
+	// TraceResidentBytes is what they actually occupy (and what the
+	// budget charges). CompressionRatio is raw/resident; 1.0 when
+	// compression is off or the cache is empty.
+	TraceRawBytes      int64   `json:"trace_raw_bytes"`
+	TraceResidentBytes int64   `json:"trace_resident_bytes"`
+	CompressionRatio   float64 `json:"compression_ratio"`
 }
 
 func newBenchReport(parallelism int) *benchReport {
@@ -482,25 +579,29 @@ func (b *benchReport) write(path string) error {
 	b.Timestamp = time.Now().UTC().Format(time.RFC3339)
 	st := experiments.TraceCache().Stats()
 	b.TraceCache = benchCache{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Evictions: st.Evictions,
-		Entries:   st.Entries,
-		Pinned:    st.Pinned,
-		MiB:       float64(st.Bytes) / (1 << 20),
-		BudgetMiB: float64(st.Budget) / (1 << 20),
+		Hits:               st.Hits,
+		Misses:             st.Misses,
+		Evictions:          st.Evictions,
+		Entries:            st.Entries,
+		Pinned:             st.Pinned,
+		MiB:                float64(st.Bytes) / (1 << 20),
+		BudgetMiB:          float64(st.Budget) / (1 << 20),
+		TraceRawBytes:      st.RawBytes,
+		TraceResidentBytes: st.Bytes,
+		CompressionRatio:   compressionRatio(st.RawBytes, st.Bytes),
 	}
 	if b.store != nil {
 		ss := b.store.Stats()
 		b.Store = &benchStore{
-			DiskHits:     ss.DiskHits,
-			DiskMisses:   ss.DiskMisses,
-			BytesRead:    ss.BytesRead,
-			BytesWritten: ss.BytesWritten,
-			Quarantines:  ss.Quarantines,
-			Retries:      ss.Retries,
-			SaveErrors:   ss.SaveErrors,
-			ResumedCells: b.resumedCells,
+			DiskHits:        ss.DiskHits,
+			DiskMisses:      ss.DiskMisses,
+			BytesRead:       ss.BytesRead,
+			BytesWritten:    ss.BytesWritten,
+			Quarantines:     ss.Quarantines,
+			Retries:         ss.Retries,
+			SaveErrors:      ss.SaveErrors,
+			RawBytesWritten: ss.RawBytesWritten,
+			ResumedCells:    b.resumedCells,
 		}
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
@@ -510,21 +611,42 @@ func (b *benchReport) write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// compressionRatio is raw/resident, defaulting to 1.0 for an empty
+// cache (and never dividing by zero).
+func compressionRatio(raw, resident int64) float64 {
+	if resident <= 0 || raw <= 0 {
+		return 1
+	}
+	return float64(raw) / float64(resident)
+}
+
 // finish emits end-of-run diagnostics and converts the failure list into
 // the process exit code.
 func finish(stderr io.Writer, traceStats bool, memprofile string, artifacts *store.Store, failed []string) int {
 	if traceStats {
 		st := experiments.TraceCache().Stats()
 		fmt.Fprintf(stderr,
-			"trace cache: %d hits, %d misses, %d evictions, %d streams resident (%.1f of %.0f MiB)\n",
+			"trace cache: %d hits, %d misses, %d evictions, %d streams resident (%.1f of %.0f MiB, %.1f MiB raw, %.2fx)\n",
 			st.Hits, st.Misses, st.Evictions, st.Entries,
-			float64(st.Bytes)/(1<<20), float64(st.Budget)/(1<<20))
+			float64(st.Bytes)/(1<<20), float64(st.Budget)/(1<<20),
+			float64(st.RawBytes)/(1<<20), compressionRatio(st.RawBytes, st.Bytes))
+		for _, r := range experiments.TraceCache().Residents() {
+			kind := "mem"
+			if r.Key.Timing {
+				kind = "inst"
+			}
+			fmt.Fprintf(stderr, "  %-12s size=%-2d %-4s %8.2f MiB raw -> %7.2f MiB resident (%.2fx)\n",
+				r.Key.Workload, r.Key.Size, kind,
+				float64(r.RawBytes)/(1<<20), float64(r.Bytes)/(1<<20),
+				compressionRatio(r.RawBytes, r.Bytes))
+		}
 		if artifacts != nil {
 			ss := artifacts.Stats()
 			fmt.Fprintf(stderr,
-				"artifact store: %d disk hits, %d misses, %.1f MiB read, %.1f MiB written, %d quarantined, %d retries, %d save errors\n",
+				"artifact store: %d disk hits, %d misses, %.1f MiB read, %.1f MiB written (%.1f MiB raw), %d quarantined, %d retries, %d save errors\n",
 				ss.DiskHits, ss.DiskMisses,
 				float64(ss.BytesRead)/(1<<20), float64(ss.BytesWritten)/(1<<20),
+				float64(ss.RawBytesWritten)/(1<<20),
 				ss.Quarantines, ss.Retries, ss.SaveErrors)
 		}
 	}

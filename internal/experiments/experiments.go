@@ -72,6 +72,18 @@ type Options struct {
 	// persistence layer.
 	Journal SuiteJournal
 
+	// CellCost, when non-nil, estimates one (experiment × workload)
+	// cell's runtime in seconds so RunSuite can order its job queue
+	// longest-processing-time-first, shrinking the makespan tail where a
+	// long cell picked up last overhangs an otherwise drained pool. The
+	// second return reports whether an estimate exists; cells with no
+	// estimate sort ahead of estimated ones (an unknown cell may be the
+	// one that must record a stream — starting it early is the safe
+	// bet). Ordering changes only which worker runs a cell when; results
+	// still assemble and deliver in suite order, so output is
+	// byte-identical with or without it. nil keeps construction order.
+	CellCost func(exp, workload string) (float64, bool)
+
 	// Check arms the run's differential oracle: the first time each
 	// cached reference stream is served, it is re-recorded live on the
 	// independent baseline interpreter and the two streams compared
@@ -263,7 +275,10 @@ type CellRunner interface {
 // attempt.
 type SuiteJournal interface {
 	Lookup(exp, workload string) ([]byte, bool)
-	Record(exp, workload string, row []byte) error
+	// Record appends one completed cell: its encoded row plus the wall
+	// seconds the cell took, which future runs can feed back through
+	// Options.CellCost to schedule longest-first.
+	Record(exp, workload string, row []byte, seconds float64) error
 }
 
 // RowCodec is implemented by cell runners whose rows can round-trip

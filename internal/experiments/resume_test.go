@@ -18,6 +18,7 @@ import (
 type memJournal struct {
 	mu      sync.Mutex
 	m       map[string][]byte
+	secs    map[string]float64
 	records int
 }
 
@@ -28,13 +29,15 @@ func (j *memJournal) Lookup(exp, wl string) ([]byte, bool) {
 	return row, ok
 }
 
-func (j *memJournal) Record(exp, wl string, row []byte) error {
+func (j *memJournal) Record(exp, wl string, row []byte, seconds float64) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.m == nil {
 		j.m = make(map[string][]byte)
+		j.secs = make(map[string]float64)
 	}
 	j.m[exp+"/"+wl] = row
+	j.secs[exp+"/"+wl] = seconds
 	j.records++
 	return nil
 }
@@ -158,7 +161,7 @@ func TestSuiteResumePartialJournal(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		jnl.Record("synthC", w.Name, enc)
+		jnl.Record("synthC", w.Name, enc, 1)
 	}
 
 	var resumedCalls atomic.Int64
@@ -228,7 +231,7 @@ func TestSuiteResumeUndecodableRowReruns(t *testing.T) {
 	ws := workload.All()[:3]
 	jnl := &memJournal{}
 	for _, w := range ws {
-		jnl.Record("synthE", w.Name, []byte("not a gob row"))
+		jnl.Record("synthE", w.Name, []byte("not a gob row"), 1)
 	}
 	var calls atomic.Int64
 	renderSuite(t, Options{Workloads: ws, Journal: jnl},

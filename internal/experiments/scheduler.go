@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"context"
+	"math"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -243,6 +245,36 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 		assemble(ei)
 	}
 
+	// Longest-processing-time-first: with a cost model, pull the slowest
+	// cells to the front of the queue so the pool never drains down to
+	// one worker grinding a long cell it picked up last. Cells without
+	// an estimate sort first (an unknown cell may be the one that has to
+	// record its workload's stream — starting it early is the safe bet);
+	// the sort is stable, so with no estimates at all the original order
+	// survives. Only execution order changes: stream pins were taken
+	// above and delivery is buffered into suite order regardless.
+	if opt.CellCost != nil {
+		cost := make([]float64, len(jobs))
+		for i, j := range jobs {
+			cost[i] = math.Inf(1)
+			if j.wi >= 0 {
+				if sec, ok := opt.CellCost(exps[j.ei].ID, ws[j.wi].Name); ok {
+					cost[i] = sec
+				}
+			}
+		}
+		order := make([]int, len(jobs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
+		sorted := make([]job, len(jobs))
+		for i, k := range order {
+			sorted[i] = jobs[k]
+		}
+		jobs = sorted
+	}
+
 	queue := make(chan job, len(jobs))
 	for _, j := range jobs {
 		queue <- j
@@ -274,16 +306,6 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 					if err = ctx.Err(); err == nil {
 						st.started.Store(true)
 						row, err = runCell(ctx, opt, st.exp.Cells, w)
-						if err == nil && opt.Journal != nil {
-							// Journal the finished cell durably, best
-							// effort: a failed append costs only this
-							// cell's resumability, never the run.
-							if codec, ok := st.exp.Cells.(RowCodec); ok {
-								if enc, eerr := codec.EncodeRow(row); eerr == nil {
-									_ = opt.Journal.Record(st.exp.ID, w.Name, enc)
-								}
-							}
-						}
 					}
 					if sk, ok := st.exp.Cells.(StreamKeyer); ok {
 						if key, need := sk.StreamKey(opt, w); need {
@@ -292,6 +314,17 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 					}
 				}
 				elapsed := time.Since(cellStart)
+				if j.wi >= 0 && err == nil && opt.Journal != nil {
+					// Journal the finished cell durably, best effort: a
+					// failed append costs only this cell's resumability,
+					// never the run. The cell's wall seconds ride along so
+					// a resumed run can schedule longest-first.
+					if codec, ok := st.exp.Cells.(RowCodec); ok {
+						if enc, eerr := codec.EncodeRow(row); eerr == nil {
+							_ = opt.Journal.Record(st.exp.ID, ws[j.wi].Name, enc, elapsed.Seconds())
+						}
+					}
+				}
 				atomic.AddInt64(&busy, int64(elapsed))
 				wi := max(j.wi, 0)
 				st.rows[wi], st.errs[wi] = row, err

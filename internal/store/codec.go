@@ -1,9 +1,11 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 
 	"rarpred/internal/check"
 	"rarpred/internal/funcsim"
@@ -11,7 +13,7 @@ import (
 	"rarpred/internal/trace"
 )
 
-// On-disk artifact layout (version 1, little endian throughout):
+// On-disk artifact layout (version 2, little endian throughout):
 //
 //	header (84 bytes):
 //	  0  magic "RARA"
@@ -26,20 +28,24 @@ import (
 //	  80 crc32c    u32  over bytes [0, 80)
 //
 //	then each chunk: u32 payload length | payload | u32 crc32c(payload).
-//	A Stream chunk's payload is count, kinds[count], then the pc/addr/
-//	value planes; an IStream's primary chunks carry (idx, next) planes
-//	and its aux chunks (addr, value) planes.
+//	A chunk's payload is the trace package's packed columnar form
+//	(delta + zigzag + varint columns, kinds run-length encoded, with a
+//	raw-fallback tag — see internal/trace/codec.go): Stream artifacts
+//	carry event chunks, IStream artifacts (idx, next) pair chunks then
+//	(addr, value) pair chunks. Version 1 carried the raw columns; v1
+//	artifacts are reported as unsupported (so they quarantine) and the
+//	recording self-heals by re-recording and publishing a v2 artifact.
 //
 // Every structural surprise — short file, bad magic, unknown version,
-// wrong kind for the requested key, checksum mismatch, or decoded
-// tallies that disagree with the header — is reported as a typed
-// runerr.ErrStoreCorrupt so the caller quarantines the file instead of
-// trusting any part of it.
+// wrong kind for the requested key, checksum mismatch, a payload the
+// packed-chunk decoder rejects, or decoded tallies that disagree with
+// the header — is reported as a typed runerr.ErrStoreCorrupt so the
+// caller quarantines the file instead of trusting any part of it.
 
 var artifactMagic = [4]byte{'R', 'A', 'R', 'A'}
 
 const (
-	codecVersion = 1
+	codecVersion = 2
 
 	kindStream  = 1
 	kindIStream = 2
@@ -49,8 +55,9 @@ const (
 	headerBytes = 84
 
 	// codecChunk is the entry span of one checksummed chunk. It matches
-	// the in-memory chunk size, so encoding a Stream walks each resident
-	// chunk exactly once.
+	// the in-memory chunk size, so encoding walks each resident chunk
+	// exactly once and the checksum granularity equals the resident
+	// layout.
 	codecChunk = 1 << 16
 )
 
@@ -125,18 +132,31 @@ func parseHeader(data []byte) (header, error) {
 	return h, nil
 }
 
-// chunkWriter appends length-prefixed, checksummed chunks to buf.
-type chunkWriter struct {
-	buf []byte
+// frameWriter emits length-prefixed, checksummed chunks to an io.Writer
+// one frame per Write call, so the save path holds one chunk's frame in
+// memory at a time (not the whole artifact) and the FS seam sees the
+// chunk boundaries.
+type frameWriter struct {
+	w   io.Writer
+	buf []byte // reused frame assembly buffer
+	n   int64  // bytes written so far
 }
 
-func (w *chunkWriter) add(payload []byte) {
-	var pre [4]byte
-	binary.LittleEndian.PutUint32(pre[:], uint32(len(payload)))
-	w.buf = append(w.buf, pre[:]...)
-	w.buf = append(w.buf, payload...)
-	binary.LittleEndian.PutUint32(pre[:], crc32.Checksum(payload, castagnoli))
-	w.buf = append(w.buf, pre[:]...)
+// frame assembles len|payload|crc for the payload that fill produces
+// (appending to the frame buffer past the length prefix) and writes it.
+func (fw *frameWriter) frame(fill func(dst []byte) []byte) error {
+	fw.buf = append(fw.buf[:0], 0, 0, 0, 0)
+	fw.buf = fill(fw.buf)
+	payload := fw.buf[4:]
+	binary.LittleEndian.PutUint32(fw.buf[:4], uint32(len(payload)))
+	fw.buf = binary.LittleEndian.AppendUint32(fw.buf, crc32.Checksum(payload, castagnoli))
+	return fw.write(fw.buf)
+}
+
+func (fw *frameWriter) write(p []byte) error {
+	n, err := fw.w.Write(p)
+	fw.n += int64(n)
+	return err
 }
 
 // chunkReader walks the checksummed chunks of data.
@@ -164,68 +184,50 @@ func (r *chunkReader) next() ([]byte, error) {
 	return payload, nil
 }
 
-func putU32s(dst []byte, src []uint32) []byte {
-	for _, v := range src {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], v)
-		dst = append(dst, b[:]...)
-	}
-	return dst
-}
-
-// EncodeStream serializes s into the versioned, checksummed artifact
-// format.
-func EncodeStream(s *trace.Stream) []byte {
+// WriteStream streams s's artifact encoding to w — header, then one
+// framed packed chunk per Write — and returns the bytes written. The
+// encoding is deterministic, so the same stream always produces the
+// same bytes regardless of its sealing state.
+func WriteStream(w io.Writer, s *trace.Stream) (int64, error) {
 	h := header{
 		kind:      kindStream,
 		truncated: s.Truncated,
 		counts:    s.Counts,
 		n:         uint64(s.Len()),
 		aux:       s.Loads(),
+		chunks:    uint32(s.NumChunks()),
 	}
-	nChunks := s.NumChunks()
-	h.chunks = uint32(nChunks)
-
-	w := &chunkWriter{buf: make([]byte, headerBytes, headerBytes+s.Len()*16)}
-	putHeader(w.buf[:headerBytes], h)
-
-	// Gather each in-memory chunk through the public replay surface: one
-	// ReplayChunks call per chunk keeps the chunk boundaries (and so the
-	// checksum granularity) identical to the resident layout.
-	kinds := make([]uint8, 0, codecChunk)
-	pcs := make([]uint32, 0, codecChunk)
-	addrs := make([]uint32, 0, codecChunk)
-	values := make([]uint32, 0, codecChunk)
-	for c := 0; c < nChunks; c++ {
-		kinds, pcs, addrs, values = kinds[:0], pcs[:0], addrs[:0], values[:0]
-		s.ReplayChunks(c, c+1, trace.SinkFuncs{
-			OnLoad: func(pc, addr, value uint32) {
-				kinds = append(kinds, uint8(trace.KindLoad))
-				pcs, addrs, values = append(pcs, pc), append(addrs, addr), append(values, value)
-			},
-			OnStore: func(pc, addr, value uint32) {
-				kinds = append(kinds, uint8(trace.KindStore))
-				pcs, addrs, values = append(pcs, pc), append(addrs, addr), append(values, value)
-			},
-		})
-		payload := make([]byte, 0, 4+len(kinds)*13)
-		var cnt [4]byte
-		binary.LittleEndian.PutUint32(cnt[:], uint32(len(kinds)))
-		payload = append(payload, cnt[:]...)
-		payload = append(payload, kinds...)
-		payload = putU32s(payload, pcs)
-		payload = putU32s(payload, addrs)
-		payload = putU32s(payload, values)
-		w.add(payload)
+	fw := &frameWriter{w: w}
+	var hdr [headerBytes]byte
+	putHeader(hdr[:], h)
+	if err := fw.write(hdr[:]); err != nil {
+		return fw.n, err
 	}
-	return w.buf
+	for c := 0; c < s.NumChunks(); c++ {
+		if err := fw.frame(func(dst []byte) []byte { return s.PackedChunk(c, dst) }); err != nil {
+			return fw.n, err
+		}
+	}
+	return fw.n, nil
+}
+
+// EncodeStream serializes s into the versioned, checksummed artifact
+// format as one byte slice (WriteStream is the streaming form the save
+// path uses).
+func EncodeStream(s *trace.Stream) []byte {
+	var buf bytes.Buffer
+	if _, err := WriteStream(&buf, s); err != nil {
+		// bytes.Buffer writes cannot fail.
+		panic(err)
+	}
+	return buf.Bytes()
 }
 
 // DecodeStream rebuilds a Stream from artifact bytes, verifying the
-// header and every chunk checksum, and cross-checking the rebuilt
-// tallies against both the header and the embedded execution profile
-// (Stream.Validate). Any mismatch returns a typed
-// runerr.ErrStoreCorrupt error and no stream.
+// header and every chunk checksum, validating each packed payload, and
+// cross-checking the rebuilt tallies against both the header and the
+// embedded execution profile (Stream.Validate). Any mismatch returns a
+// typed runerr.ErrStoreCorrupt error and no stream.
 func DecodeStream(data []byte) (*trace.Stream, error) {
 	h, err := parseHeader(data)
 	if err != nil {
@@ -247,26 +249,8 @@ func DecodeStream(data []byte) (*trace.Stream, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(payload) < 4 {
-			return nil, corruptf("chunk %d: no event count", c)
-		}
-		n := int(binary.LittleEndian.Uint32(payload))
-		if n > codecChunk || len(payload) != 4+n*13 {
-			return nil, corruptf("chunk %d: %d events in %d payload bytes", c, n, len(payload))
-		}
-		kinds := payload[4 : 4+n]
-		pcs := payload[4+n:]
-		addrs := pcs[4*n:]
-		values := addrs[4*n:]
-		for i := 0; i < n; i++ {
-			k := trace.Kind(kinds[i])
-			if k != trace.KindLoad && k != trace.KindStore {
-				return nil, corruptf("chunk %d: event %d has bad kind %d", c, i, kinds[i])
-			}
-			s.Append(k,
-				binary.LittleEndian.Uint32(pcs[4*i:]),
-				binary.LittleEndian.Uint32(addrs[4*i:]),
-				binary.LittleEndian.Uint32(values[4*i:]))
+		if err := s.AppendPackedChunk(payload); err != nil {
+			return nil, corruptf("chunk %d: %v", c, err)
 		}
 	}
 	if r.off != len(data) {
@@ -286,78 +270,53 @@ func DecodeStream(data []byte) (*trace.Stream, error) {
 	return s, nil
 }
 
-// EncodeIStream serializes s into the versioned, checksummed artifact
-// format.
-func EncodeIStream(s *trace.IStream) []byte {
+// WriteIStream streams s's artifact encoding to w — header, then one
+// framed packed chunk per Write (instruction plane, then memory plane)
+// — and returns the bytes written.
+func WriteIStream(w io.Writer, s *trace.IStream) (int64, error) {
 	h := header{
 		kind:      kindIStream,
 		truncated: s.Truncated,
 		counts:    s.Counts,
 		n:         s.Len(),
 		aux:       s.MemEvents(),
+		chunks:    uint32(s.NumInstChunks()),
+		auxChunks: uint32(s.NumMemChunks()),
 	}
-	h.chunks = uint32((s.Len() + codecChunk - 1) / codecChunk)
-	h.auxChunks = uint32((s.MemEvents() + codecChunk - 1) / codecChunk)
+	fw := &frameWriter{w: w}
+	var hdr [headerBytes]byte
+	putHeader(hdr[:], h)
+	if err := fw.write(hdr[:]); err != nil {
+		return fw.n, err
+	}
+	for c := 0; c < s.NumInstChunks(); c++ {
+		if err := fw.frame(func(dst []byte) []byte { return s.PackedInstChunk(c, dst) }); err != nil {
+			return fw.n, err
+		}
+	}
+	for c := 0; c < s.NumMemChunks(); c++ {
+		if err := fw.frame(func(dst []byte) []byte { return s.PackedMemChunk(c, dst) }); err != nil {
+			return fw.n, err
+		}
+	}
+	return fw.n, nil
+}
 
-	w := &chunkWriter{buf: make([]byte, headerBytes, headerBytes+int(s.Len())*8+int(s.MemEvents())*8)}
-	putHeader(w.buf[:headerBytes], h)
-
-	cur := s.Cursor()
-	idx := make([]uint32, 0, codecChunk)
-	next := make([]uint32, 0, codecChunk)
-	for remaining := s.Len(); remaining > 0; {
-		idx, next = idx[:0], next[:0]
-		for len(idx) < codecChunk && remaining > 0 {
-			i, nx, ok := cur.NextInst()
-			if !ok {
-				remaining = 0 // tally said more than the cursor held; stop
-				break
-			}
-			idx, next = append(idx, i), append(next, nx)
-			remaining--
-		}
-		if len(idx) == 0 {
-			break
-		}
-		payload := make([]byte, 0, 4+len(idx)*8)
-		var cnt [4]byte
-		binary.LittleEndian.PutUint32(cnt[:], uint32(len(idx)))
-		payload = append(payload, cnt[:]...)
-		payload = putU32s(payload, idx)
-		payload = putU32s(payload, next)
-		w.add(payload)
+// EncodeIStream serializes s into the versioned, checksummed artifact
+// format as one byte slice (WriteIStream is the streaming form the save
+// path uses).
+func EncodeIStream(s *trace.IStream) []byte {
+	var buf bytes.Buffer
+	if _, err := WriteIStream(&buf, s); err != nil {
+		panic(err)
 	}
-	addrs := make([]uint32, 0, codecChunk)
-	values := make([]uint32, 0, codecChunk)
-	for remaining := s.MemEvents(); remaining > 0; {
-		addrs, values = addrs[:0], values[:0]
-		for len(addrs) < codecChunk && remaining > 0 {
-			a, v, ok := cur.NextMem()
-			if !ok {
-				remaining = 0
-				break
-			}
-			addrs, values = append(addrs, a), append(values, v)
-			remaining--
-		}
-		if len(addrs) == 0 {
-			break
-		}
-		payload := make([]byte, 0, 4+len(addrs)*8)
-		var cnt [4]byte
-		binary.LittleEndian.PutUint32(cnt[:], uint32(len(addrs)))
-		payload = append(payload, cnt[:]...)
-		payload = putU32s(payload, addrs)
-		payload = putU32s(payload, values)
-		w.add(payload)
-	}
-	return w.buf
+	return buf.Bytes()
 }
 
 // DecodeIStream rebuilds an IStream from artifact bytes, verifying the
-// header and every chunk checksum, and cross-checking the rebuilt
-// tallies against both the header and the embedded execution profile
-// (IStream.Validate).
+// header and every chunk checksum, validating each packed payload, and
+// cross-checking the rebuilt tallies against both the header and the
+// embedded execution profile (IStream.Validate).
 func DecodeIStream(data []byte) (*trace.IStream, error) {
 	h, err := parseHeader(data)
 	if err != nil {
@@ -379,19 +338,8 @@ func DecodeIStream(data []byte) (*trace.IStream, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(payload) < 4 {
-			return nil, corruptf("inst chunk %d: no count", c)
-		}
-		n := int(binary.LittleEndian.Uint32(payload))
-		if n > codecChunk || len(payload) != 4+n*8 {
-			return nil, corruptf("inst chunk %d: %d entries in %d payload bytes", c, n, len(payload))
-		}
-		idx := payload[4:]
-		next := idx[4*n:]
-		for i := 0; i < n; i++ {
-			s.AppendInst(
-				binary.LittleEndian.Uint32(idx[4*i:]),
-				binary.LittleEndian.Uint32(next[4*i:]))
+		if err := s.AppendPackedInstChunk(payload); err != nil {
+			return nil, corruptf("inst chunk %d: %v", c, err)
 		}
 	}
 	for c := uint32(0); c < h.auxChunks; c++ {
@@ -399,19 +347,8 @@ func DecodeIStream(data []byte) (*trace.IStream, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(payload) < 4 {
-			return nil, corruptf("mem chunk %d: no count", c)
-		}
-		n := int(binary.LittleEndian.Uint32(payload))
-		if n > codecChunk || len(payload) != 4+n*8 {
-			return nil, corruptf("mem chunk %d: %d entries in %d payload bytes", c, n, len(payload))
-		}
-		addrs := payload[4:]
-		values := addrs[4*n:]
-		for i := 0; i < n; i++ {
-			s.AppendMem(
-				binary.LittleEndian.Uint32(addrs[4*i:]),
-				binary.LittleEndian.Uint32(values[4*i:]))
+		if err := s.AppendPackedMemChunk(payload); err != nil {
+			return nil, corruptf("mem chunk %d: %v", c, err)
 		}
 	}
 	if r.off != len(data) {

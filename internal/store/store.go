@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,11 @@ type Stats struct {
 	DiskHits, DiskMisses uint64
 	// BytesRead / BytesWritten total artifact and journal I/O.
 	BytesRead, BytesWritten uint64
+	// RawBytesWritten totals the uncompressed payload of the artifacts
+	// persisted — what the write volume would have been without the
+	// packed encoding (BytesWritten / RawBytesWritten is the on-disk
+	// compression ratio's inverse).
+	RawBytesWritten uint64
 	// Quarantines counts corrupt files renamed aside (never served).
 	Quarantines uint64
 	// Retries counts transient I/O failures that were retried.
@@ -62,6 +68,7 @@ type Store struct {
 
 	diskHits, diskMisses    atomic.Uint64
 	bytesRead, bytesWritten atomic.Uint64
+	rawBytesWritten         atomic.Uint64
 	quarantines             atomic.Uint64
 	retries                 atomic.Uint64
 	saveErrors              atomic.Uint64
@@ -123,13 +130,14 @@ func (s *Store) artifactPath(key trace.Key) string {
 // atomic).
 func (s *Store) Stats() Stats {
 	return Stats{
-		DiskHits:     s.diskHits.Load(),
-		DiskMisses:   s.diskMisses.Load(),
-		BytesRead:    s.bytesRead.Load(),
-		BytesWritten: s.bytesWritten.Load(),
-		Quarantines:  s.quarantines.Load(),
-		Retries:      s.retries.Load(),
-		SaveErrors:   s.saveErrors.Load(),
+		DiskHits:        s.diskHits.Load(),
+		DiskMisses:      s.diskMisses.Load(),
+		BytesRead:       s.bytesRead.Load(),
+		BytesWritten:    s.bytesWritten.Load(),
+		RawBytesWritten: s.rawBytesWritten.Load(),
+		Quarantines:     s.quarantines.Load(),
+		Retries:         s.retries.Load(),
+		SaveErrors:      s.saveErrors.Load(),
 	}
 }
 
@@ -235,58 +243,70 @@ func (s *Store) Load(key trace.Key) (trace.Cached, error) {
 }
 
 // Store implements trace.Tier: it publishes the recording for key
-// atomically — encode, write to a temp file in the same directory,
-// fsync, rename onto the live name — so a crash at any point leaves
-// either no artifact or a complete one, and a reader can never observe
-// a half-written file. Failures (after bounded retry) are reported but
+// atomically — stream the encoding chunk-by-chunk to a temp file in the
+// same directory, fsync, rename onto the live name — so a crash at any
+// point leaves either no artifact or a complete one, and a reader can
+// never observe a half-written file. The encoding streams one framed
+// chunk per write, so peak memory during save is one chunk's frame, not
+// the whole artifact. Failures (after bounded retry) are reported but
 // non-fatal to the caller's run; the artifact simply is not persisted.
 func (s *Store) Store(key trace.Key, v trace.Cached) error {
-	var data []byte
+	var writeTo func(io.Writer) (int64, error)
+	var raw int64
 	switch t := v.(type) {
 	case *trace.Stream:
-		data = EncodeStream(t)
+		writeTo = func(w io.Writer) (int64, error) { return WriteStream(w, t) }
+		raw = t.RawBytes()
 	case *trace.IStream:
-		data = EncodeIStream(t)
+		writeTo = func(w io.Writer) (int64, error) { return WriteIStream(w, t) }
+		raw = t.RawBytes()
 	default:
 		return fmt.Errorf("store: cannot persist %T", v)
 	}
 	path := s.artifactPath(key)
-	err := s.withRetry(func() error { return s.publish(path, data) })
+	var written int64
+	err := s.withRetry(func() error {
+		var perr error
+		written, perr = s.publish(path, writeTo)
+		return perr
+	})
 	if err != nil {
 		s.saveErrors.Add(1)
 		return fmt.Errorf("%w: writing %s: %w", runerr.ErrDiskFault, path, err)
 	}
-	s.bytesWritten.Add(uint64(len(data)))
+	s.bytesWritten.Add(uint64(written))
+	s.rawBytesWritten.Add(uint64(raw))
 	return nil
 }
 
-// publish is one atomic-write attempt: temp file, full write, fsync,
-// close, rename. Any failure removes the temp file; the live name is
-// only ever touched by the final rename. The temp name embeds the
-// artifact's base name so a disk fault armed on a workload pattern hits
-// the writes that actually carry that artifact's bytes.
-func (s *Store) publish(path string, data []byte) error {
+// publish is one atomic-write attempt: temp file, streamed write,
+// fsync, close, rename. Any failure removes the temp file; the live
+// name is only ever touched by the final rename. The temp name embeds
+// the artifact's base name so a disk fault armed on a workload pattern
+// hits the writes that actually carry that artifact's bytes.
+func (s *Store) publish(path string, writeTo func(io.Writer) (int64, error)) (int64, error) {
 	f, tmp, err := s.fs.CreateTemp(s.tracesDir(), "tmp-"+base(path)+"-")
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if _, err := f.Write(data); err != nil {
+	n, err := writeTo(f)
+	if err != nil {
 		f.Close()
 		removeQuiet(s.fs, tmp)
-		return err
+		return n, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		removeQuiet(s.fs, tmp)
-		return err
+		return n, err
 	}
 	if err := f.Close(); err != nil {
 		removeQuiet(s.fs, tmp)
-		return err
+		return n, err
 	}
 	if err := s.fs.Rename(tmp, path); err != nil {
 		removeQuiet(s.fs, tmp)
-		return err
+		return n, err
 	}
-	return nil
+	return n, nil
 }

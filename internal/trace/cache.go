@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"rarpred/internal/runerr"
@@ -46,10 +47,11 @@ type Tier interface {
 // Completed entries are evicted least-recently-used once the total
 // payload exceeds the byte budget. A Cache is safe for concurrent use.
 type Cache struct {
-	mu      sync.Mutex
-	budget  int64
-	bytes   int64
-	tier    Tier
+	mu       sync.Mutex
+	budget   int64
+	bytes    int64
+	rawBytes int64 // uncompressed payload of the resident entries
+	tier     Tier
 	entries map[Key]*cacheEntry
 	lru     *list.List // completed entries; front = most recently used
 
@@ -245,6 +247,7 @@ func (c *Cache) getContext(ctx context.Context, key Key, record func() (Cached, 
 			} else {
 				e.elem = c.lru.PushFront(e)
 				c.bytes += e.val.Bytes()
+				c.rawBytes += rawBytesOf(e.val)
 				c.evictLocked()
 			}
 		}
@@ -295,8 +298,19 @@ func (c *Cache) Drop(key Key) {
 	if e.elem != nil {
 		c.lru.Remove(e.elem)
 		c.bytes -= e.val.Bytes()
+		c.rawBytes -= rawBytesOf(e.val)
 		e.elem = nil
 	}
+}
+
+// rawBytesOf reports a cached value's uncompressed payload size,
+// falling back to its resident size for values that do not distinguish
+// the two.
+func rawBytesOf(v Cached) int64 {
+	if r, ok := v.(interface{ RawBytes() int64 }); ok {
+		return r.RawBytes()
+	}
+	return v.Bytes()
 }
 
 // evictLocked drops least-recently-used completed entries until the
@@ -317,6 +331,7 @@ func (c *Cache) evictLocked() {
 			c.lru.Remove(el)
 			delete(c.entries, e.key)
 			c.bytes -= e.val.Bytes()
+			c.rawBytes -= rawBytesOf(e.val)
 			c.evictions++
 		}
 		el = prev
@@ -329,7 +344,8 @@ type Stats struct {
 	Misses    uint64
 	Evictions uint64
 	Entries   int
-	Bytes     int64
+	Bytes     int64 // resident (compressed) payload counted against Budget
+	RawBytes  int64 // uncompressed payload of the same entries
 	Budget    int64
 	Pinned    int // keys currently held by Retain
 }
@@ -344,7 +360,46 @@ func (c *Cache) Stats() Stats {
 		Evictions: c.evictions,
 		Entries:   len(c.entries),
 		Bytes:     c.bytes,
+		RawBytes:  c.rawBytes,
 		Budget:    c.budget,
 		Pinned:    len(c.pins),
 	}
+}
+
+// Resident describes one completed cache entry for reporting (the
+// -tracestats listing): its key, resident (compressed) bytes, and
+// uncompressed payload bytes.
+type Resident struct {
+	Key      Key
+	Bytes    int64
+	RawBytes int64
+}
+
+// Residents returns the completed entries, sorted by key (workload,
+// size, budget, timing) so the listing is deterministic regardless of
+// recording order.
+func (c *Cache) Residents() []Resident {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := make([]Resident, 0, len(c.entries))
+	for _, e := range c.entries {
+		if e.elem == nil {
+			continue // in flight
+		}
+		rs = append(rs, Resident{Key: e.key, Bytes: e.val.Bytes(), RawBytes: rawBytesOf(e.val)})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i].Key, rs[j].Key
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Size != b.Size {
+			return a.Size < b.Size
+		}
+		if a.MaxInsts != b.MaxInsts {
+			return a.MaxInsts < b.MaxInsts
+		}
+		return !a.Timing && b.Timing
+	})
+	return rs
 }

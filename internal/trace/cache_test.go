@@ -12,9 +12,12 @@ import (
 	"rarpred/internal/runerr"
 )
 
-// fullStream returns a stream occupying exactly chunks full chunks.
+// fullStream returns a stream occupying exactly chunks full chunks,
+// kept raw (unsealed) so its Bytes() is the exact chunkBytes multiple
+// the budget arithmetic below depends on.
 func fullStream(chunks int) *Stream {
 	s := NewStream()
+	s.compress = false
 	for i := 0; i < chunks*chunkEvents; i++ {
 		s.Append(KindLoad, 0, 0, 0)
 	}

@@ -22,13 +22,19 @@ import (
 // padding, fixed-size growth (no doubling spikes), and exact byte-size
 // accounting so recordings can live in the memory-bounded Cache. An
 // IStream is append-only while recording and immutable afterwards;
-// cursors over it are safe from many goroutines at once.
+// cursors over it are safe from many goroutines at once. Chunks seal
+// (compress, per codec.go) as they fill when compression is enabled,
+// exactly like Stream's.
 type IStream struct {
-	ichunks []*ichunk // one entry per committed instruction
-	mchunks []*mchunk // one entry per committed load or store
+	ichunks []*pairChunk // one (idx, next) record per committed instruction
+	mchunks []*pairChunk // one (addr, value) record per committed load or store
 
 	n    uint64 // committed instructions
 	mems uint64 // memory events among them
+
+	// compress is captured from the package-wide setting at NewIStream:
+	// whether chunks seal as they fill.
+	compress bool
 
 	// Counts is the full dynamic execution profile of the traced run,
 	// recorded so Validate can cross-check the tallies and so consumers
@@ -40,39 +46,93 @@ type IStream struct {
 	Truncated bool
 }
 
-// ichunk holds a fixed-capacity block of per-instruction records.
-type ichunk struct {
-	idx  []uint32 // instruction index (PC/4) — predecoded dispatch
-	next []uint32 // next PC after the instruction committed
+// pairChunk holds a fixed-capacity block of two-column records — the
+// per-instruction (idx, next) plane and the memory (addr, value) plane
+// share the shape. While raw, the column slices are live (backed by a
+// pooled pairScratch); once sealed, packed holds the compressed payload
+// and the raw columns are recycled.
+type pairChunk struct {
+	a []uint32
+	b []uint32
+
+	packed []byte // compressed payload once sealed; raw columns are nil
+	n      int    // records in the chunk once sealed
+
+	sc *pairScratch // pool box backing the raw columns, if pooled
 }
 
-// mchunk holds a fixed-capacity block of memory-event records. The
-// owning instruction is implicit: events append in commit order, one
-// per committed load or store.
-type mchunk struct {
-	addrs  []uint32
-	values []uint32
+func newPairChunk() *pairChunk {
+	sc := getPairScratch()
+	return &pairChunk{a: sc.a[:0], b: sc.b[:0], sc: sc}
+}
+
+// records returns the chunk's record count, sealed or raw.
+func (c *pairChunk) records() int {
+	if c.packed != nil {
+		return c.n
+	}
+	return len(c.a)
+}
+
+// seal compresses the chunk and recycles its raw columns. Sealing an
+// already-sealed or empty chunk is a no-op.
+func (c *pairChunk) seal() {
+	if c.packed != nil || len(c.a) == 0 {
+		return
+	}
+	c.n = len(c.a)
+	c.packed = packExact(func(dst []byte) []byte {
+		return encodePairChunk(dst, c.a, c.b)
+	})
+	if sc := c.sc; sc != nil {
+		sc.a, sc.b = c.a, c.b
+		c.sc = nil
+		putPairScratch(sc)
+	}
+	c.a, c.b = nil, nil
+}
+
+// columns returns the chunk's record columns for reading, decoding a
+// sealed chunk into sc (which the caller owns and reuses per chunk).
+func (c *pairChunk) columns(sc *pairScratch) (a, b []uint32) {
+	if c.packed == nil {
+		return c.a, c.b
+	}
+	if err := decodePairChunk(c.packed, sc); err != nil {
+		// A sealed chunk's payload was produced (or validated) by this
+		// package's own codec; failing to decode it is memory corruption,
+		// not an input error.
+		panic(fmt.Sprintf("trace: sealed pair chunk failed to decode: %v", err))
+	}
+	return sc.a, sc.b
+}
+
+// appendPair adds one record to the chunk plane, sealing the tail when
+// it fills (if compress) and growing the plane as needed.
+func appendPair(chunks []*pairChunk, compress bool, a, b uint32) []*pairChunk {
+	var c *pairChunk
+	if len(chunks) > 0 {
+		c = chunks[len(chunks)-1]
+	}
+	if c == nil || c.packed != nil || len(c.a) == chunkEvents {
+		if c != nil && compress {
+			c.seal()
+		}
+		c = newPairChunk()
+		chunks = append(chunks, c)
+	}
+	c.a = append(c.a, a)
+	c.b = append(c.b, b)
+	return chunks
 }
 
 // NewIStream returns an empty instruction stream ready for appends.
-func NewIStream() *IStream { return &IStream{} }
+func NewIStream() *IStream { return &IStream{compress: CompressionEnabled()} }
 
 // AppendInst adds one committed instruction: its predecoded index and
 // the PC that followed it.
 func (s *IStream) AppendInst(idx, next uint32) {
-	var c *ichunk
-	if len(s.ichunks) > 0 {
-		c = s.ichunks[len(s.ichunks)-1]
-	}
-	if c == nil || len(c.idx) == chunkEvents {
-		c = &ichunk{
-			idx:  make([]uint32, 0, chunkEvents),
-			next: make([]uint32, 0, chunkEvents),
-		}
-		s.ichunks = append(s.ichunks, c)
-	}
-	c.idx = append(c.idx, idx)
-	c.next = append(c.next, next)
+	s.ichunks = appendPair(s.ichunks, s.compress, idx, next)
 	s.n++
 }
 
@@ -80,20 +140,24 @@ func (s *IStream) AppendInst(idx, next uint32) {
 // address and the word read or written), owned by the next appended (or
 // just-appended) memory instruction.
 func (s *IStream) AppendMem(addr, value uint32) {
-	var c *mchunk
-	if len(s.mchunks) > 0 {
-		c = s.mchunks[len(s.mchunks)-1]
-	}
-	if c == nil || len(c.addrs) == chunkEvents {
-		c = &mchunk{
-			addrs:  make([]uint32, 0, chunkEvents),
-			values: make([]uint32, 0, chunkEvents),
-		}
-		s.mchunks = append(s.mchunks, c)
-	}
-	c.addrs = append(c.addrs, addr)
-	c.values = append(c.values, value)
+	s.mchunks = appendPair(s.mchunks, s.compress, addr, value)
 	s.mems++
+}
+
+// Seal compresses the partial tail chunk of both planes; recorders call
+// it when recording completes so a finished stream is fully packed. A
+// no-op when compression is off; later appends simply start new raw
+// chunks.
+func (s *IStream) Seal() {
+	if !s.compress {
+		return
+	}
+	if len(s.ichunks) > 0 {
+		s.ichunks[len(s.ichunks)-1].seal()
+	}
+	if len(s.mchunks) > 0 {
+		s.mchunks[len(s.mchunks)-1].seal()
+	}
 }
 
 // Len returns the number of committed instructions recorded.
@@ -106,11 +170,101 @@ func (s *IStream) MemEvents() uint64 { return s.mems }
 // next) and of one memory record (addr + value) alike: two words.
 const istreamEntryBytes = 8
 
-// Bytes returns the allocated size of the stream in bytes: full chunk
-// capacity (allocation, not occupancy) so the cache budget reflects
-// real memory use.
+// Bytes returns the resident size of the stream in bytes: the packed
+// payload for sealed chunks, full chunk capacity (allocation, not
+// occupancy) for raw ones — so the cache budget reflects real memory
+// use in either mode.
 func (s *IStream) Bytes() int64 {
-	return int64(len(s.ichunks)+len(s.mchunks)) * chunkEvents * istreamEntryBytes
+	var b int64
+	for _, planes := range [2][]*pairChunk{s.ichunks, s.mchunks} {
+		for _, c := range planes {
+			if c.packed != nil {
+				b += int64(len(c.packed))
+			} else {
+				b += chunkEvents * istreamEntryBytes
+			}
+		}
+	}
+	return b
+}
+
+// RawBytes returns the uncompressed payload size of the recorded stream
+// (occupancy at istreamEntryBytes per record), the numerator of the
+// compression ratio Bytes is the denominator of.
+func (s *IStream) RawBytes() int64 {
+	return int64(s.n+s.mems) * istreamEntryBytes
+}
+
+// NumInstChunks returns the number of chunks in the instruction plane
+// (the granularity of PackedInstChunk).
+func (s *IStream) NumInstChunks() int { return len(s.ichunks) }
+
+// NumMemChunks returns the number of chunks in the memory plane (the
+// granularity of PackedMemChunk).
+func (s *IStream) NumMemChunks() int { return len(s.mchunks) }
+
+// PackedInstChunk appends the canonical packed payload of instruction
+// chunk ci to dst and returns the extended slice (see
+// Stream.PackedChunk for the determinism contract).
+func (s *IStream) PackedInstChunk(ci int, dst []byte) []byte {
+	return packedPair(s.ichunks[ci], dst)
+}
+
+// PackedMemChunk appends the canonical packed payload of memory chunk
+// ci to dst and returns the extended slice.
+func (s *IStream) PackedMemChunk(ci int, dst []byte) []byte {
+	return packedPair(s.mchunks[ci], dst)
+}
+
+func packedPair(c *pairChunk, dst []byte) []byte {
+	if c.packed != nil {
+		return append(dst, c.packed...)
+	}
+	return encodePairChunk(dst, c.a, c.b)
+}
+
+// AppendPackedInstChunk validates payload as one packed pair chunk and
+// appends it to the instruction plane, updating the instruction tally.
+// Chunks must arrive in stream order; the error reports the first
+// structural defect without modifying the stream.
+func (s *IStream) AppendPackedInstChunk(payload []byte) error {
+	c, n, err := decodePackedPair(payload, s.compress)
+	if err != nil {
+		return err
+	}
+	s.ichunks = append(s.ichunks, c)
+	s.n += uint64(n)
+	return nil
+}
+
+// AppendPackedMemChunk validates payload as one packed pair chunk and
+// appends it to the memory plane, updating the memory tally.
+func (s *IStream) AppendPackedMemChunk(payload []byte) error {
+	c, n, err := decodePackedPair(payload, s.compress)
+	if err != nil {
+		return err
+	}
+	s.mchunks = append(s.mchunks, c)
+	s.mems += uint64(n)
+	return nil
+}
+
+func decodePackedPair(payload []byte, compress bool) (*pairChunk, int, error) {
+	sc := getPairScratch()
+	defer putPairScratch(sc)
+	if err := decodePairChunk(payload, sc); err != nil {
+		return nil, 0, err
+	}
+	n := len(sc.a)
+	if compress {
+		packed := make([]byte, len(payload))
+		copy(packed, payload)
+		return &pairChunk{packed: packed, n: n}, n, nil
+	}
+	c := newPairChunk()
+	c.a = append(c.a, sc.a...)
+	c.b = append(c.b, sc.b...)
+	return c, n, nil
 }
 
 // Validate cross-checks the recorded tallies against the execution
@@ -134,7 +288,14 @@ func (s *IStream) Validate() error {
 // caller interleaves them (one NextMem per memory instruction), which is
 // exactly the recorded order. The zero ICursor is not useful; obtain one
 // from Cursor. Each cursor is independent, so concurrent replays of one
-// immutable stream need no synchronisation.
+// immutable stream need no synchronisation — but a cursor must not be
+// copied once iteration has begun (copies would share decode scratch).
+//
+// A cursor owns one pooled decode buffer per plane, acquired eagerly at
+// Cursor and released back to the pool independently when each plane's
+// Next method first reports the end; after release that method keeps
+// returning ok=false. A cursor abandoned mid-stream leaves its buffers
+// to the GC.
 type ICursor struct {
 	s *IStream
 
@@ -147,22 +308,26 @@ type ICursor struct {
 	mi    int
 	maddr []uint32
 	mval  []uint32
+
+	isc *pairScratch // decode buffer for sealed instruction chunks
+	msc *pairScratch // decode buffer for sealed memory chunks
 }
 
 // Cursor returns a cursor positioned at the start of the stream.
 func (s *IStream) Cursor() ICursor {
-	c := ICursor{s: s}
+	c := ICursor{s: s, isc: getPairScratch(), msc: getPairScratch()}
 	if len(s.ichunks) > 0 {
-		c.idx, c.next = s.ichunks[0].idx, s.ichunks[0].next
+		c.idx, c.next = s.ichunks[0].columns(c.isc)
 	}
 	if len(s.mchunks) > 0 {
-		c.maddr, c.mval = s.mchunks[0].addrs, s.mchunks[0].values
+		c.maddr, c.mval = s.mchunks[0].columns(c.msc)
 	}
 	return c
 }
 
 // NextInst returns the next instruction record, or ok=false at the end
-// of the stream.
+// of the plane (which releases that plane's pooled decode buffer; the
+// memory plane may still be draining through NextMem).
 func (c *ICursor) NextInst() (idx, next uint32, ok bool) {
 	if c.ii < len(c.idx) {
 		idx, next = c.idx[c.ii], c.next[c.ii]
@@ -170,20 +335,24 @@ func (c *ICursor) NextInst() (idx, next uint32, ok bool) {
 		return idx, next, true
 	}
 	if c.ci+1 >= len(c.s.ichunks) {
+		if c.isc != nil {
+			putPairScratch(c.isc)
+			c.isc = nil
+		}
+		c.idx, c.next = nil, nil
+		c.ii, c.ci = 0, len(c.s.ichunks)
 		return 0, 0, false
 	}
 	c.ci++
-	ch := c.s.ichunks[c.ci]
-	c.idx, c.next, c.ii = ch.idx, ch.next, 1
-	if len(ch.idx) == 0 {
-		return 0, 0, false
-	}
-	return ch.idx[0], ch.next[0], true
+	c.idx, c.next = c.s.ichunks[c.ci].columns(c.isc)
+	c.ii = 1
+	return c.idx[0], c.next[0], true
 }
 
 // NextMem returns the next memory record, or ok=false when the stream
 // holds no further memory events (which a validated stream's consumer
-// never observes before its last memory instruction).
+// never observes before its last memory instruction; reporting the end
+// releases the plane's pooled decode buffer).
 func (c *ICursor) NextMem() (addr, value uint32, ok bool) {
 	if c.mi < len(c.maddr) {
 		addr, value = c.maddr[c.mi], c.mval[c.mi]
@@ -191,15 +360,18 @@ func (c *ICursor) NextMem() (addr, value uint32, ok bool) {
 		return addr, value, true
 	}
 	if c.mci+1 >= len(c.s.mchunks) {
+		if c.msc != nil {
+			putPairScratch(c.msc)
+			c.msc = nil
+		}
+		c.maddr, c.mval = nil, nil
+		c.mi, c.mci = 0, len(c.s.mchunks)
 		return 0, 0, false
 	}
 	c.mci++
-	ch := c.s.mchunks[c.mci]
-	c.maddr, c.mval, c.mi = ch.addrs, ch.values, 1
-	if len(ch.addrs) == 0 {
-		return 0, 0, false
-	}
-	return ch.addrs[0], ch.values[0], true
+	c.maddr, c.mval = c.s.mchunks[c.mci].columns(c.msc)
+	c.mi = 1
+	return c.maddr[0], c.mval[0], true
 }
 
 // RecordIStream executes prog functionally (up to maxInsts; 0 = to
@@ -257,6 +429,7 @@ func RecordIStreamContext(ctx context.Context, prog *isa.Program, maxInsts uint6
 		s.AppendInst(pc>>2, sim.PC)
 	}
 	s.Counts = sim.Counts
+	s.Seal()
 	return s, nil
 }
 
@@ -295,5 +468,6 @@ func RecordIStreamBaselineContext(ctx context.Context, prog *isa.Program, maxIns
 		s.AppendInst(pc>>2, sim.PC)
 	}
 	s.Counts = sim.Counts
+	s.Seal()
 	return s, nil
 }

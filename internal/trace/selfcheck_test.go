@@ -9,6 +9,9 @@ import (
 
 func buildStream(n int) *Stream {
 	s := NewStream()
+	// Raw chunks throughout: these tests corrupt and compare chunk
+	// internals directly, which only exist unsealed.
+	s.compress = false
 	for i := 0; i < n; i++ {
 		kind := KindLoad
 		if i%3 == 0 {

@@ -20,11 +20,23 @@ import (
 //
 // A Stream is append-only while recording and immutable afterwards;
 // replaying is safe from many goroutines at once.
+//
+// Recording appends into raw struct-of-arrays chunks (the fast path);
+// when compression is enabled, a chunk seals — compresses to the
+// columnar delta/varint form in codec.go — as soon as it fills, and
+// Seal compresses the partial tail when recording completes. Replay
+// decodes one sealed chunk at a time into a pooled scratch buffer, so
+// resident memory is the compressed bytes plus at most one decoded
+// chunk per active consumer.
 type Stream struct {
 	chunks []*chunk
 
 	n     int    // total events
 	loads uint64 // load events among n
+
+	// compress is captured from the package-wide setting at NewStream:
+	// whether chunks seal as they fill.
+	compress bool
 
 	// Counts is the full dynamic execution profile of the traced run, so
 	// experiments that report fractions over all instructions (or branch
@@ -40,25 +52,82 @@ type Stream struct {
 // event; one chunk is ~832 KiB of payload).
 const chunkEvents = 1 << 16
 
-// chunk holds a fixed-capacity struct-of-arrays block.
+// chunk holds a fixed-capacity struct-of-arrays block. While raw, the
+// four column slices are live (backed by a pooled eventScratch); once
+// sealed, packed holds the compressed payload, n the event count, and
+// the raw columns are recycled.
 type chunk struct {
 	kinds  []uint8
 	pcs    []uint32
 	addrs  []uint32
 	values []uint32
+
+	packed []byte // compressed payload once sealed; raw columns are nil
+	n      int    // events in the chunk once sealed
+
+	sc *eventScratch // pool box backing the raw columns, if pooled
 }
 
 func newChunk() *chunk {
+	sc := getEventScratch()
 	return &chunk{
-		kinds:  make([]uint8, 0, chunkEvents),
-		pcs:    make([]uint32, 0, chunkEvents),
-		addrs:  make([]uint32, 0, chunkEvents),
-		values: make([]uint32, 0, chunkEvents),
+		kinds:  sc.kinds[:0],
+		pcs:    sc.pcs[:0],
+		addrs:  sc.addrs[:0],
+		values: sc.values[:0],
+		sc:     sc,
 	}
 }
 
+// events returns the chunk's event count, sealed or raw.
+func (c *chunk) events() int {
+	if c.packed != nil {
+		return c.n
+	}
+	return len(c.kinds)
+}
+
+// seal compresses the chunk and recycles its raw columns. Sealing an
+// already-sealed or empty chunk is a no-op.
+func (c *chunk) seal() {
+	if c.packed != nil || len(c.kinds) == 0 {
+		return
+	}
+	c.n = len(c.kinds)
+	c.packed = packExact(func(dst []byte) []byte {
+		return encodeEventChunk(dst, c.kinds, c.pcs, c.addrs, c.values)
+	})
+	if sc := c.sc; sc != nil {
+		sc.kinds, sc.pcs, sc.addrs, sc.values = c.kinds, c.pcs, c.addrs, c.values
+		c.sc = nil
+		putEventScratch(sc)
+	}
+	c.kinds, c.pcs, c.addrs, c.values = nil, nil, nil, nil
+}
+
+// columns returns the chunk's event columns for reading. A raw chunk's
+// columns are returned directly; a sealed chunk decodes into *scp,
+// acquiring the scratch from the pool on first use (the caller releases
+// it with putEventScratch when done iterating).
+func (c *chunk) columns(scp **eventScratch) (kinds []uint8, pcs, addrs, values []uint32) {
+	if c.packed == nil {
+		return c.kinds, c.pcs, c.addrs, c.values
+	}
+	if *scp == nil {
+		*scp = getEventScratch()
+	}
+	sc := *scp
+	if _, err := decodeEventChunk(c.packed, sc); err != nil {
+		// A sealed chunk's payload was produced (or validated) by this
+		// package's own codec; failing to decode it is memory corruption,
+		// not an input error.
+		panic(fmt.Sprintf("trace: sealed chunk failed to decode: %v", err))
+	}
+	return sc.kinds, sc.pcs, sc.addrs, sc.values
+}
+
 // NewStream returns an empty stream ready for Append.
-func NewStream() *Stream { return &Stream{} }
+func NewStream() *Stream { return &Stream{compress: CompressionEnabled()} }
 
 // Append adds one event to the stream.
 func (s *Stream) Append(kind Kind, pc, addr, value uint32) {
@@ -66,7 +135,10 @@ func (s *Stream) Append(kind Kind, pc, addr, value uint32) {
 	if len(s.chunks) > 0 {
 		c = s.chunks[len(s.chunks)-1]
 	}
-	if c == nil || len(c.kinds) == chunkEvents {
+	if c == nil || c.packed != nil || len(c.kinds) == chunkEvents {
+		if c != nil && s.compress {
+			c.seal()
+		}
 		c = newChunk()
 		s.chunks = append(s.chunks, c)
 	}
@@ -86,6 +158,17 @@ func (s *Stream) Append(kind Kind, pc, addr, value uint32) {
 	}
 }
 
+// Seal compresses the partial tail chunk; recorders call it when
+// recording completes so a finished stream is fully packed. A no-op
+// when compression is off or the tail is already sealed; later Appends
+// simply start a new raw chunk.
+func (s *Stream) Seal() {
+	if !s.compress || len(s.chunks) == 0 {
+		return
+	}
+	s.chunks[len(s.chunks)-1].seal()
+}
+
 // Len returns the number of recorded events.
 func (s *Stream) Len() int { return s.n }
 
@@ -96,12 +179,26 @@ func (s *Stream) Loads() uint64 { return s.loads }
 // layout: 1 (kind) + 4 (PC) + 4 (addr) + 4 (value).
 const eventBytes = 13
 
-// Bytes returns the allocated size of the stream in bytes: full chunk
-// capacity (allocation, not occupancy) so the cache budget reflects real
-// memory use.
+// Bytes returns the resident size of the stream in bytes: the packed
+// payload for sealed chunks, full chunk capacity (allocation, not
+// occupancy) for raw ones — so the cache budget reflects real memory
+// use in either mode.
 func (s *Stream) Bytes() int64 {
-	return int64(len(s.chunks)) * chunkEvents * eventBytes
+	var b int64
+	for _, c := range s.chunks {
+		if c.packed != nil {
+			b += int64(len(c.packed))
+		} else {
+			b += chunkEvents * eventBytes
+		}
+	}
+	return b
 }
+
+// RawBytes returns the uncompressed payload size of the recorded events
+// (occupancy at eventBytes per event), the numerator of the compression
+// ratio Bytes is the denominator of.
+func (s *Stream) RawBytes() int64 { return int64(s.n) * eventBytes }
 
 // Replay feeds the stream to the sinks, in recorded order. Every sink
 // sees every event before the next event is delivered (lockstep), so
@@ -120,18 +217,23 @@ func (s *Stream) Replay(sinks ...Sink) {
 	for i, snk := range sinks {
 		onLoads[i], onStores[i] = sinkCallbacks(snk)
 	}
+	var sc *eventScratch
 	for _, c := range s.chunks {
-		for i, k := range c.kinds {
+		kinds, pcs, addrs, values := c.columns(&sc)
+		for i, k := range kinds {
 			if Kind(k) == KindLoad {
 				for _, onLoad := range onLoads {
-					onLoad(c.pcs[i], c.addrs[i], c.values[i])
+					onLoad(pcs[i], addrs[i], values[i])
 				}
 			} else {
 				for _, onStore := range onStores {
-					onStore(c.pcs[i], c.addrs[i], c.values[i])
+					onStore(pcs[i], addrs[i], values[i])
 				}
 			}
 		}
+	}
+	if sc != nil {
+		putEventScratch(sc)
 	}
 }
 
@@ -149,14 +251,19 @@ func (s *Stream) NumChunks() int { return len(s.chunks) }
 // that event kind, exactly like the interface path.
 func (s *Stream) ReplayChunks(lo, hi int, snk Sink) {
 	onLoad, onStore := sinkCallbacks(snk)
+	var sc *eventScratch
 	for _, c := range s.chunks[lo:hi] {
-		for i, k := range c.kinds {
+		kinds, pcs, addrs, values := c.columns(&sc)
+		for i, k := range kinds {
 			if Kind(k) == KindLoad {
-				onLoad(c.pcs[i], c.addrs[i], c.values[i])
+				onLoad(pcs[i], addrs[i], values[i])
 			} else {
-				onStore(c.pcs[i], c.addrs[i], c.values[i])
+				onStore(pcs[i], addrs[i], values[i])
 			}
 		}
+	}
+	if sc != nil {
+		putEventScratch(sc)
 	}
 }
 
@@ -237,14 +344,64 @@ func (s *Stream) Validate() error {
 // binary file format (Save/Load).
 func (s *Stream) Trace() *Trace {
 	t := &Trace{Events: make([]Event, 0, s.n), Insts: s.Counts.Insts}
+	var sc *eventScratch
 	for _, c := range s.chunks {
-		for i, k := range c.kinds {
+		kinds, pcs, addrs, values := c.columns(&sc)
+		for i, k := range kinds {
 			t.Events = append(t.Events, Event{
-				Kind: Kind(k), PC: c.pcs[i], Addr: c.addrs[i], Value: c.values[i],
+				Kind: Kind(k), PC: pcs[i], Addr: addrs[i], Value: values[i],
 			})
 		}
 	}
+	if sc != nil {
+		putEventScratch(sc)
+	}
 	return t
+}
+
+// PackedChunk appends the canonical packed payload of chunk ci to dst
+// and returns the extended slice. A sealed chunk's stored payload is
+// copied verbatim; a raw chunk encodes on the fly — the encoder is
+// deterministic, so both routes yield identical bytes for identical
+// events (the store's load-time re-encode oracle relies on that).
+func (s *Stream) PackedChunk(ci int, dst []byte) []byte {
+	c := s.chunks[ci]
+	if c.packed != nil {
+		return append(dst, c.packed...)
+	}
+	return encodeEventChunk(dst, c.kinds, c.pcs, c.addrs, c.values)
+}
+
+// AppendPackedChunk validates payload as one packed event chunk and
+// appends it to the stream, updating the event tallies from the decoded
+// contents. When compression is on, the exact payload bytes become the
+// sealed chunk; when off, the decoded raw columns are kept. Chunks must
+// arrive in stream order; the error reports the first structural defect
+// without modifying the stream.
+func (s *Stream) AppendPackedChunk(payload []byte) error {
+	sc := getEventScratch()
+	defer putEventScratch(sc)
+	loads, err := decodeEventChunk(payload, sc)
+	if err != nil {
+		return err
+	}
+	n := len(sc.kinds)
+	var c *chunk
+	if s.compress {
+		packed := make([]byte, len(payload))
+		copy(packed, payload)
+		c = &chunk{packed: packed, n: n}
+	} else {
+		c = newChunk()
+		c.kinds = append(c.kinds, sc.kinds...)
+		c.pcs = append(c.pcs, sc.pcs...)
+		c.addrs = append(c.addrs, sc.addrs...)
+		c.values = append(c.values, sc.values...)
+	}
+	s.chunks = append(s.chunks, c)
+	s.n += n
+	s.loads += uint64(loads)
+	return nil
 }
 
 // SinkFuncs adapts plain load/store callbacks to the Sink interface. A
@@ -295,6 +452,7 @@ func RecordStreamContext(ctx context.Context, prog *isa.Program, maxInsts uint64
 		s.Truncated = true
 	}
 	s.Counts = sim.Counts
+	s.Seal()
 	return s, nil
 }
 
@@ -341,5 +499,6 @@ func RecordStreamBaselineContext(ctx context.Context, prog *isa.Program, maxInst
 		}
 	}
 	s.Counts = sim.Counts
+	s.Seal()
 	return s, nil
 }
