@@ -63,6 +63,7 @@ import (
 
 	"rarpred/internal/cloak"
 	"rarpred/internal/experiments"
+	"rarpred/internal/metrics"
 	"rarpred/internal/pipeline"
 	"rarpred/internal/store"
 	"rarpred/internal/trace"
@@ -98,6 +99,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		keepgoing  = fs.Bool("keepgoing", false, "on experiment failure, report it and continue with the rest")
 		storeDir   = fs.String("store", "", "directory for durable artifacts: persisted trace recordings and the suite run journal")
 		resume     = fs.Bool("resume", false, "with -store: replay cells the journal recorded as complete and simulate only the remainder")
+		progress   = fs.Bool("progress", false, "periodic one-line status on stderr (cells done/total, ETA, cache residency, Minsts/s); redraws in place on a TTY, plain lines otherwise")
+		httpmon    = fs.String("httpmon", "", "serve live monitoring on this address (host:port; :0 picks a port): /metrics is a JSON snapshot of every counter, plus net/http/pprof")
 		selfcheck  = fs.Bool("check", false, "arm the differential oracles and invariant sweeps: cloak/pipeline self-checks, replay-vs-live stream verification, and (unless -seq) a sequential shadow run compared against the scheduler's output")
 	)
 	fs.IntVar(parallel, "parallelism", 0, "alias of -p")
@@ -164,6 +167,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// Monitoring writes only to stderr (and the HTTP socket), so the
+	// suite report on stdout is byte-identical with or without it. Both
+	// are torn down by deferred calls, which run after the signal-aware
+	// context has drained the run — a SIGINT/SIGTERM exit shuts the
+	// server down as cleanly as a natural finish.
+	if *httpmon != "" {
+		shutdownMon, err := startHTTPMon(*httpmon, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "rarsim: -httpmon: %v\n", err)
+			return 1
+		}
+		defer shutdownMon()
+	}
+	if *progress {
+		mon := startProgress(stderr)
+		defer mon.close()
 	}
 
 	opt := experiments.Options{
@@ -364,18 +385,53 @@ func cellCost(benchPath string, jnl *store.Journal) func(exp, wl string) (float6
 }
 
 // loadBenchSeconds parses just the per-cell timings out of an earlier
-// -benchjson payload — the -benchjson path if that file already exists,
-// else BENCH_suite.json in the working directory. Cost estimation is
-// best effort: any missing file or parse problem means "no estimates",
-// never a failed run. Cells the earlier run resumed from its journal
-// carry near-zero seconds and are skipped rather than mistaken for
-// cheap.
+// -benchjson payload. Two files can hold history: the file named by
+// -benchjson (usually last run's output, about to be overwritten) and
+// the committed BENCH_suite.json in the working directory. The sources
+// are tried newest-modification-first — an old leftover at the
+// -benchjson path must not shadow a freshly regenerated
+// BENCH_suite.json — with an exact tie going to the explicitly named
+// path (the user pointed at it). Cost estimation is best effort: any
+// missing file or parse problem just falls through to the other
+// source, then to "no estimates", never a failed run. Cells the
+// earlier run resumed from its journal carry near-zero seconds and are
+// skipped rather than mistaken for cheap.
 func loadBenchSeconds(benchPath string) map[[2]string]float64 {
-	data, err := os.ReadFile(benchPath)
-	if benchPath == "" || err != nil {
-		if data, err = os.ReadFile("BENCH_suite.json"); err != nil {
-			return nil
+	for _, path := range benchSourceOrder(benchPath, "BENCH_suite.json") {
+		if m := parseBenchSeconds(path); m != nil {
+			return m
 		}
+	}
+	return nil
+}
+
+// benchSourceOrder ranks the candidate timing files newest-first by
+// modification time; a tie (or an unstattable fallback) keeps the
+// explicitly named path first.
+func benchSourceOrder(benchPath, fallback string) []string {
+	if benchPath == "" || benchPath == fallback {
+		return []string{fallback}
+	}
+	bi, berr := os.Stat(benchPath)
+	fi, ferr := os.Stat(fallback)
+	switch {
+	case berr != nil:
+		return []string{fallback, benchPath}
+	case ferr != nil:
+		return []string{benchPath, fallback}
+	case bi.ModTime().Before(fi.ModTime()):
+		return []string{fallback, benchPath}
+	default:
+		return []string{benchPath, fallback}
+	}
+}
+
+// parseBenchSeconds extracts non-resumed per-cell seconds from one
+// benchjson file, or nil if the file is missing, unparsable, or empty.
+func parseBenchSeconds(path string) map[[2]string]float64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
 	}
 	var doc struct {
 		Experiments []struct {
@@ -462,8 +518,11 @@ func shadowCompare(opt experiments.Options, todo []experiments.Experiment, sched
 // version 3 added the optional artifact-store section (disk tier and
 // resume statistics) and the per-cell resumed flag; version 4 added
 // trace compression accounting (trace_cache raw/resident bytes and
-// ratio, store raw_bytes_written).
-const benchSchemaVersion = 4
+// ratio, store raw_bytes_written); version 5 added the metrics section,
+// a verbatim snapshot of the unified registry (counters, gauges,
+// span histograms) taken at report time — the same snapshot -httpmon
+// serves, so the two reporting paths cannot drift.
+const benchSchemaVersion = 5
 
 // benchReport is the -benchjson payload: machine-readable timings for
 // the whole sweep.
@@ -481,6 +540,10 @@ type benchReport struct {
 	// Store reports the durable artifact tier; present only when the run
 	// used -store.
 	Store *benchStore `json:"store,omitempty"`
+	// Metrics is the unified registry's end-of-run snapshot (schema v5).
+	// The cache and store sections above are derived from the same
+	// instruments, so the numbers agree by construction.
+	Metrics metrics.Snapshot `json:"metrics"`
 
 	store        *store.Store // nil without -store
 	resumedCells int
@@ -577,6 +640,7 @@ func (b *benchReport) add(item experiments.SuiteItem) {
 
 func (b *benchReport) write(path string) error {
 	b.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	b.Metrics = metrics.Default().Snapshot()
 	st := experiments.TraceCache().Stats()
 	b.TraceCache = benchCache{
 		Hits:               st.Hits,

@@ -106,7 +106,11 @@ func TestWorkloadTimeoutAnnotates(t *testing.T) {
 	defer faultsim.Reset()
 	faultsim.Inject(wname(t, "tom"), faultsim.Fault{Kind: faultsim.Stall})
 
-	code, out, errw := runCLI("-exp", "table51", "-workload-timeout", "50ms",
+	// The deadline only needs to be shorter than forever (tom stalls until
+	// cancelled); it must be long enough that the healthy go cell cannot
+	// blow it on a slow or race-instrumented run, or the whole experiment
+	// fails and no partial result is rendered.
+	code, out, errw := runCLI("-exp", "table51", "-workload-timeout", "1s",
 		"-size", "17", "-bench", "go,tom")
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errw)

@@ -79,8 +79,8 @@ func TestStorePersistsAndServesAcrossRuns(t *testing.T) {
 	if benchStoreField(t, m1, "bytes_written") == 0 || benchStoreField(t, m1, "disk_misses") == 0 {
 		t.Fatalf("first run wrote nothing to the store: %v", m1["store"])
 	}
-	if v := m1["schema_version"].(float64); v != 4 {
-		t.Fatalf("benchjson schema_version = %v, want 4", v)
+	if v := m1["schema_version"].(float64); v != benchSchemaVersion {
+		t.Fatalf("benchjson schema_version = %v, want %d", v, benchSchemaVersion)
 	}
 
 	for _, ab := range []string{"go", "gcc"} {

@@ -395,6 +395,7 @@ func tracedCells[T any](
 				if err != nil {
 					return zero, err
 				}
+				defer startSpan("cell/replay").End()
 				return fn(opt, w, tr)
 			},
 		},
@@ -493,6 +494,7 @@ func runCells(opt Options, r CellRunner) (Result, error) {
 // the pool worker that happened to retire the last cell (which still
 // owns queued cells and their stream pins).
 func assembleCells(opt Options, r CellRunner, ws []workload.Workload, rows []any, fails []*runerr.WorkloadError) (res Result, err error) {
+	defer startSpan("assemble").End()
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, runerr.FromPanic("assemble", p, debug.Stack())
@@ -584,6 +586,7 @@ func workloadStream(ctx context.Context, opt Options, w workload.Workload, size 
 
 	key := trace.Key{Workload: w.Name, Size: size, MaxInsts: maxInsts}
 	record := func() (*trace.Stream, error) {
+		defer startSpan("cell/record").End()
 		tr, err := trace.RecordStreamContext(ctx, w.Program(size), maxInsts, faultsim.Hook(w.Name, ctx))
 		if err == nil && faultsim.Enabled() && faultsim.ShouldCorrupt(w.Name) {
 			// One spurious event desynchronises the tally from the

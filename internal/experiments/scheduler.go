@@ -124,7 +124,10 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 
 	ws := opt.workloads()
 	states := make([]*suiteExp, len(exps))
-	type job struct{ ei, wi int }
+	type job struct {
+		ei, wi int
+		estMs  int64 // ETA cost estimate (suite.cost_* gauges)
+	}
 	var jobs []job
 	var fullyResumed []int // experiments with every cell journaled
 	for ei, e := range exps {
@@ -135,7 +138,7 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 			st.errs = make([]error, 1)
 			st.stats = make([]CellStat, 1)
 			st.pending.Store(1)
-			jobs = append(jobs, job{ei, -1})
+			jobs = append(jobs, job{ei: ei, wi: -1})
 		} else {
 			st.rows = make([]any, len(ws))
 			st.errs = make([]error, len(ws))
@@ -168,7 +171,7 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 					continue
 				}
 				remaining++
-				jobs = append(jobs, job{ei, wi})
+				jobs = append(jobs, job{ei: ei, wi: wi})
 				// Pin the stream this cell will consume, so the cache
 				// cannot evict a hot stream between now and the pool
 				// reaching the cell. Resumed cells never touch their
@@ -253,10 +256,12 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 	// the sort is stable, so with no estimates at all the original order
 	// survives. Only execution order changes: stream pins were taken
 	// above and delivery is buffered into suite order regardless.
+	cost := make([]float64, len(jobs))
+	for i := range cost {
+		cost[i] = math.Inf(1)
+	}
 	if opt.CellCost != nil {
-		cost := make([]float64, len(jobs))
 		for i, j := range jobs {
-			cost[i] = math.Inf(1)
 			if j.wi >= 0 {
 				if sec, ok := opt.CellCost(exps[j.ei].ID, ws[j.wi].Name); ok {
 					cost[i] = sec
@@ -269,19 +274,35 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 		}
 		sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
 		sorted := make([]job, len(jobs))
+		sortedCost := make([]float64, len(jobs))
 		for i, k := range order {
-			sorted[i] = jobs[k]
+			sorted[i], sortedCost[i] = jobs[k], cost[k]
 		}
-		jobs = sorted
+		jobs, cost = sorted, sortedCost
 	}
+
+	// Stamp each job with its ETA estimate and reset the suite gauges
+	// the -progress ticker reads. The estimates feed monitoring only;
+	// scheduling ran on the raw costs above.
+	var totalMs int64
+	for i, est := range estimateCosts(cost) {
+		jobs[i].estMs = int64(est * 1e3)
+		totalMs += jobs[i].estMs
+	}
+	workers := opt.parallelism()
+	suiteCellsTotal.Set(int64(len(jobs)))
+	suiteCellsDone.Set(0)
+	suiteQueueDepth.Set(int64(len(jobs)))
+	suiteWorkers.Set(int64(workers))
+	suiteWorkersBusy.Set(0)
+	suiteCostTotal.Set(totalMs)
+	suiteCostDone.Set(0)
 
 	queue := make(chan job, len(jobs))
 	for _, j := range jobs {
 		queue <- j
 	}
 	close(queue)
-
-	workers := opt.parallelism()
 	var busy int64 // nanoseconds, atomic
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
@@ -291,6 +312,9 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 			for j := range queue {
 				st := states[j.ei]
 				st.startOnce.Do(func() { st.start = time.Now() })
+				suiteQueueDepth.Add(-1)
+				suiteWorkersBusy.Add(1)
+				span := startSpan("cell")
 				cellStart := time.Now()
 				var row any
 				var err error
@@ -314,6 +338,10 @@ func RunSuite(opt Options, exps []Experiment, deliver func(SuiteItem) bool) Suit
 					}
 				}
 				elapsed := time.Since(cellStart)
+				span.End()
+				suiteWorkersBusy.Add(-1)
+				suiteCellsDone.Add(1)
+				suiteCostDone.Add(j.estMs)
 				if j.wi >= 0 && err == nil && opt.Journal != nil {
 					// Journal the finished cell durably, best effort: a
 					// failed append costs only this cell's resumability,

@@ -78,6 +78,7 @@ func runTimingConfigs(ctx context.Context, opt Options, w workload.Workload, siz
 	}
 	prog := w.Program(size)
 	err = parallelSims(ctx, len(cfgs), func(i int) error {
+		defer startSpan("cell/replay").End()
 		res, err := pipeline.NewReplay(prog, is, cfgs[i]).Run()
 		results[i] = res
 		if err != nil {
@@ -96,6 +97,7 @@ func runTimingConfigs(ctx context.Context, opt Options, w workload.Workload, siz
 func workloadIStream(ctx context.Context, opt Options, w workload.Workload, size int, maxInsts uint64) (*trace.IStream, error) {
 	key := trace.Key{Workload: w.Name, Size: size, MaxInsts: maxInsts, Timing: true}
 	record := func() (*trace.IStream, error) {
+		defer startSpan("cell/record").End()
 		is, err := trace.RecordIStreamContext(ctx, w.Program(size), maxInsts, faultsim.Hook(w.Name, ctx))
 		if err == nil && faultsim.Enabled() && faultsim.ShouldCorrupt(w.Name) {
 			// One spurious memory record desynchronises the tally from the

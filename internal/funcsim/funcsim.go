@@ -16,7 +16,16 @@ import (
 
 	"rarpred/internal/isa"
 	"rarpred/internal/mem"
+	"rarpred/internal/metrics"
 )
+
+// InstsCommitted counts instructions committed by every functional
+// simulation in the process (the -progress Minsts/s source). The
+// Step-driven recording loops in internal/trace add to the same
+// instrument by name, so one counter covers all architectural
+// execution. Run flushes in InterruptEvery batches — at poll points
+// and on exit — so the hot loop pays nothing per instruction.
+var InstsCommitted = metrics.Default().Counter("funcsim.insts_committed")
 
 // MemEvent describes one committed memory access.
 type MemEvent struct {
@@ -373,6 +382,8 @@ func (s *Sim) Run(max uint64) error {
 	insts := s.Prog.Insts
 	limit := uint32(len(insts)) * 4
 	countdown := 0 // polls Interrupt on the first iteration, then every InterruptEvery
+	flushed := s.Counts.Insts
+	defer func() { InstsCommitted.Add(s.Counts.Insts - flushed) }()
 	for !s.Halted {
 		if max != 0 && s.Counts.Insts >= max {
 			return ErrMaxInsts
@@ -380,6 +391,8 @@ func (s *Sim) Run(max uint64) error {
 		if s.Interrupt != nil {
 			if countdown == 0 {
 				countdown = InterruptEvery
+				InstsCommitted.Add(s.Counts.Insts - flushed)
+				flushed = s.Counts.Insts
 				if err := s.Interrupt(); err != nil {
 					return fmt.Errorf("funcsim: interrupted after %d insts: %w", s.Counts.Insts, err)
 				}

@@ -37,7 +37,15 @@ import (
 	"rarpred/internal/cloak"
 	"rarpred/internal/funcsim"
 	"rarpred/internal/isa"
+	"rarpred/internal/metrics"
 )
+
+// instsCommitted counts instructions the timing model has processed
+// across every pipeline simulation in the process (timing and
+// functional-sampling phases alike) — the -progress throughput source
+// for the cycle-level experiments. Run flushes it in batches so the
+// per-instruction loop pays one local increment.
+var instsCommitted = metrics.Default().Counter("pipeline.insts_committed")
 
 // MemSpecPolicy selects how loads are scheduled against earlier stores.
 type MemSpecPolicy uint8
@@ -506,6 +514,8 @@ func (s *Sim) Run() (Result, error) {
 	if s.cfg.SampleRatio > 0 {
 		phaseLeft = obs
 	}
+	var pending uint64
+	defer func() { instsCommitted.Add(pending) }()
 	for {
 		if s.cfg.MaxInsts != 0 && s.res.Insts >= s.cfg.MaxInsts {
 			break
@@ -533,6 +543,10 @@ func (s *Sim) Run() (Result, error) {
 			s.step()
 		} else {
 			s.stepFunctional()
+		}
+		if pending++; pending == uint64(funcsim.InterruptEvery) {
+			instsCommitted.Add(pending)
+			pending = 0
 		}
 		if s.cfg.SampleRatio > 0 {
 			phaseLeft--

@@ -7,10 +7,10 @@ import (
 	"io"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"rarpred/internal/check"
+	"rarpred/internal/metrics"
 	"rarpred/internal/runerr"
 	"rarpred/internal/trace"
 )
@@ -66,12 +66,15 @@ type Store struct {
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
 
-	diskHits, diskMisses    atomic.Uint64
-	bytesRead, bytesWritten atomic.Uint64
-	rawBytesWritten         atomic.Uint64
-	quarantines             atomic.Uint64
-	retries                 atomic.Uint64
-	saveErrors              atomic.Uint64
+	// Counters are metrics instruments so RegisterMetrics can expose
+	// the store's own books — Stats, -benchjson, and /metrics all read
+	// the same atomics.
+	diskHits, diskMisses    metrics.Counter
+	bytesRead, bytesWritten metrics.Counter
+	rawBytesWritten         metrics.Counter
+	quarantines             metrics.Counter
+	retries                 metrics.Counter
+	saveErrors              metrics.Counter
 }
 
 // Option customises Open.
@@ -87,6 +90,14 @@ func WithRetry(p RetryPolicy) Option { return func(s *Store) { s.retry = p } }
 // WithSleep substitutes the backoff sleeper (tests pass a no-op).
 func WithSleep(f func(time.Duration)) Option { return func(s *Store) { s.sleep = f } }
 
+// WithJitterSource substitutes the backoff jitter's randomness source.
+// Tests inject a fixed seed for reproducible backoff sequences; by
+// default every Store draws its own seed so no two stores — in one
+// process or across processes sharing a disk — jitter in lockstep.
+func WithJitterSource(src rand.Source) Option {
+	return func(s *Store) { s.jitter = rand.New(src) }
+}
+
 // Open creates (or reuses) the artifact store rooted at dir.
 func Open(dir string, opts ...Option) (*Store, error) {
 	s := &Store{
@@ -94,9 +105,12 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		fs:    OS{},
 		retry: DefaultRetry,
 		sleep: time.Sleep,
-		// Deterministically seeded: jitter decorrelates concurrent
-		// retries within a run; it does not need to differ across runs.
-		jitter: rand.New(rand.NewSource(1)),
+		// Seeded from the process-global generator (itself randomly
+		// seeded since Go 1.20), so concurrent retries desynchronise
+		// across stores and across processes contending on one disk.
+		// Backoff jitter is the one place the store is deliberately
+		// nondeterministic; tests pin it with WithJitterSource.
+		jitter: rand.New(rand.NewSource(rand.Int63())),
 	}
 	for _, o := range opts {
 		o(s)
@@ -130,15 +144,31 @@ func (s *Store) artifactPath(key trace.Key) string {
 // atomic).
 func (s *Store) Stats() Stats {
 	return Stats{
-		DiskHits:        s.diskHits.Load(),
-		DiskMisses:      s.diskMisses.Load(),
-		BytesRead:       s.bytesRead.Load(),
-		BytesWritten:    s.bytesWritten.Load(),
-		RawBytesWritten: s.rawBytesWritten.Load(),
-		Quarantines:     s.quarantines.Load(),
-		Retries:         s.retries.Load(),
-		SaveErrors:      s.saveErrors.Load(),
+		DiskHits:        s.diskHits.Value(),
+		DiskMisses:      s.diskMisses.Value(),
+		BytesRead:       s.bytesRead.Value(),
+		BytesWritten:    s.bytesWritten.Value(),
+		RawBytesWritten: s.rawBytesWritten.Value(),
+		Quarantines:     s.quarantines.Value(),
+		Retries:         s.retries.Value(),
+		SaveErrors:      s.saveErrors.Value(),
 	}
+}
+
+// RegisterMetrics attaches the store's counters to r under prefix
+// ("store", say). The instruments are the store's own — the same
+// atomics Stats reads — so the registry, -benchjson, and -tracestats
+// can never disagree. A reopened store re-registering the prefix
+// replaces the previous instance's instruments.
+func (s *Store) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.RegisterCounter(prefix+".disk_hits", &s.diskHits)
+	r.RegisterCounter(prefix+".disk_misses", &s.diskMisses)
+	r.RegisterCounter(prefix+".bytes_read", &s.bytesRead)
+	r.RegisterCounter(prefix+".bytes_written", &s.bytesWritten)
+	r.RegisterCounter(prefix+".raw_bytes_written", &s.rawBytesWritten)
+	r.RegisterCounter(prefix+".quarantines", &s.quarantines)
+	r.RegisterCounter(prefix+".retries", &s.retries)
+	r.RegisterCounter(prefix+".save_errors", &s.saveErrors)
 }
 
 // backoff sleeps before retry attempt n (0-based), exponential with up

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 
+	"rarpred/internal/check"
+	"rarpred/internal/metrics"
 	"rarpred/internal/runerr"
 )
 
@@ -47,11 +49,9 @@ type Tier interface {
 // Completed entries are evicted least-recently-used once the total
 // payload exceeds the byte budget. A Cache is safe for concurrent use.
 type Cache struct {
-	mu       sync.Mutex
-	budget   int64
-	bytes    int64
-	rawBytes int64 // uncompressed payload of the resident entries
-	tier     Tier
+	mu      sync.Mutex
+	budget  int64
+	tier    Tier
 	entries map[Key]*cacheEntry
 	lru     *list.List // completed entries; front = most recently used
 
@@ -61,7 +61,16 @@ type Cache struct {
 	// never drops a hot stream only to re-record it moments later.
 	pins map[Key]int
 
-	hits, misses, evictions uint64
+	// Accounting lives in metrics instruments so a registry (see
+	// RegisterMetrics) reads the very numbers the cache runs on — one
+	// set of books for eviction decisions, Stats, -benchjson, and the
+	// /metrics endpoint. All mutations happen under mu; the instruments'
+	// atomics only buy lock-free reads for monitors.
+	bytes     metrics.Gauge // resident (compressed) payload vs budget
+	rawBytes  metrics.Gauge // uncompressed payload of the same entries
+	hits      metrics.Counter
+	misses    metrics.Counter
+	evictions metrics.Counter
 }
 
 // testWaiterJoined, when non-nil, is called once a Get has committed to
@@ -211,7 +220,7 @@ func (c *Cache) getContext(ctx context.Context, key Key, record func() (Cached, 
 		if e.elem != nil {
 			c.lru.MoveToFront(e.elem)
 		}
-		c.hits++
+		c.hits.Inc()
 		c.mu.Unlock()
 		if testWaiterJoined != nil {
 			testWaiterJoined()
@@ -225,7 +234,7 @@ func (c *Cache) getContext(ctx context.Context, key Key, record func() (Cached, 
 	}
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
-	c.misses++
+	c.misses.Inc()
 	tier := c.tier
 	c.mu.Unlock()
 
@@ -246,8 +255,8 @@ func (c *Cache) getContext(ctx context.Context, key Key, record func() (Cached, 
 				delete(c.entries, key)
 			} else {
 				e.elem = c.lru.PushFront(e)
-				c.bytes += e.val.Bytes()
-				c.rawBytes += rawBytesOf(e.val)
+				c.bytes.Add(e.val.Bytes())
+				c.rawBytes.Add(rawBytesOf(e.val))
 				c.evictLocked()
 			}
 		}
@@ -297,9 +306,12 @@ func (c *Cache) Drop(key Key) {
 	delete(c.entries, key)
 	if e.elem != nil {
 		c.lru.Remove(e.elem)
-		c.bytes -= e.val.Bytes()
-		c.rawBytes -= rawBytesOf(e.val)
+		c.bytes.Add(-e.val.Bytes())
+		c.rawBytes.Add(-rawBytesOf(e.val))
 		e.elem = nil
+		if check.Enabled {
+			c.checkNoUnderflowLocked("Drop", e.key)
+		}
 	}
 }
 
@@ -324,15 +336,18 @@ func (c *Cache) evictLocked() {
 	if c.budget <= 0 {
 		return
 	}
-	for el := c.lru.Back(); el != nil && el != c.lru.Front() && c.bytes > c.budget; {
+	for el := c.lru.Back(); el != nil && el != c.lru.Front() && c.bytes.Value() > c.budget; {
 		prev := el.Prev()
 		e := el.Value.(*cacheEntry)
 		if c.pins[e.key] == 0 {
 			c.lru.Remove(el)
 			delete(c.entries, e.key)
-			c.bytes -= e.val.Bytes()
-			c.rawBytes -= rawBytesOf(e.val)
-			c.evictions++
+			c.bytes.Add(-e.val.Bytes())
+			c.rawBytes.Add(-rawBytesOf(e.val))
+			c.evictions.Inc()
+			if check.Enabled {
+				c.checkNoUnderflowLocked("evict", e.key)
+			}
 		}
 		el = prev
 	}
@@ -355,15 +370,55 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
 		Entries:   len(c.entries),
-		Bytes:     c.bytes,
-		RawBytes:  c.rawBytes,
+		Bytes:     c.bytes.Value(),
+		RawBytes:  c.rawBytes.Value(),
 		Budget:    c.budget,
 		Pinned:    len(c.pins),
 	}
+}
+
+// RegisterMetrics attaches the cache's live accounting to r under
+// prefix ("trace.cache", say): the hit/miss/eviction counters and the
+// resident/raw byte gauges are the cache's own instruments — the very
+// values eviction runs on — and entries/pinned/budget are computed at
+// snapshot time under the cache lock. Registering twice (or a second
+// cache under the same prefix) replaces the previous registration.
+func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.RegisterCounter(prefix+".hits", &c.hits)
+	r.RegisterCounter(prefix+".misses", &c.misses)
+	r.RegisterCounter(prefix+".evictions", &c.evictions)
+	r.RegisterGauge(prefix+".bytes", &c.bytes)
+	r.RegisterGauge(prefix+".raw_bytes", &c.rawBytes)
+	r.GaugeFunc(prefix+".entries", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(len(c.entries))
+	})
+	r.GaugeFunc(prefix+".pinned", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(len(c.pins))
+	})
+	r.GaugeFunc(prefix+".budget", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.budget
+	})
+}
+
+// checkNoUnderflowLocked asserts (under rarcheck) that byte accounting
+// never went negative: removing an entry must never subtract more than
+// was added for it, whatever mix of live-recorded and tier-loaded
+// compressed entries passed through.
+func (c *Cache) checkNoUnderflowLocked(op string, key Key) {
+	check.Assertf(c.bytes.Value() >= 0, "cache.bytes",
+		"%s %+v drove resident bytes negative (%d)", op, key, c.bytes.Value())
+	check.Assertf(c.rawBytes.Value() >= 0, "cache.bytes",
+		"%s %+v drove raw bytes negative (%d)", op, key, c.rawBytes.Value())
 }
 
 // Resident describes one completed cache entry for reporting (the

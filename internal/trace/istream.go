@@ -398,6 +398,8 @@ func RecordIStreamContext(ctx context.Context, prog *isa.Program, maxInsts uint6
 	limit := uint32(len(insts)) * 4
 	cancelable := ctx.Done() != nil
 	countdown := 0 // polls on the first iteration, then every InterruptEvery
+	var flushed uint64
+	defer func() { funcsim.InstsCommitted.Add(sim.Counts.Insts - flushed) }()
 	for !sim.Halted {
 		if maxInsts != 0 && sim.Counts.Insts >= maxInsts {
 			s.Truncated = true
@@ -406,6 +408,8 @@ func RecordIStreamContext(ctx context.Context, prog *isa.Program, maxInsts uint6
 		if cancelable || interrupt != nil {
 			if countdown == 0 {
 				countdown = funcsim.InterruptEvery
+				funcsim.InstsCommitted.Add(sim.Counts.Insts - flushed)
+				flushed = sim.Counts.Insts
 				if err := ctx.Err(); err != nil {
 					return nil, fmt.Errorf("trace: timing recording interrupted after %d insts: %w",
 						sim.Counts.Insts, err)

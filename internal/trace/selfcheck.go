@@ -232,11 +232,24 @@ func (c *Cache) CheckInvariants() {
 		rawSum += rawBytesOf(e.val)
 		resident++
 	}
-	if sum != c.bytes {
-		check.Failf("cache.bytes", "resident bytes %d != sum of entry sizes %d", c.bytes, sum)
+	// Never-underflow: accounting going negative means a removal
+	// subtracted more than its entry's insertion added — the classic
+	// hazard for entries whose Bytes()/RawBytes() could drift between
+	// insert and Drop/eviction (e.g. a compressed entry loaded from the
+	// store tier, whose raw size is only known post-decode). Checked
+	// before the sum comparison so an underflow reports as itself, not
+	// as a generic mismatch.
+	if b := c.bytes.Value(); b < 0 {
+		check.Failf("cache.bytes", "resident bytes underflowed to %d", b)
 	}
-	if rawSum != c.rawBytes {
-		check.Failf("cache.bytes", "raw bytes %d != sum of entry raw sizes %d", c.rawBytes, rawSum)
+	if rb := c.rawBytes.Value(); rb < 0 {
+		check.Failf("cache.bytes", "raw bytes underflowed to %d", rb)
+	}
+	if sum != c.bytes.Value() {
+		check.Failf("cache.bytes", "resident bytes %d != sum of entry sizes %d", c.bytes.Value(), sum)
+	}
+	if rawSum != c.rawBytes.Value() {
+		check.Failf("cache.bytes", "raw bytes %d != sum of entry raw sizes %d", c.rawBytes.Value(), rawSum)
 	}
 	completed := 0
 	for key, e := range c.entries {

@@ -89,7 +89,7 @@ func TestCacheInvariantsCatchAccountingDrift(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.mu.Lock()
-	c.bytes += 13
+	c.bytes.Add(13)
 	c.mu.Unlock()
 	if v := check.Catch(func() { c.CheckInvariants() }); v == nil || v.Site != "cache.bytes" {
 		t.Fatalf("byte-accounting drift not caught: %v", v)

@@ -479,6 +479,8 @@ func RecordStreamBaselineContext(ctx context.Context, prog *isa.Program, maxInst
 	sim.OnStore = func(e funcsim.MemEvent) { s.Append(KindStore, e.PC, e.Addr, e.Value) }
 	cancelable := ctx.Done() != nil
 	countdown := 0
+	var flushed uint64
+	defer func() { funcsim.InstsCommitted.Add(sim.Counts.Insts - flushed) }()
 	for !sim.Halted {
 		if maxInsts > 0 && sim.Counts.Insts >= maxInsts {
 			s.Truncated = true
@@ -487,6 +489,8 @@ func RecordStreamBaselineContext(ctx context.Context, prog *isa.Program, maxInst
 		if cancelable {
 			if countdown == 0 {
 				countdown = funcsim.InterruptEvery
+				funcsim.InstsCommitted.Add(sim.Counts.Insts - flushed)
+				flushed = sim.Counts.Insts
 				if err := ctx.Err(); err != nil {
 					return nil, fmt.Errorf("trace: baseline recording interrupted after %d insts: %w",
 						sim.Counts.Insts, err)
