@@ -66,6 +66,7 @@ import (
 	"rarpred/internal/metrics"
 	"rarpred/internal/pipeline"
 	"rarpred/internal/store"
+	"rarpred/internal/supervise"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
@@ -100,6 +101,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		storeDir   = fs.String("store", "", "directory for durable artifacts: persisted trace recordings and the suite run journal")
 		resume     = fs.Bool("resume", false, "with -store: replay cells the journal recorded as complete and simulate only the remainder")
 		progress   = fs.Bool("progress", false, "periodic one-line status on stderr (cells done/total, ETA, cache residency, Minsts/s); redraws in place on a TTY, plain lines otherwise")
+		stallTO    = fs.Duration("stall-timeout", 0, "watchdog: preempt and retry any suite cell whose heartbeat makes no progress for this long (0 = off)")
+		maxRetries = fs.Int("max-retries", 0, "re-dispatch a failed suite cell up to this many times with exponential backoff (crash-looping cells are quarantined)")
+		memWater   = fs.Int64("memwatermark", 0, "high memory watermark in MiB: above it the trace-cache budget is squeezed and new cell admission pauses, resuming at 3/4 of the watermark (0 = off)")
 		httpmon    = fs.String("httpmon", "", "serve live monitoring on this address (host:port; :0 picks a port): /metrics is a JSON snapshot of every counter, plus net/http/pprof")
 		selfcheck  = fs.Bool("check", false, "arm the differential oracles and invariant sweeps: cloak/pipeline self-checks, replay-vs-live stream verification, and (unless -seq) a sequential shadow run compared against the scheduler's output")
 	)
@@ -163,6 +167,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// and everything journaled so far stays journaled.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Escalation: a second SIGINT/SIGTERM during the graceful drain
+	// force-exits with a goroutine dump, so a wedged cell can never hold
+	// the process hostage once the operator has asked twice. The watcher
+	// has its own registration (NotifyContext consumed the first signal
+	// for cancellation); sigDone retires it for in-process callers.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	sigDone := make(chan struct{})
+	defer close(sigDone)
+	go watchSignals(sigs, sigDone, stderr, func(code int) { os.Exit(code) })
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -215,6 +230,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The self-healing layer arms when any of its knobs is set. It rides
+	// the suite scheduler (per-cell supervision has no seam on the -seq
+	// path, whose per-experiment pools predate cells).
+	var sup *supervise.Supervisor
+	if (*stallTO > 0 || *maxRetries > 0 || *memWater > 0) && !*seq {
+		sup = supervise.New(supervise.Config{
+			StallTimeout: *stallTO,
+			MaxRetries:   *maxRetries,
+		})
+		sup.RegisterMetrics(metrics.Default(), "supervise")
+		if *memWater > 0 {
+			sup.StartMemWatch(supervise.MemConfig{HighWater: *memWater << 20}, experiments.TraceCache())
+		}
+		defer sup.Close()
+		opt.Supervise = sup
+	}
+
 	var todo []experiments.Experiment
 	if *exp == "all" {
 		todo = experiments.All()
@@ -236,12 +268,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// inherit a closed run's store.
 	var artifacts *store.Store
 	var jnl *store.Journal
+	var breaker *store.Breaker
 	if *storeDir != "" {
 		// The fault-injecting FS wrapper costs one atomic load per
 		// operation when nothing is armed, so the CLI always routes
 		// through it: disk-fault drills then exercise the exact
-		// production store path, not a test-only double.
-		st, err := store.Open(*storeDir, store.WithFS(store.NewFaultFS(store.OS{}, nil)))
+		// production store path, not a test-only double. The circuit
+		// breaker is always armed — it costs one mutex per disk op and
+		// stays closed until consecutive faults prove the disk gone.
+		breaker = &store.Breaker{}
+		breaker.RegisterMetrics(metrics.Default(), "store")
+		st, err := store.Open(*storeDir,
+			store.WithFS(store.NewFaultFS(store.OS{}, nil)),
+			store.WithBreaker(breaker))
 		if err != nil {
 			fmt.Fprintf(stderr, "rarsim: -store: %v\n", err)
 			return 1
@@ -265,6 +304,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if *resume && jnl.Resumed() > 0 {
 				fmt.Fprintf(stderr, "rarsim: resuming: %d cell(s) journaled by a previous run\n", jnl.Resumed())
 			}
+			// Breaker transitions are journaled as annotation records;
+			// on resume, a journal that saw the breaker open warns that
+			// this store's artifacts may lag the cells that completed
+			// while persistence was bypassed.
+			if *resume {
+				if notes := jnl.Notes("breaker"); len(notes) > 0 {
+					fmt.Fprintf(stderr, "rarsim: resuming: store breaker tripped in a previous run (%s); artifacts recorded then may be stale or absent\n",
+						strings.Join(notes, ", "))
+				}
+			}
+			journal := jnl
+			breaker.OnTransition = func(from, to string) {
+				fmt.Fprintf(stderr, "rarsim: store breaker %s -> %s\n", from, to)
+				_ = journal.Note("breaker", from+"->"+to) // best effort: the disk may be the problem
+			}
 		}
 	}
 
@@ -279,6 +333,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var failed []string
 	breport := newBenchReport(*parallel)
 	breport.store = artifacts
+	breport.breaker = breaker
+	breport.sup = sup
 
 	// Under -check, the scheduler's rendered output is captured so a
 	// sequential shadow run can be compared against it afterwards.
@@ -308,7 +364,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if item.Err != nil {
 			fmt.Fprintf(stderr, "rarsim: %v\n", item.Err)
 			failed = append(failed, item.Exp.ID)
-			return *keepgoing || errors.Is(item.Err, ctx.Err())
+			// A supervisor whose global error budget is spent has flipped
+			// the sweep into degraded mode: keep collecting what still
+			// works, exactly as -keepgoing would.
+			return *keepgoing || errors.Is(item.Err, ctx.Err()) || (sup != nil && sup.Degraded())
 		}
 		fmt.Fprint(stdout, item.Result.String())
 		if p, ok := item.Result.(*experiments.PartialResult); ok {
@@ -521,8 +580,11 @@ func shadowCompare(opt experiments.Options, todo []experiments.Experiment, sched
 // ratio, store raw_bytes_written); version 5 added the metrics section,
 // a verbatim snapshot of the unified registry (counters, gauges,
 // span histograms) taken at report time — the same snapshot -httpmon
-// serves, so the two reporting paths cannot drift.
-const benchSchemaVersion = 5
+// serves, so the two reporting paths cannot drift; version 6 added the
+// supervision section (stalls, retries, quarantined cells, backpressure
+// squeezes — present when supervision was armed) and the store's
+// circuit-breaker stats.
+const benchSchemaVersion = 6
 
 // benchReport is the -benchjson payload: machine-readable timings for
 // the whole sweep.
@@ -544,8 +606,13 @@ type benchReport struct {
 	// The cache and store sections above are derived from the same
 	// instruments, so the numbers agree by construction.
 	Metrics metrics.Snapshot `json:"metrics"`
+	// Supervise reports the self-healing layer (schema v6); present only
+	// when -stall-timeout / -max-retries / -memwatermark armed it.
+	Supervise *supervise.Summary `json:"supervise,omitempty"`
 
-	store        *store.Store // nil without -store
+	store        *store.Store          // nil without -store
+	breaker      *store.Breaker        // nil without -store
+	sup          *supervise.Supervisor // nil unless supervision armed
 	resumedCells int
 }
 
@@ -589,6 +656,8 @@ type benchStore struct {
 	// ResumedCells counts cells replayed from the run journal instead of
 	// simulated.
 	ResumedCells int `json:"resumed_cells"`
+	// Breaker reports the circuit breaker's end state (schema v6).
+	Breaker *store.BreakerStats `json:"breaker,omitempty"`
 }
 
 type benchCache struct {
@@ -667,6 +736,14 @@ func (b *benchReport) write(path string) error {
 			RawBytesWritten: ss.RawBytesWritten,
 			ResumedCells:    b.resumedCells,
 		}
+		if b.breaker != nil {
+			bs := b.breaker.Stats()
+			b.Store.Breaker = &bs
+		}
+	}
+	if b.sup != nil {
+		s := b.sup.Summary()
+		b.Supervise = &s
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -734,4 +811,35 @@ func finish(stderr io.Writer, traceStats bool, memprofile string, artifacts *sto
 		return 1
 	}
 	return 0
+}
+
+// forceExitCode is what a second-signal force exit returns: outside the
+// 0 (clean) / 1 (failures) / 2 (usage) codes, so wrappers can tell an
+// abandoned drain from an ordinary failure.
+const forceExitCode = 3
+
+// watchSignals escalates a stuck drain: the first SIGINT/SIGTERM
+// belongs to NotifyContext (graceful cancellation at the next poll
+// point); the second means the drain itself is wedged — dump every
+// goroutine to stderr (the post-mortem for whatever was stuck) and
+// force-exit nonzero. done retires the watcher on a normal exit so
+// in-process callers (tests) never leak it. exit is injectable for
+// tests; in production it is os.Exit.
+func watchSignals(sigs <-chan os.Signal, done <-chan struct{}, stderr io.Writer, exit func(int)) {
+	for seen := 0; ; {
+		select {
+		case <-done:
+			return
+		case <-sigs:
+			if seen++; seen < 2 {
+				continue
+			}
+			fmt.Fprintf(stderr, "rarsim: second signal during drain — forcing exit\n")
+			if p := pprof.Lookup("goroutine"); p != nil {
+				_ = p.WriteTo(stderr, 2)
+			}
+			exit(forceExitCode)
+			return
+		}
+	}
 }

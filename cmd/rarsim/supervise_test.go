@@ -1,0 +1,170 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"os"
+
+	"rarpred/internal/faultsim"
+)
+
+// syncBuilder is a strings.Builder safe for the watcher goroutine to
+// write while the test reads.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestWatchSignalsForceExit: the first signal is left to graceful
+// cancellation; the second dumps every goroutine and force-exits with
+// the dedicated code.
+func TestWatchSignalsForceExit(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	var errw syncBuilder
+	exited := make(chan int, 1)
+	go watchSignals(sigs, done, &errw, func(code int) { exited <- code })
+
+	sigs <- syscall.SIGINT
+	select {
+	case code := <-exited:
+		t.Fatalf("first signal force-exited with code %d", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exited:
+		if code != forceExitCode {
+			t.Errorf("force exit code = %d, want %d", code, forceExitCode)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not force an exit")
+	}
+	out := errw.String()
+	if !strings.Contains(out, "second signal") {
+		t.Errorf("stderr lacks the escalation notice:\n%s", out)
+	}
+	if !strings.Contains(out, "goroutine") {
+		t.Errorf("stderr lacks the goroutine dump:\n%s", out)
+	}
+	close(done) // retires the watcher after exit
+}
+
+// TestWatchSignalsRetiresOnDone: a normal exit closes done and the
+// watcher returns without ever calling exit, even after one signal.
+func TestWatchSignalsRetiresOnDone(t *testing.T) {
+	sigs := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	var errw syncBuilder
+	exited := make(chan int, 1)
+	retired := make(chan struct{})
+	go func() {
+		watchSignals(sigs, done, &errw, func(code int) { exited <- code })
+		close(retired)
+	}()
+
+	sigs <- syscall.SIGINT
+	close(done)
+	select {
+	case <-retired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watcher did not retire when done closed")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("retired watcher called exit(%d)", code)
+	default:
+	}
+	if out := errw.String(); out != "" {
+		t.Errorf("retired watcher wrote to stderr:\n%s", out)
+	}
+}
+
+// TestSupervisedRunHealsStall: with the watchdog and retry budget
+// armed, a one-shot stall injected into one workload is preempted and
+// healed by a retry — the run exits 0 and the report carries no !!
+// annotations.
+func TestSupervisedRunHealsStall(t *testing.T) {
+	defer faultsim.Reset()
+	faultsim.Inject(wname(t, "go"), faultsim.Fault{Kind: faultsim.Stall, Times: 1})
+
+	code, out, errw := runCLI("-exp", "fig2", "-size", "14", "-bench", "go,gcc",
+		"-stall-timeout", "2s", "-max-retries", "2")
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errw)
+	}
+	if strings.Contains(out, "!!") {
+		t.Errorf("healed run still carries failure annotations:\n%s", out)
+	}
+	if !strings.Contains(out, "fig2") {
+		t.Errorf("report lacks the experiment:\n%s", out)
+	}
+}
+
+// TestBenchJSONSupervisionSections: schema v6 — when supervision and
+// the store are armed, the bench report carries the supervise summary
+// and the store's circuit-breaker stats.
+func TestBenchJSONSupervisionSections(t *testing.T) {
+	defer faultsim.Reset()
+	faultsim.Inject(wname(t, "go"), faultsim.Fault{Kind: faultsim.Stall, Times: 1})
+
+	path := t.TempDir() + "/BENCH_suite.json"
+	code, _, errw := runCLI("-exp", "fig2", "-size", "15", "-bench", "go,gcc",
+		"-stall-timeout", "2s", "-max-retries", "2",
+		"-store", t.TempDir(), "-benchjson", path)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errw)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema_version": 6`, `"supervise"`,
+		`"stalls_detected"`, `"retries"`, `"breaker"`, `"state"`} {
+		if !strings.Contains(data, want) {
+			t.Errorf("bench report lacks %s:\n%s", want, data)
+		}
+	}
+	if !strings.Contains(data, `"stalls_detected": 1`) {
+		t.Errorf("supervision summary did not count the injected stall:\n%s", data)
+	}
+}
+
+// TestBenchJSONOmitsSupervisionWhenUnarmed: without the supervision
+// flags the v6 sections stay absent, keeping the payload identical in
+// shape to an unarmed v5 run.
+func TestBenchJSONOmitsSupervisionWhenUnarmed(t *testing.T) {
+	path := t.TempDir() + "/BENCH_suite.json"
+	code, _, errw := runCLI("-exp", "fig2", "-size", "14", "-bench", "go,gcc",
+		"-benchjson", path)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errw)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(data, `"supervise"`) {
+		t.Errorf("unarmed run emitted a supervise section:\n%s", data)
+	}
+	if strings.Contains(data, `"breaker"`) {
+		t.Errorf("run without -store emitted breaker stats:\n%s", data)
+	}
+}

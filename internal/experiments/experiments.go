@@ -22,6 +22,7 @@ import (
 	"rarpred/internal/faultsim"
 	"rarpred/internal/funcsim"
 	"rarpred/internal/runerr"
+	"rarpred/internal/supervise"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
@@ -83,6 +84,15 @@ type Options struct {
 	// still assemble and deliver in suite order, so output is
 	// byte-identical with or without it. nil keeps construction order.
 	CellCost func(exp, workload string) (float64, bool)
+
+	// Supervise, when non-nil, routes every suite cell through the
+	// self-healing layer: a stall watchdog preempts cells whose
+	// heartbeat goes silent, failed cells retry under per-cell and
+	// global budgets (with crash-loop quarantine), and the admission
+	// gate holds workers back under memory backpressure. nil runs cells
+	// bare, exactly as before supervision existed. Only RunSuite
+	// consults it; standalone Experiment.Run does not.
+	Supervise *supervise.Supervisor
 
 	// Check arms the run's differential oracle: the first time each
 	// cached reference stream is served, it is re-recorded live on the
@@ -395,6 +405,11 @@ func tracedCells[T any](
 				if err != nil {
 					return zero, err
 				}
+				// Obtaining the stream is the cell's long pole (recording
+				// beats through the interpreter's poll sites); mark the
+				// hand-off to the analyzer so the watchdog sees a cell
+				// that just left the cache as live, not silent.
+				supervise.FromContext(ctx).Beat()
 				defer startSpan("cell/replay").End()
 				return fn(opt, w, tr)
 			},
@@ -407,7 +422,12 @@ func tracedCells[T any](
 // runerr.ErrWorkloadPanic, and Options.WorkloadTimeout bounds the cell
 // with its own deadline. Both the standalone per-experiment pool
 // (runCells) and the suite scheduler (RunSuite) execute cells through
-// this wrapper, so a cell fails the same way on either path.
+// this wrapper, so a cell fails the same way on either path. An
+// exceeded per-workload deadline is annotated with elapsed-vs-configured
+// time ("deadline exceeded (12.3s > 10s)") so the suite's !! lines
+// distinguish a near-miss from a hard hang; the parent run's own
+// deadline ending takes the plain path, because that bound was not this
+// cell's.
 func runCell(ctx context.Context, opt Options, r CellRunner, w workload.Workload) (row any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -419,6 +439,13 @@ func runCell(ctx context.Context, opt Options, r CellRunner, w workload.Workload
 		var cancel context.CancelFunc
 		wctx, cancel = context.WithTimeout(ctx, opt.WorkloadTimeout)
 		defer cancel()
+		start := time.Now()
+		defer func() {
+			if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				err = fmt.Errorf("%w (%.1fs > %s): %w",
+					runerr.ErrDeadline, time.Since(start).Seconds(), opt.WorkloadTimeout, err)
+			}
+		}()
 	}
 	return r.Cell(wctx, opt, w)
 }

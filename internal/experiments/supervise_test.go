@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rarpred/internal/faultsim"
+	"rarpred/internal/runerr"
+	"rarpred/internal/store"
+	"rarpred/internal/supervise"
+)
+
+// Supervision integration tests: the supervisor wired through
+// Options.Supervise must detect injected stalls at the simulators' real
+// poll boundaries, heal what is healable, annotate what is not, and
+// leave no goroutine or pinned stream behind. Sizes are unique per test
+// (see resilience_test.go) so the shared trace cache cannot mask a
+// fault.
+
+// waitGoroutines asserts the goroutine count returns to its baseline.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// waitCond polls cond until it holds or the deadline passes.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+func assertNoPins(t *testing.T) {
+	t.Helper()
+	if pinned := TraceCache().Stats().Pinned; pinned != 0 {
+		t.Errorf("trace cache still pins %d streams", pinned)
+	}
+}
+
+// TestSupervisedStallHealsByteIdentical: a transiently stalled cell is
+// preempted by the watchdog, retried, and the suite's rendered output is
+// byte-identical to a never-stalled run — the healing leaves no trace in
+// the results.
+func TestSupervisedStallHealsByteIdentical(t *testing.T) {
+	defer faultsim.Reset()
+	before := runtime.NumGoroutine()
+	opt := subset("go", "tom")
+	opt.Size = 25
+	opt.MaxInsts = 1_000_000 // ample for these sizes; distinct cache keys from default runs
+	faultsim.Inject(name(t, "go"), faultsim.Fault{Kind: faultsim.Stall, Times: 1})
+
+	sup := supervise.New(supervise.Config{
+		StallTimeout: time.Second,
+		MaxRetries:   2,
+		Sleep:        func(time.Duration) {},
+	})
+	opt.Supervise = sup
+	e, ok := ByID("fig2")
+	if !ok {
+		t.Fatal("fig2 not registered")
+	}
+	out, _ := renderSuite(t, opt, []Experiment{e})
+	sup.Close()
+
+	sum := sup.Summary()
+	if sum.StallsDetected < 1 {
+		t.Errorf("watchdog detected %d stalls, want >= 1", sum.StallsDetected)
+	}
+	if sum.Retries < 1 {
+		t.Errorf("supervisor retried %d times, want >= 1", sum.Retries)
+	}
+	if strings.Contains(out, "!!") {
+		t.Fatalf("healed run still carries failure annotations:\n%s", out)
+	}
+
+	// The same suite, unfaulted and unsupervised, must render the exact
+	// same bytes.
+	faultsim.Reset()
+	clean := subset("go", "tom")
+	clean.Size = 25
+	clean.MaxInsts = 1_000_000
+	cleanOut, _ := renderSuite(t, clean, []Experiment{e})
+	if out != cleanOut {
+		t.Errorf("healed output diverges from clean run:\n--- healed ---\n%s--- clean ---\n%s", out, cleanOut)
+	}
+	waitGoroutines(t, before)
+	assertNoPins(t)
+}
+
+// TestSupervisedPanicHealedByRetry: a transient panic that would leave a
+// partial result in an unsupervised run is healed by the retry budget.
+func TestSupervisedPanicHealedByRetry(t *testing.T) {
+	defer faultsim.Reset()
+	opt := subset("vor", "com")
+	opt.Size = 28
+	faultsim.Inject(name(t, "vor"), faultsim.Fault{Kind: faultsim.Panic, Times: 1})
+
+	sup := supervise.New(supervise.Config{MaxRetries: 2, Sleep: func(time.Duration) {}})
+	defer sup.Close()
+	opt.Supervise = sup
+	e, _ := ByID("table51")
+	out, _ := renderSuite(t, opt, []Experiment{e})
+	if strings.Contains(out, "!!") {
+		t.Fatalf("retry did not heal the transient panic:\n%s", out)
+	}
+	if got := sup.Summary().Retries; got < 1 {
+		t.Errorf("retries = %d, want >= 1", got)
+	}
+	assertNoPins(t)
+}
+
+// TestSupervisedLivelockAbandonedAndAnnotated: a cell wedged beyond
+// cancellation (Livelock ignores its context) is preempted, its worker
+// abandoned after the grace period, and — since every retry joins the
+// still-wedged recording — the cell exhausts its budget and surfaces as
+// a typed, elapsed-annotated ErrStalled while the rest of the suite
+// completes. faultsim.Reset then releases the wedged goroutine, so
+// nothing leaks past test cleanup.
+func TestSupervisedLivelockAbandonedAndAnnotated(t *testing.T) {
+	defer faultsim.Reset()
+	before := runtime.NumGoroutine()
+	opt := subset("go", "tom")
+	opt.Size = 26
+	opt.MaxInsts = 1_000_000
+	faultsim.Inject(name(t, "go"), faultsim.Fault{Kind: faultsim.Livelock, Times: 1})
+
+	sup := supervise.New(supervise.Config{
+		StallTimeout: time.Second,
+		Grace:        50 * time.Millisecond,
+		MaxRetries:   1,
+		Sleep:        func(time.Duration) {},
+	})
+	opt.Supervise = sup
+	e, _ := ByID("fig2")
+
+	var out strings.Builder
+	RunSuite(opt, []Experiment{e}, func(item SuiteItem) bool {
+		if item.Err != nil {
+			t.Fatalf("suite hard-failed instead of isolating the livelock: %v", item.Err)
+		}
+		out.WriteString(item.Result.String())
+		return true
+	})
+	sup.Close()
+
+	sum := sup.Summary()
+	if sum.AbandonedWorkers < 1 {
+		t.Errorf("abandoned workers = %d, want >= 1 (livelock ignores cancel)", sum.AbandonedWorkers)
+	}
+	if sum.StallsDetected < 2 {
+		t.Errorf("stalls = %d, want >= 2 (initial attempt and its retry)", sum.StallsDetected)
+	}
+	rendered := out.String()
+	if !strings.Contains(rendered, "partial result") || !strings.Contains(rendered, name(t, "go")) {
+		t.Fatalf("livelocked cell not annotated as a partial failure:\n%s", rendered)
+	}
+	// Satellite: the !! annotation must report elapsed vs configured time.
+	stallLine := regexp.MustCompile(`cell stalled \(no heartbeat for [0-9.]+s > 1s stall-timeout\)`)
+	if !stallLine.MatchString(rendered) {
+		t.Errorf("stall annotation lacks elapsed-vs-configured time:\n%s", rendered)
+	}
+	if !regexp.MustCompile(`(?m)^tom\b`).MatchString(rendered) {
+		t.Errorf("surviving workload missing from output:\n%s", rendered)
+	}
+
+	faultsim.Reset() // releases the wedged hook
+	waitGoroutines(t, before)
+	assertNoPins(t)
+}
+
+// TestDeadlineAnnotationReportsElapsed: the per-workload deadline error
+// carries elapsed-vs-configured time, so a !! line distinguishes a
+// near-miss from a hard hang.
+func TestDeadlineAnnotationReportsElapsed(t *testing.T) {
+	defer faultsim.Reset()
+	opt := subset("go", "tom")
+	opt.Size = 12
+	opt.MaxInsts = 1_000_000
+	opt.WorkloadTimeout = time.Second
+	faultsim.Inject(name(t, "go"), faultsim.Fault{Kind: faultsim.Stall})
+
+	res, err := runTable51(opt)
+	if err != nil {
+		t.Fatalf("deadline aborted the suite: %v", err)
+	}
+	p, ok := res.(*PartialResult)
+	if !ok {
+		t.Fatalf("result is %T, want *PartialResult", res)
+	}
+	f := p.Fails[0]
+	if !errors.Is(f, runerr.ErrDeadline) {
+		t.Fatalf("failure %v is not ErrDeadline", f)
+	}
+	want := regexp.MustCompile(`deadline exceeded \([0-9.]+s > 1s\)`)
+	if !want.MatchString(f.Error()) {
+		t.Errorf("deadline error lacks elapsed-vs-configured annotation: %v", f)
+	}
+	if !want.MatchString(p.String()) {
+		t.Errorf("rendered !! line lacks the annotation:\n%s", p.String())
+	}
+}
+
+// TestSupervisedMemoryBackpressure: an injected memory hog pushes the
+// default usage probe over the high watermark — admission pauses and the
+// live trace cache's budget is squeezed; clearing the hog restores both.
+func TestSupervisedMemoryBackpressure(t *testing.T) {
+	defer faultsim.Reset()
+	cache := TraceCache()
+	origBudget := cache.Budget()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	high := int64(ms.HeapAlloc) + 512<<20
+
+	sup := supervise.New(supervise.Config{})
+	sup.StartMemWatch(supervise.MemConfig{
+		HighWater: high,
+		Interval:  time.Millisecond,
+	}, cache)
+
+	faultsim.InjectMemHog(2 << 30) // 2 GiB phantom: usage sails past high
+	waitCond(t, "admission pause", func() bool { return sup.Summary().AdmissionPauses >= 1 })
+	waitCond(t, "budget squeeze", func() bool { return sup.Summary().MemSqueezes >= 1 })
+	if got := cache.Budget(); got == origBudget {
+		t.Errorf("cache budget not squeezed (still %d)", got)
+	}
+
+	faultsim.InjectMemHog(0) // pressure gone: usage back to the real heap
+	waitCond(t, "budget restore", func() bool { return cache.Budget() == origBudget })
+	waitCond(t, "admission resume", func() bool {
+		ctx, cancel := contextWithTimeout(10 * time.Millisecond)
+		defer cancel()
+		return sup.Admit(ctx) == nil
+	})
+	sup.Close()
+	if got := cache.Budget(); got != origBudget {
+		t.Errorf("budget after Close = %d, want %d", got, origBudget)
+	}
+}
+
+// TestSupervisedChaosSoak is the deterministic chaos drill: a transient
+// stall, a transient panic, a hard livelock, and a persistently failing
+// disk tier all at once, under supervision. The suite must complete with
+// the two transient faults healed, the livelock isolated and annotated,
+// the store breaker open, and no goroutine or pin left after cleanup.
+func TestSupervisedChaosSoak(t *testing.T) {
+	defer faultsim.Reset()
+	before := runtime.NumGoroutine()
+
+	// A store tier on a persistently failing disk: every artifact write
+	// faults, so the breaker must open and the suite must finish on the
+	// in-memory tier alone.
+	breaker := &store.Breaker{Threshold: 2, Cooldown: time.Hour}
+	st, err := store.Open(t.TempDir(),
+		store.WithBreaker(breaker),
+		store.WithFS(store.NewFaultFS(store.OS{}, nil)),
+		store.WithSleep(func(time.Duration) {}))
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	cache := TraceCache()
+	cache.SetTier(st)
+	defer cache.SetTier(nil)
+	faultsim.InjectDisk(".rart", faultsim.DiskFault{Kind: faultsim.DiskENOSPC})
+
+	opt := subset("go", "tom", "com", "gcc")
+	opt.Size = 27
+	opt.MaxInsts = 1_000_000
+	faultsim.Inject(name(t, "go"), faultsim.Fault{Kind: faultsim.Stall, Times: 1})
+	faultsim.Inject(name(t, "tom"), faultsim.Fault{Kind: faultsim.Panic, Times: 1})
+	faultsim.Inject(name(t, "com"), faultsim.Fault{Kind: faultsim.Livelock, Times: 1})
+
+	sup := supervise.New(supervise.Config{
+		StallTimeout: time.Second,
+		Grace:        50 * time.Millisecond,
+		MaxRetries:   2,
+		Sleep:        func(time.Duration) {},
+	})
+	opt.Supervise = sup
+
+	e, _ := ByID("fig2")
+	var out strings.Builder
+	RunSuite(opt, []Experiment{e}, func(item SuiteItem) bool {
+		if item.Err != nil {
+			t.Fatalf("chaos suite hard-failed: %v", item.Err)
+		}
+		out.WriteString(item.Result.String())
+		return true
+	})
+	sup.Close()
+	rendered := out.String()
+
+	// The transiently faulted and clean workloads all have rows; only the
+	// livelocked one is annotated.
+	for _, ab := range []string{"go", "tom", "gcc"} {
+		if !regexp.MustCompile(`(?m)^` + ab + `\b`).MatchString(rendered) {
+			t.Errorf("surviving workload %s missing from output:\n%s", ab, rendered)
+		}
+	}
+	if !strings.Contains(rendered, "partial result") {
+		t.Fatalf("livelocked cell not isolated:\n%s", rendered)
+	}
+	for _, line := range strings.Split(rendered, "\n") {
+		if strings.HasPrefix(line, "!!   ") && !strings.Contains(line, name(t, "com")) {
+			t.Errorf("unexpected failure annotation: %s", line)
+		}
+	}
+
+	t.Logf("store stats: %+v, breaker: %+v", st.Stats(), breaker.Stats())
+	sum := sup.Summary()
+	if sum.StallsDetected < 1 || sum.Retries < 1 || sum.AbandonedWorkers < 1 {
+		t.Errorf("chaos summary too quiet: %+v", sum)
+	}
+	if breaker.State() != store.BreakerOpen {
+		t.Errorf("breaker %q after persistent disk faults, want open", breaker.State())
+	}
+	if breaker.Stats().Bypasses == 0 {
+		t.Errorf("open breaker short-circuited nothing")
+	}
+
+	faultsim.Reset()
+	waitGoroutines(t, before)
+	assertNoPins(t)
+}

@@ -9,6 +9,7 @@ import (
 	"rarpred/internal/funcsim"
 	"rarpred/internal/pipeline"
 	"rarpred/internal/runerr"
+	"rarpred/internal/supervise"
 	"rarpred/internal/trace"
 	"rarpred/internal/workload"
 )
@@ -63,7 +64,9 @@ func runTimingConfigs(ctx context.Context, opt Options, w workload.Workload, siz
 	results := make([]pipeline.Result, len(cfgs))
 	if opt.Live {
 		err := parallelSims(ctx, len(cfgs), func(i int) error {
-			res, err := pipeline.RunProgram(w.Program(size), cfgs[i])
+			cfg := cfgs[i]
+			cfg.Interrupt = interruptHook(ctx)
+			res, err := pipeline.RunProgram(w.Program(size), cfg)
 			results[i] = res
 			if err != nil {
 				return wrap(i, err)
@@ -79,7 +82,9 @@ func runTimingConfigs(ctx context.Context, opt Options, w workload.Workload, siz
 	prog := w.Program(size)
 	err = parallelSims(ctx, len(cfgs), func(i int) error {
 		defer startSpan("cell/replay").End()
-		res, err := pipeline.NewReplay(prog, is, cfgs[i]).Run()
+		cfg := cfgs[i]
+		cfg.Interrupt = interruptHook(ctx)
+		res, err := pipeline.NewReplay(prog, is, cfg).Run()
 		results[i] = res
 		if err != nil {
 			return wrap(i, err)
@@ -87,6 +92,21 @@ func runTimingConfigs(ctx context.Context, opt Options, w workload.Workload, siz
 		return nil
 	})
 	return results, err
+}
+
+// interruptHook builds the pipeline Config.Interrupt seam from the run
+// context: the hook beats any supervision heartbeat riding in ctx and
+// surfaces cancellation, both at the pipeline's InterruptEvery commit
+// boundary. nil (no per-instruction cost) when neither is in play.
+func interruptHook(ctx context.Context) func() error {
+	hb := supervise.FromContext(ctx)
+	if ctx.Done() == nil && hb == nil {
+		return nil
+	}
+	return func() error {
+		hb.Beat()
+		return ctx.Err()
+	}
 }
 
 // workloadIStream obtains one workload's committed instruction stream

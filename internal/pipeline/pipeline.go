@@ -29,6 +29,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"sync"
 
 	"rarpred/internal/bpred"
@@ -150,6 +151,15 @@ type Config struct {
 	// for this run even when the package-wide SetSelfCheck gate is off.
 	// Sweeps only read state; cycle counts are unchanged.
 	SelfCheck bool
+
+	// Interrupt, when non-nil, is polled every funcsim.InterruptEvery
+	// committed instructions — the same boundary the committed-inst
+	// counter flushes on. A non-nil error aborts the run with that
+	// error. The experiment layer installs cancellation checks and the
+	// supervision heartbeat here, giving timing runs the same bounded
+	// preemption latency as functional ones. Purely a control seam:
+	// timing results are identical with or without it.
+	Interrupt func() error
 }
 
 // DefaultConfig is the Section 5.1 base processor.
@@ -547,6 +557,11 @@ func (s *Sim) Run() (Result, error) {
 		if pending++; pending == uint64(funcsim.InterruptEvery) {
 			instsCommitted.Add(pending)
 			pending = 0
+			if s.cfg.Interrupt != nil {
+				if err := s.cfg.Interrupt(); err != nil {
+					return s.res, fmt.Errorf("pipeline: interrupted after %d insts: %w", s.res.Insts, err)
+				}
+			}
 		}
 		if s.cfg.SampleRatio > 0 {
 			phaseLeft--

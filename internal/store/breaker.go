@@ -1,0 +1,219 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"rarpred/internal/metrics"
+	"rarpred/internal/runerr"
+)
+
+// Breaker states. The classic three-state machine: closed passes every
+// operation through; open short-circuits them all (the cache then runs
+// purely in-memory); half-open admits exactly one probe after the
+// cooldown to test whether the disk recovered.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// Breaker is the store's circuit breaker: K consecutive ErrDiskFaults
+// open it, short-circuiting further disk I/O (Load reports a miss,
+// Store silently skips persistence) so a dead or dying disk costs the
+// suite one bounded burst of retries instead of a retry storm per cell.
+// After Cooldown a single half-open probe re-admits the store if the
+// disk has recovered. Only ErrDiskFault counts against the threshold:
+// corruption is a fact about bytes already written, not the device, and
+// a successful quarantine-and-report proves the disk works. Safe for
+// concurrent use.
+type Breaker struct {
+	// Threshold is how many consecutive disk faults open the breaker
+	// (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// Clock is the time source (default time.Now; tests inject).
+	Clock func() time.Time
+	// OnTransition, when non-nil, observes every state change. The CLI
+	// journals transitions through it so -resume knows artifacts may be
+	// stale from a window when the breaker was open.
+	OnTransition func(from, to string)
+
+	mu          sync.Mutex
+	state       string
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+
+	openGauge   metrics.Gauge   // 1 while not closed
+	transitions metrics.Counter // state changes
+	bypasses    metrics.Counter // operations short-circuited
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 5 * time.Second
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+// State returns the breaker's current state name.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
+}
+
+func (b *Breaker) stateLocked() string {
+	if b.state == "" {
+		return BreakerClosed
+	}
+	return b.state
+}
+
+// transition moves to state to, updating instruments and notifying the
+// journal seam. Callers hold b.mu; the OnTransition callback runs
+// outside it (it does journal I/O).
+func (b *Breaker) transitionLocked(to string) func() {
+	from := b.stateLocked()
+	if from == to {
+		return func() {}
+	}
+	b.state = to
+	b.transitions.Inc()
+	if to == BreakerClosed {
+		b.openGauge.Set(0)
+	} else {
+		b.openGauge.Set(1)
+	}
+	cb := b.OnTransition
+	return func() {
+		if cb != nil {
+			cb(from, to)
+		}
+	}
+}
+
+// Allow reports whether the next disk operation may proceed. While
+// open it returns false (counted as a bypass) until the cooldown
+// elapses, at which point exactly one caller wins the half-open probe;
+// concurrent callers keep bypassing until the probe's Record settles
+// the state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var notify func()
+	switch b.stateLocked() {
+	case BreakerClosed:
+		b.mu.Unlock()
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			b.bypasses.Inc()
+			b.mu.Unlock()
+			return false
+		}
+		notify = b.transitionLocked(BreakerHalfOpen)
+		b.probing = true
+		b.mu.Unlock()
+		notify()
+		return true
+	default: // half-open
+		if b.probing {
+			b.bypasses.Inc()
+			b.mu.Unlock()
+			return false
+		}
+		b.probing = true
+		b.mu.Unlock()
+		return true
+	}
+}
+
+// Record classifies the outcome of an operation Allow admitted. A disk
+// fault counts toward the threshold (and re-opens a half-open breaker
+// immediately); any other outcome — success, a miss, even corruption —
+// resets the consecutive count and closes a half-open breaker.
+func (b *Breaker) Record(err error) {
+	fault := errors.Is(err, runerr.ErrDiskFault)
+	b.mu.Lock()
+	var notify func()
+	wasProbe := b.stateLocked() == BreakerHalfOpen
+	if wasProbe {
+		b.probing = false
+	}
+	if fault {
+		b.consecutive++
+		if wasProbe || b.consecutive >= b.threshold() {
+			b.openedAt = b.now()
+			b.consecutive = 0
+			notify = b.transitionLocked(BreakerOpen)
+		}
+	} else {
+		b.consecutive = 0
+		if wasProbe {
+			notify = b.transitionLocked(BreakerClosed)
+		}
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// Neutral settles an operation Allow admitted without judging the
+// device — a read miss, where no meaningful I/O happened. State and the
+// consecutive-fault count are unchanged; if the operation held the
+// half-open probe slot, the slot is released so the next caller can
+// probe with an operation that actually exercises the disk.
+func (b *Breaker) Neutral() {
+	b.mu.Lock()
+	if b.stateLocked() == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// BreakerStats is a snapshot for reports (-benchjson v6).
+type BreakerStats struct {
+	State       string `json:"state"`
+	Transitions uint64 `json:"transitions"`
+	Bypasses    uint64 `json:"bypasses"`
+}
+
+// Stats snapshots the breaker.
+func (b *Breaker) Stats() BreakerStats {
+	return BreakerStats{
+		State:       b.State(),
+		Transitions: b.transitions.Value(),
+		Bypasses:    b.bypasses.Value(),
+	}
+}
+
+// RegisterMetrics attaches the breaker's instruments to r under prefix
+// (conventionally "store"):
+//
+//	store.breaker_open        — 1 while the breaker is open or half-open
+//	store.breaker_transitions — state changes
+//	store.breaker_bypasses    — operations short-circuited
+func (b *Breaker) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.RegisterGauge(prefix+".breaker_open", &b.openGauge)
+	r.RegisterCounter(prefix+".breaker_transitions", &b.transitions)
+	r.RegisterCounter(prefix+".breaker_bypasses", &b.bypasses)
+}

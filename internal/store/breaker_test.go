@@ -1,0 +1,305 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rarpred/internal/faultsim"
+	"rarpred/internal/runerr"
+	"rarpred/internal/trace"
+)
+
+// fakeClock is an injectable, manually advanced time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func diskErr() error { return fmt.Errorf("%w: injected", runerr.ErrDiskFault) }
+
+// TestBreakerOpensOnConsecutiveFaults: K consecutive disk faults open
+// the breaker; any success in between resets the count.
+func TestBreakerOpensOnConsecutiveFaults(t *testing.T) {
+	clk := &fakeClock{}
+	var transitions []string
+	b := &Breaker{Threshold: 3, Clock: clk.Now,
+		OnTransition: func(from, to string) { transitions = append(transitions, from+"->"+to) }}
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state %q, want closed", b.State())
+	}
+	// Interleaved success keeps it closed forever.
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker denied an operation")
+		}
+		b.Record(diskErr())
+		b.Allow()
+		b.Record(nil)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("interleaved faults opened the breaker: %q", b.State())
+	}
+
+	// Three consecutive faults trip it.
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(diskErr())
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 consecutive faults = %q, want open", b.State())
+	}
+	if len(transitions) != 1 || transitions[0] != "closed->open" {
+		t.Errorf("transitions = %v, want [closed->open]", transitions)
+	}
+
+	// While open every operation bypasses.
+	for i := 0; i < 4; i++ {
+		if b.Allow() {
+			t.Fatal("open breaker admitted an operation before cooldown")
+		}
+	}
+	if st := b.Stats(); st.Bypasses != 4 || st.State != BreakerOpen || st.Transitions != 1 {
+		t.Errorf("stats = %+v, want 4 bypasses while open", st)
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one caller wins
+// the probe; its outcome settles the state — success closes, a fault
+// re-opens immediately.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &fakeClock{}
+	var transitions []string
+	b := &Breaker{Threshold: 1, Cooldown: time.Minute, Clock: clk.Now,
+		OnTransition: func(from, to string) { transitions = append(transitions, from+"->"+to) }}
+
+	b.Allow()
+	b.Record(diskErr()) // threshold 1: open immediately
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %q, want open", b.State())
+	}
+
+	// Probe fails: straight back to open, cooldown restarts.
+	clk.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %q, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted alongside the probe")
+	}
+	b.Record(diskErr())
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %q, want open", b.State())
+	}
+	// The fresh cooldown window holds.
+	clk.Advance(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted before its new cooldown elapsed")
+	}
+
+	// Probe succeeds: closed, traffic flows again.
+	clk.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe not admitted")
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %q, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied an operation")
+	}
+
+	want := []string{"closed->open", "open->half-open", "half-open->open", "open->half-open", "half-open->closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Errorf("transition %d = %q, want %q", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestBreakerIgnoresNonDiskErrors: corruption is a fact about stored
+// bytes, not the device — it must not trip the breaker.
+func TestBreakerIgnoresNonDiskErrors(t *testing.T) {
+	b := &Breaker{Threshold: 2}
+	for i := 0; i < 10; i++ {
+		b.Allow()
+		b.Record(fmt.Errorf("artifact quarantined: %w", runerr.ErrStoreCorrupt))
+		b.Allow()
+		b.Record(errors.New("some other failure"))
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("non-disk errors opened the breaker: %q", b.State())
+	}
+}
+
+// TestBreakerNeutralOutcome: a read miss is neutral — it neither trips
+// nor resets the consecutive count, and a half-open probe spent on one
+// releases the probe slot for the next caller instead of settling the
+// state.
+func TestBreakerNeutralOutcome(t *testing.T) {
+	clk := &fakeClock{}
+	b := &Breaker{Threshold: 2, Cooldown: time.Minute, Clock: clk.Now}
+
+	// Misses interleaved with faults must not reset the count.
+	b.Allow()
+	b.Record(diskErr())
+	b.Allow()
+	b.Neutral()
+	b.Allow()
+	b.Record(diskErr())
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %q, want open (miss reset the fault count)", b.State())
+	}
+
+	// A probe spent on a miss keeps the breaker half-open and frees the
+	// slot for the next caller.
+	clk.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	b.Neutral()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after neutral probe = %q, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot not released after a neutral outcome")
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %q, want closed", b.State())
+	}
+}
+
+// TestStoreBreakerEndToEnd: a persistently failing disk opens the
+// store's breaker after Threshold faults; further operations are
+// bypassed (Store succeeds vacuously, Load reports a miss) so the run
+// continues purely in-memory; once the disk recovers and the cooldown
+// elapses, a probe re-admits real persistence.
+func TestStoreBreakerEndToEnd(t *testing.T) {
+	defer faultsim.Reset()
+	clk := &fakeClock{}
+	b := &Breaker{Threshold: 2, Cooldown: time.Minute, Clock: clk.Now}
+	s := openTestStore(t,
+		WithBreaker(b),
+		WithFS(NewFaultFS(OS{}, nil)),
+		WithSleep(func(time.Duration) {}))
+	if s.Breaker() != b {
+		t.Fatal("Breaker() accessor lost the armed breaker")
+	}
+	key := trace.Key{Workload: "brk_wl", Size: 3, MaxInsts: 100}
+	stream := buildStream(500)
+
+	// Persistent ENOSPC: each Store fails (after the store's own bounded
+	// retry) and counts one consecutive fault.
+	faultsim.InjectDisk(key.Workload, faultsim.DiskFault{Kind: faultsim.DiskENOSPC})
+	for i := 0; i < 2; i++ {
+		if err := s.Store(key, stream); !errors.Is(err, runerr.ErrDiskFault) {
+			t.Fatalf("Store %d = %v, want ErrDiskFault", i, err)
+		}
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker %q after %d faults, want open", b.State(), 2)
+	}
+
+	// Open: the disk is not touched. Store is a silent no-op, Load a
+	// clean miss — the memory tier above absorbs both.
+	if err := s.Store(key, stream); err != nil {
+		t.Fatalf("bypassed Store = %v, want nil", err)
+	}
+	v, err := s.Load(key)
+	if v != nil || err != nil {
+		t.Fatalf("bypassed Load = (%v, %v), want a clean miss", v, err)
+	}
+	if st := b.Stats(); st.Bypasses != 2 {
+		t.Errorf("bypasses = %d, want 2", st.Bypasses)
+	}
+
+	// Disk recovers; after the cooldown one probe closes the breaker and
+	// persistence works again end to end.
+	faultsim.ResetDisk()
+	clk.Advance(2 * time.Minute)
+	if err := s.Store(key, stream); err != nil {
+		t.Fatalf("probe Store = %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker %q after successful probe, want closed", b.State())
+	}
+	v, err = s.Load(key)
+	if err != nil || v == nil {
+		t.Fatalf("Load after recovery = (%v, %v), want the artifact", v, err)
+	}
+	sameStream(t, v.(*trace.Stream), stream)
+}
+
+// TestJournalNotesRoundTrip: breaker transitions journaled via Note
+// survive a resume, separated from cell records, and do not perturb
+// Lookup or Resumed.
+func TestJournalNotesRoundTrip(t *testing.T) {
+	path := journalFile(t)
+	j, err := CreateJournal(OS{}, path, testFP)
+	if err != nil {
+		t.Fatalf("CreateJournal: %v", err)
+	}
+	if err := j.Record("fig2", "go_like", []byte("row"), 1.5); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if err := j.Note("breaker", "closed->open"); err != nil {
+		t.Fatalf("Note: %v", err)
+	}
+	if err := j.Record("fig2", "gcc_like", []byte("row2"), 0.5); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if err := j.Note("breaker", "open->half-open"); err != nil {
+		t.Fatalf("Note: %v", err)
+	}
+	if got := j.Notes("breaker"); len(got) != 2 {
+		t.Fatalf("live Notes = %v, want 2 entries", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := ResumeJournal(OS{}, path, testFP)
+	if err != nil {
+		t.Fatalf("ResumeJournal: %v", err)
+	}
+	defer r.Close()
+	if got := r.Resumed(); got != 2 {
+		t.Errorf("Resumed = %d, want 2 (notes are not cells)", got)
+	}
+	notes := r.Notes("breaker")
+	if len(notes) != 2 || notes[0] != "closed->open" || notes[1] != "open->half-open" {
+		t.Errorf("resumed notes = %v, want the two transitions in order", notes)
+	}
+	if got := r.Notes("other"); len(got) != 0 {
+		t.Errorf("Notes(other) = %v, want empty", got)
+	}
+	if row, ok := r.Lookup("fig2", "go_like"); !ok || string(row) != "row" {
+		t.Errorf("Lookup after notes = (%q, %v), want (row, true)", row, ok)
+	}
+	if _, ok := r.Lookup("\x00breaker", "closed->open"); ok {
+		t.Error("a note is visible through Lookup")
+	}
+}

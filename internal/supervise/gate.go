@@ -1,0 +1,63 @@
+package supervise
+
+import (
+	"context"
+	"sync"
+
+	"rarpred/internal/metrics"
+)
+
+// Gate is the suite's admission valve: while open, Wait returns
+// immediately; while paused (high memory watermark), Wait blocks
+// workers before they start new cells, so in-flight cells finish and
+// release memory while no fresh ones pile on. The open channel is
+// swapped per pause cycle — waiters blocked on the old channel are
+// released by the close, new waiters see the new state.
+type Gate struct {
+	mu     sync.Mutex
+	open   chan struct{} // closed while the gate is open
+	paused metrics.Gauge // 1 while paused (supervise.admission_paused)
+	pauses *metrics.Counter
+}
+
+func newGate(pauses *metrics.Counter) *Gate {
+	g := &Gate{open: make(chan struct{}), pauses: pauses}
+	close(g.open) // born open
+	return g
+}
+
+// Pause closes the gate. Idempotent.
+func (g *Gate) Pause() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.paused.Value() == 1 {
+		return
+	}
+	g.open = make(chan struct{})
+	g.paused.Set(1)
+	g.pauses.Inc()
+}
+
+// Resume reopens the gate, releasing every waiter. Idempotent.
+func (g *Gate) Resume() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.paused.Value() == 0 {
+		return
+	}
+	close(g.open)
+	g.paused.Set(0)
+}
+
+// Wait blocks until the gate is open or ctx ends (returning its error).
+func (g *Gate) Wait(ctx context.Context) error {
+	g.mu.Lock()
+	open := g.open
+	g.mu.Unlock()
+	select {
+	case <-open:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,48 @@
+package supervise
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Heartbeat is a cell's liveness signal: simulator loops call Beat at
+// their existing poll boundaries (every funcsim.InterruptEvery committed
+// instructions) and the watchdog reads Count to tell a slow cell from a
+// stalled one. The zero value is ready to use; all methods are nil-safe
+// so poll sites can beat unconditionally.
+type Heartbeat struct {
+	n atomic.Uint64
+}
+
+// Beat records one unit of progress. Safe on a nil receiver (no
+// supervisor armed) and from any goroutine.
+func (h *Heartbeat) Beat() {
+	if h != nil {
+		h.n.Add(1)
+	}
+}
+
+// Count returns the number of beats so far (0 on a nil receiver).
+func (h *Heartbeat) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+type heartbeatKey struct{}
+
+// WithHeartbeat attaches hb to ctx. The supervisor attaches a fresh
+// heartbeat to every cell attempt; simulators recover it with
+// FromContext at their poll sites.
+func WithHeartbeat(ctx context.Context, hb *Heartbeat) context.Context {
+	return context.WithValue(ctx, heartbeatKey{}, hb)
+}
+
+// FromContext returns the heartbeat attached to ctx, or nil when no
+// supervisor is watching this context. The nil result still supports
+// Beat/Count, so callers need not branch.
+func FromContext(ctx context.Context) *Heartbeat {
+	hb, _ := ctx.Value(heartbeatKey{}).(*Heartbeat)
+	return hb
+}

@@ -1,0 +1,142 @@
+package supervise
+
+import (
+	"runtime"
+	"time"
+
+	"rarpred/internal/faultsim"
+)
+
+// CacheBudget is the squeeze seam into the trace cache: the monitor
+// reads the resident total and current budget and rewrites the budget
+// to force eviction under memory pressure. *trace.Cache satisfies it;
+// keeping the interface here leaves supervise importable from funcsim
+// (which trace depends on) without a cycle.
+type CacheBudget interface {
+	Budget() int64
+	SetBudget(budget int64)
+	ResidentBytes() int64
+}
+
+// MemConfig parameterises the memory watermark monitor.
+type MemConfig struct {
+	// HighWater is the usage (bytes) at which backpressure engages:
+	// admission pauses and the cache budget is squeezed. 0 disables the
+	// monitor.
+	HighWater int64
+	// LowWater is where backpressure releases — admission resumes and
+	// the original cache budget is restored (default HighWater*3/4;
+	// the gap is the hysteresis band that keeps the monitor from
+	// flapping around one threshold).
+	LowWater int64
+	// Interval is the poll cadence (default 1s, matching -progress).
+	Interval time.Duration
+	// Floor bounds how far squeezing can cut the cache budget (default
+	// 8 MiB) — below that the cache stops being a cache and every cell
+	// would re-record.
+	Floor int64
+	// Usage overrides the usage probe, for tests. The default is live
+	// Go heap (runtime.ReadMemStats HeapAlloc) plus any faultsim
+	// phantom memory hog, so chaos tests drive the watermarks
+	// deterministically without real allocations.
+	Usage func() int64
+}
+
+func (c MemConfig) lowWater() int64 {
+	if c.LowWater > 0 {
+		return c.LowWater
+	}
+	return c.HighWater / 4 * 3
+}
+
+func (c MemConfig) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return time.Second
+}
+
+func (c MemConfig) floor() int64 {
+	if c.Floor > 0 {
+		return c.Floor
+	}
+	return 8 << 20
+}
+
+func (c MemConfig) usage() func() int64 {
+	if c.Usage != nil {
+		return c.Usage
+	}
+	return func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc) + faultsim.MemHogBytes()
+	}
+}
+
+// StartMemWatch starts the watermark monitor: every Interval it reads
+// usage; at or above HighWater it pauses cell admission and halves the
+// cache's effective footprint (budget becomes half the resident bytes,
+// floored), repeating each tick while pressure persists; at or below
+// LowWater it restores the original budget and resumes admission. The
+// monitor stops at Supervisor.Close. A HighWater of 0 is a no-op.
+func (s *Supervisor) StartMemWatch(cfg MemConfig, cache CacheBudget) {
+	if cfg.HighWater <= 0 || cache == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.memWatch(cfg, cache)
+}
+
+func (s *Supervisor) memWatch(cfg MemConfig, cache CacheBudget) {
+	defer s.wg.Done()
+	var (
+		usage    = cfg.usage()
+		low      = cfg.lowWater()
+		floor    = cfg.floor()
+		orig     = cache.Budget()
+		squeezed = false
+	)
+	tick := time.NewTicker(cfg.interval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			// Leave the cache as the run configured it, not mid-squeeze.
+			if squeezed {
+				cache.SetBudget(orig)
+			}
+			return
+		case <-tick.C:
+		}
+		u := usage()
+		s.memUsage.Set(u)
+		switch {
+		case u >= cfg.HighWater:
+			s.gate.Pause()
+			// Squeeze: target half of what is actually resident (the
+			// budget may be far above it, or unbounded), floored.
+			// Re-squeezing every tick under sustained pressure walks the
+			// footprint down geometrically until only pinned streams and
+			// the floor remain.
+			target := max(floor, cache.ResidentBytes()/2)
+			if cur := cache.Budget(); cur <= 0 || target < cur {
+				cache.SetBudget(target)
+				s.memSqueezes.Inc()
+				squeezed = true
+			}
+		case u <= low:
+			if squeezed {
+				cache.SetBudget(orig)
+				squeezed = false
+			}
+			s.gate.Resume()
+		}
+	}
+}

@@ -1,0 +1,504 @@
+// Package supervise is the suite's self-healing layer: it acts on the
+// liveness and failure signals the lower layers already emit. A
+// watchdog goroutine watches per-cell heartbeats (beaten at the
+// simulators' existing InterruptEvery poll boundaries) and preempts
+// cells that stop making progress — cancel, grace period, then abandon
+// the wedged worker and mark the attempt runerr.ErrStalled. A retry
+// budget re-dispatches preempted or transiently failed cells with
+// exponential backoff, quarantines cells that crash-loop on the same
+// failure, and flips the whole suite into degraded (no more retries)
+// mode when a global error budget is exhausted. An admission gate and
+// memory watermark monitor (memwatch.go) provide backpressure: near the
+// high watermark the trace cache's byte budget is squeezed and no new
+// cells start until usage falls below the low watermark.
+//
+// The package sits above runerr/metrics/faultsim and below experiments:
+// experiments.RunSuite routes every cell through Supervisor.RunCell
+// when Options.Supervise is set, and the simulators only ever see a
+// *Heartbeat through their context.
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"rarpred/internal/metrics"
+	"rarpred/internal/runerr"
+)
+
+// Config parameterises a Supervisor. The zero value disables the
+// watchdog (no StallTimeout) and retries (no MaxRetries) but still
+// provides the admission gate, so a caller can arm exactly the
+// mechanisms it wants.
+type Config struct {
+	// StallTimeout is how long a running cell may go without a heartbeat
+	// before the watchdog preempts it (0 = watchdog off).
+	StallTimeout time.Duration
+
+	// Grace is how long a preempted cell gets to unwind after its
+	// context is canceled before the supervisor abandons the worker
+	// goroutine and re-dispatches anyway (default 500ms). A cooperating
+	// cell (one that honours cancellation at its poll sites) unwinds
+	// well inside the grace; only a truly wedged one is abandoned.
+	Grace time.Duration
+
+	// Poll is the watchdog's check interval (default StallTimeout/8,
+	// clamped to [1ms, 1s]).
+	Poll time.Duration
+
+	// MaxRetries bounds how many times one cell is re-dispatched after
+	// its first attempt fails retryably (0 = no retries).
+	MaxRetries int
+
+	// CrashLoopAfter quarantines a cell once it fails this many
+	// consecutive times with the same failure kind — retrying a
+	// deterministic crash is wasted work (default MaxRetries+1, i.e.
+	// only a full exhaustion counts as a crash loop; set lower to
+	// quarantine early).
+	CrashLoopAfter int
+
+	// GlobalBudget is the suite-wide failed-attempt budget: once this
+	// many attempts have failed across all cells, the supervisor goes
+	// degraded — no further retries, every failure is final — mirroring
+	// -keepgoing's collect-and-continue posture (0 = unlimited).
+	GlobalBudget int
+
+	// Backoff is the first retry's delay; each further retry doubles it
+	// up to BackoffMax (defaults 10ms and 1s).
+	Backoff    time.Duration
+	BackoffMax time.Duration
+
+	// Sleep is the backoff clock seam (default time.Sleep). Tests inject
+	// a recorder so retry schedules are asserted without real waiting.
+	Sleep func(time.Duration)
+}
+
+func (c Config) grace() time.Duration {
+	if c.Grace > 0 {
+		return c.Grace
+	}
+	return 500 * time.Millisecond
+}
+
+func (c Config) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	p := c.StallTimeout / 8
+	return min(max(p, time.Millisecond), time.Second)
+}
+
+func (c Config) crashLoopAfter() int {
+	if c.CrashLoopAfter > 0 {
+		return c.CrashLoopAfter
+	}
+	return c.MaxRetries + 1
+}
+
+func (c Config) backoff(retry int) time.Duration {
+	d := c.Backoff
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	maxD := c.BackoffMax
+	if maxD <= 0 {
+		maxD = time.Second
+	}
+	for i := 1; i < retry && d < maxD; i++ {
+		d *= 2
+	}
+	return min(d, maxD)
+}
+
+func (c Config) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// attempt is one running cell attempt under the watchdog's eye.
+type attempt struct {
+	id string
+	hb *Heartbeat
+	// cancel preempts the attempt's context; preempted is closed first,
+	// so the RunCell select can distinguish "watchdog fired" from the
+	// parent run ending.
+	cancel    context.CancelFunc
+	preempted chan struct{}
+	// Watchdog-owned (under Supervisor.mu): the last observed beat
+	// count, when it last advanced, and — once preempted — how long the
+	// cell had been silent.
+	lastCount  uint64
+	lastBeat   time.Time
+	stalledFor time.Duration
+}
+
+// Supervisor owns the watchdog goroutine, the retry/quarantine
+// bookkeeping, and the admission gate. One Supervisor supervises one
+// suite run (the CLI creates it next to RunSuite); Close stops the
+// watchdog and any memory monitor.
+type Supervisor struct {
+	cfg  Config
+	gate *Gate
+
+	mu          sync.Mutex
+	watching    map[*attempt]struct{}
+	quarantined map[string]struct{}
+	failures    int // failed attempts across all cells
+	degradedNow bool
+	started     bool
+	stop        chan struct{}
+	wg          sync.WaitGroup
+	closed      bool
+
+	// Instruments (exposed via RegisterMetrics and Summary).
+	stalls      metrics.Counter // watchdog preemptions (one per stall)
+	retries     metrics.Counter // re-dispatched attempts
+	abandoned   metrics.Counter // workers that outlived their grace period
+	quarCount   metrics.Gauge   // cells currently quarantined
+	degraded    metrics.Gauge   // 1 once the global error budget is spent
+	memUsage    metrics.Gauge   // last observed usage (memwatch)
+	memSqueezes metrics.Counter // cache-budget squeezes (memwatch)
+	pauses      metrics.Counter // admission pauses (memwatch)
+}
+
+// New builds a Supervisor from cfg. The watchdog goroutine starts
+// lazily with the first supervised attempt and runs until Close.
+func New(cfg Config) *Supervisor {
+	s := &Supervisor{
+		cfg:         cfg,
+		watching:    make(map[*attempt]struct{}),
+		quarantined: make(map[string]struct{}),
+		stop:        make(chan struct{}),
+	}
+	s.gate = newGate(&s.pauses)
+	return s
+}
+
+// RegisterMetrics attaches the supervisor's instruments to r under
+// prefix (conventionally "supervise"):
+//
+//	supervise.stalls            — cells preempted by the watchdog
+//	supervise.retries           — attempts re-dispatched
+//	supervise.abandoned_workers — wedged goroutines given up on
+//	supervise.quarantined       — cells quarantined (crash loop)
+//	supervise.degraded          — 1 once the global error budget is spent
+//	supervise.mem_usage_bytes   — last watermark-monitor usage reading
+//	supervise.mem_squeezes      — trace-cache budget squeezes
+//	supervise.admission_pauses  — times the gate closed
+//	supervise.admission_paused  — 1 while the gate is closed
+func (s *Supervisor) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.RegisterCounter(prefix+".stalls", &s.stalls)
+	r.RegisterCounter(prefix+".retries", &s.retries)
+	r.RegisterCounter(prefix+".abandoned_workers", &s.abandoned)
+	r.RegisterGauge(prefix+".quarantined", &s.quarCount)
+	r.RegisterGauge(prefix+".degraded", &s.degraded)
+	r.RegisterGauge(prefix+".mem_usage_bytes", &s.memUsage)
+	r.RegisterCounter(prefix+".mem_squeezes", &s.memSqueezes)
+	r.RegisterCounter(prefix+".admission_pauses", &s.pauses)
+	r.RegisterGauge(prefix+".admission_paused", &s.gate.paused)
+}
+
+// Admit blocks while the admission gate is paused (memory backpressure)
+// and returns ctx's error if it ends first. The scheduler calls it
+// before starting each cell.
+func (s *Supervisor) Admit(ctx context.Context) error { return s.gate.Wait(ctx) }
+
+// Degraded reports whether the global error budget has been spent. The
+// CLI uses it to soften hard failures into -keepgoing-style annotated
+// ones once the suite is degraded.
+func (s *Supervisor) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degradedNow
+}
+
+// Close stops the watchdog and memory monitor goroutines and waits for
+// them. Idempotent.
+func (s *Supervisor) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// RunCell executes fn under supervision: a per-attempt heartbeat is
+// attached to the context, the watchdog preempts the attempt if the
+// heartbeat goes silent past StallTimeout, and failed attempts are
+// retried with exponential backoff under the per-cell and global
+// budgets. id names the cell ("exp/workload") in errors and the
+// quarantine set. fn must honour ctx cancellation at its poll sites for
+// preemption to unwind it; one that doesn't is abandoned after the
+// grace period (the goroutine leaks until it unblocks on its own, which
+// the chaos tests bound via faultsim.Reset).
+func (s *Supervisor) RunCell(ctx context.Context, id string, fn func(context.Context) (any, error)) (any, error) {
+	var (
+		last     error
+		lastKind string
+		sameKind int
+	)
+	for att := 0; ; att++ {
+		if att > 0 {
+			s.retries.Inc()
+			s.cfg.sleep(s.cfg.backoff(att))
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		row, err := s.attempt(ctx, fn)
+		if err == nil {
+			return row, nil
+		}
+		last = err
+
+		// The parent run ending is never retryable: whatever failed,
+		// the caller is going away.
+		if ctx.Err() != nil {
+			return nil, err
+		}
+
+		// Global error budget: count every failed attempt; once spent,
+		// the suite degrades to collect-failures mode and this (and
+		// every later) cell gets no more retries.
+		s.mu.Lock()
+		s.failures++
+		if s.cfg.GlobalBudget > 0 && s.failures >= s.cfg.GlobalBudget && !s.degradedNow {
+			s.degradedNow = true
+			s.degraded.Set(1)
+		}
+		budgetSpent := s.degradedNow
+		s.mu.Unlock()
+
+		// Crash-loop quarantine: the same cell failing the same way over
+		// and over is deterministic, not environmental — stop feeding it
+		// attempts.
+		k := failureKind(err)
+		if k == lastKind {
+			sameKind++
+		} else {
+			lastKind, sameKind = k, 1
+		}
+		if sameKind >= s.cfg.crashLoopAfter() {
+			s.mu.Lock()
+			s.quarantined[id] = struct{}{}
+			s.quarCount.Set(int64(len(s.quarantined)))
+			s.mu.Unlock()
+			return nil, fmt.Errorf("quarantined after %d consecutive %s failures: %w", sameKind, k, err)
+		}
+
+		if budgetSpent || att >= s.cfg.MaxRetries || !retryable(err) {
+			return nil, last
+		}
+	}
+}
+
+// attempt runs fn once in its own goroutine under a fresh heartbeat and
+// a cancelable child context, racing completion against watchdog
+// preemption and the parent context.
+func (s *Supervisor) attempt(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	a := &attempt{
+		hb:        &Heartbeat{},
+		cancel:    cancel,
+		preempted: make(chan struct{}),
+		lastBeat:  time.Now(),
+	}
+	actx = WithHeartbeat(actx, a.hb)
+	s.watch(a)
+	defer s.unwatch(a)
+
+	type outcome struct {
+		row any
+		err error
+	}
+	// Buffered so an abandoned worker's eventual send never blocks: the
+	// goroutine always gets to exit once its cell unwinds.
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- outcome{nil, runerr.FromPanic("cell", p, debug.Stack())}
+			}
+		}()
+		row, err := fn(actx)
+		done <- outcome{row, err}
+	}()
+
+	select {
+	case o := <-done:
+		// If the watchdog fired in the same instant the cell finished, a
+		// successful row still wins — the work is done and deterministic.
+		if o.err == nil {
+			return o.row, nil
+		}
+		select {
+		case <-a.preempted:
+			return nil, s.stalledErr(a)
+		default:
+		}
+		return nil, o.err
+	case <-a.preempted:
+		// Preempted: the context is canceled; give the worker the grace
+		// period to unwind through its poll sites, then abandon it.
+		grace := time.NewTimer(s.cfg.grace())
+		select {
+		case <-done:
+			grace.Stop()
+		case <-grace.C:
+			s.abandoned.Inc()
+		}
+		return nil, s.stalledErr(a)
+	}
+}
+
+// stalledErr renders the preemption as a typed ErrStalled carrying
+// elapsed-vs-configured silence, so suite annotations read
+// "!! exp/w: cell stalled (no heartbeat for 0.31s > 0.25s stall-timeout)".
+func (s *Supervisor) stalledErr(a *attempt) error {
+	s.mu.Lock()
+	silent := a.stalledFor
+	s.mu.Unlock()
+	return fmt.Errorf("%w (no heartbeat for %.2fs > %s stall-timeout)",
+		runerr.ErrStalled, silent.Seconds(), s.cfg.StallTimeout)
+}
+
+// watch registers a under the watchdog (starting it on first use).
+// With no StallTimeout the watchdog never runs and watch is a no-op.
+func (s *Supervisor) watch(a *attempt) {
+	if s.cfg.StallTimeout <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.watching[a] = struct{}{}
+	if !s.started {
+		s.started = true
+		s.wg.Add(1)
+		go s.watchdog()
+	}
+}
+
+func (s *Supervisor) unwatch(a *attempt) {
+	s.mu.Lock()
+	delete(s.watching, a)
+	s.mu.Unlock()
+}
+
+// watchdog scans the running attempts every poll interval and preempts
+// any whose heartbeat has been silent past StallTimeout. Closing
+// preempted before cancel lets attempt() attribute the cancellation.
+func (s *Supervisor) watchdog() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.poll())
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		s.mu.Lock()
+		for a := range s.watching {
+			if c := a.hb.Count(); c != a.lastCount {
+				a.lastCount, a.lastBeat = c, now
+				continue
+			}
+			if silent := now.Sub(a.lastBeat); silent >= s.cfg.StallTimeout {
+				delete(s.watching, a)
+				a.stalledFor = silent
+				s.stalls.Inc()
+				close(a.preempted)
+				a.cancel()
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// retryable classifies a failed attempt. Stalls are retried by design
+// (the hang is presumed environmental). A deadline is not: the cell ran
+// its full configured budget while making progress, and a retry would
+// just burn it again. A cancellation whose parent context is still live
+// (the caller checked) leaked out of a shared single-flight recording
+// whose recorder was preempted — retrying re-records, so it is
+// retryable. Everything else (panic, corruption, disk fault, simulator
+// error) gets its bounded retries: the fault may be transient, and the
+// crash-loop quarantine catches the deterministic ones.
+func retryable(err error) bool {
+	switch {
+	case errors.Is(err, runerr.ErrStalled):
+		return true
+	case errors.Is(err, runerr.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return false
+	default:
+		return true
+	}
+}
+
+// failureKind buckets an error for crash-loop detection: two failures
+// count as "the same" when they share a taxonomy class.
+func failureKind(err error) string {
+	switch {
+	case errors.Is(err, runerr.ErrStalled):
+		return "stall"
+	case errors.Is(err, runerr.ErrWorkloadPanic):
+		return "panic"
+	case errors.Is(err, runerr.ErrDiskFault):
+		return "disk-fault"
+	case errors.Is(err, runerr.ErrTraceCorrupt), errors.Is(err, runerr.ErrStoreCorrupt):
+		return "corrupt"
+	case errors.Is(err, runerr.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, runerr.ErrCanceled), errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// Summary is the supervision section of the run report (-benchjson v6).
+type Summary struct {
+	StallsDetected   uint64   `json:"stalls_detected"`
+	Retries          uint64   `json:"retries"`
+	AbandonedWorkers uint64   `json:"abandoned_workers"`
+	QuarantinedCells []string `json:"quarantined_cells,omitempty"`
+	Degraded         bool     `json:"degraded"`
+	MemSqueezes      uint64   `json:"mem_squeezes"`
+	AdmissionPauses  uint64   `json:"admission_pauses"`
+}
+
+// Summary snapshots the supervisor's counters.
+func (s *Supervisor) Summary() Summary {
+	s.mu.Lock()
+	q := make([]string, 0, len(s.quarantined))
+	for id := range s.quarantined {
+		q = append(q, id)
+	}
+	degraded := s.degradedNow
+	s.mu.Unlock()
+	sort.Strings(q)
+	return Summary{
+		StallsDetected:   s.stalls.Value(),
+		Retries:          s.retries.Value(),
+		AbandonedWorkers: s.abandoned.Value(),
+		QuarantinedCells: q,
+		Degraded:         degraded,
+		MemSqueezes:      s.memSqueezes.Value(),
+		AdmissionPauses:  s.pauses.Value(),
+	}
+}

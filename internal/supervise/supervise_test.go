@@ -1,0 +1,564 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rarpred/internal/runerr"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// noLeaks asserts the goroutine count returns to its baseline, allowing
+// the runtime a moment to retire exiting goroutines.
+func noLeaks(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestHeartbeatNilSafe(t *testing.T) {
+	var hb *Heartbeat
+	hb.Beat() // must not panic
+	if hb.Count() != 0 {
+		t.Error("nil heartbeat counted a beat")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Errorf("FromContext on a bare context = %v, want nil", got)
+	}
+	real := &Heartbeat{}
+	ctx := WithHeartbeat(context.Background(), real)
+	if FromContext(ctx) != real {
+		t.Error("WithHeartbeat round trip lost the heartbeat")
+	}
+	real.Beat()
+	real.Beat()
+	if real.Count() != 2 {
+		t.Errorf("Count = %d, want 2", real.Count())
+	}
+}
+
+// TestRunCellPassesThrough: an unfaulted cell's row and a heartbeat both
+// reach the caller untouched.
+func TestRunCellPassesThrough(t *testing.T) {
+	s := New(Config{StallTimeout: time.Second})
+	defer s.Close()
+	row, err := s.RunCell(context.Background(), "exp/w", func(ctx context.Context) (any, error) {
+		if FromContext(ctx) == nil {
+			t.Error("supervised cell has no heartbeat in its context")
+		}
+		return 42, nil
+	})
+	if err != nil || row != 42 {
+		t.Fatalf("RunCell = (%v, %v), want (42, nil)", row, err)
+	}
+	if sum := s.Summary(); sum.StallsDetected != 0 || sum.Retries != 0 {
+		t.Errorf("clean run recorded supervision events: %+v", sum)
+	}
+}
+
+// TestWatchdogSparesBeatingCell: a cell that keeps beating runs well
+// past StallTimeout without being preempted — the watchdog measures
+// heartbeat silence, not wall-clock runtime.
+func TestWatchdogSparesBeatingCell(t *testing.T) {
+	s := New(Config{StallTimeout: 30 * time.Millisecond, Poll: 2 * time.Millisecond})
+	defer s.Close()
+	row, err := s.RunCell(context.Background(), "exp/slow", func(ctx context.Context) (any, error) {
+		hb := FromContext(ctx)
+		for i := 0; i < 15; i++ { // 150ms total, 5x the stall timeout
+			hb.Beat()
+			time.Sleep(10 * time.Millisecond)
+		}
+		return "done", nil
+	})
+	if err != nil || row != "done" {
+		t.Fatalf("RunCell = (%v, %v), want (done, nil)", row, err)
+	}
+	if got := s.Summary().StallsDetected; got != 0 {
+		t.Errorf("beating cell was preempted %d times", got)
+	}
+}
+
+// TestWatchdogPreemptsSilentCell: a cell that never beats is canceled
+// once StallTimeout passes and surfaces as a typed ErrStalled carrying
+// elapsed-vs-configured silence.
+func TestWatchdogPreemptsSilentCell(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{StallTimeout: 25 * time.Millisecond, Poll: 2 * time.Millisecond})
+	_, err := s.RunCell(context.Background(), "exp/hung", func(ctx context.Context) (any, error) {
+		<-ctx.Done() // cooperating: unwinds at its poll site
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, runerr.ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	msg := err.Error()
+	if want := "stall-timeout"; !contains(msg, want) || !contains(msg, "no heartbeat for") || !contains(msg, "25ms") {
+		t.Errorf("stall error lacks elapsed-vs-configured annotation: %q", msg)
+	}
+	if got := s.Summary().StallsDetected; got != 1 {
+		t.Errorf("stalls = %d, want 1", got)
+	}
+	if got := s.Summary().AbandonedWorkers; got != 0 {
+		t.Errorf("cooperating worker was abandoned (%d)", got)
+	}
+	s.Close()
+	noLeaks(t, before)
+}
+
+// TestStallRetrySucceeds: a preempted cell is re-dispatched and the
+// retry's row is returned as if nothing happened.
+func TestStallRetrySucceeds(t *testing.T) {
+	var slept []time.Duration
+	s := New(Config{
+		StallTimeout: 25 * time.Millisecond,
+		Poll:         2 * time.Millisecond,
+		MaxRetries:   2,
+		Backoff:      10 * time.Millisecond,
+		Sleep:        func(d time.Duration) { slept = append(slept, d) },
+	})
+	defer s.Close()
+	var n atomic.Int32
+	row, err := s.RunCell(context.Background(), "exp/flaky", func(ctx context.Context) (any, error) {
+		if n.Add(1) == 1 {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return "healed", nil
+	})
+	if err != nil || row != "healed" {
+		t.Fatalf("RunCell = (%v, %v), want (healed, nil)", row, err)
+	}
+	sum := s.Summary()
+	if sum.StallsDetected != 1 || sum.Retries != 1 {
+		t.Errorf("summary = %+v, want 1 stall and 1 retry", sum)
+	}
+	if len(slept) != 1 || slept[0] != 10*time.Millisecond {
+		t.Errorf("backoff sleeps = %v, want [10ms]", slept)
+	}
+}
+
+// TestBackoffDoublesToCap: the retry schedule is exponential from
+// Backoff up to BackoffMax.
+func TestBackoffDoublesToCap(t *testing.T) {
+	c := Config{Backoff: 10 * time.Millisecond, BackoffMax: 45 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, // retry 1
+		20 * time.Millisecond, // retry 2
+		40 * time.Millisecond, // retry 3
+		45 * time.Millisecond, // retry 4: capped
+		45 * time.Millisecond, // retry 5: stays capped
+	}
+	for i, w := range want {
+		if got := c.backoff(i + 1); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestRetryBudgetExhausts: a cell that keeps failing retryably gets
+// exactly MaxRetries re-dispatches, then its last error is final.
+func TestRetryBudgetExhausts(t *testing.T) {
+	var slept []time.Duration
+	s := New(Config{
+		MaxRetries:     3,
+		CrashLoopAfter: 10, // out of the way
+		Backoff:        time.Millisecond,
+		BackoffMax:     4 * time.Millisecond,
+		Sleep:          func(d time.Duration) { slept = append(slept, d) },
+	})
+	defer s.Close()
+	var n atomic.Int32
+	boom := errors.New("flaky cell")
+	_, err := s.RunCell(context.Background(), "exp/w", func(ctx context.Context) (any, error) {
+		n.Add(1)
+		return nil, fmt.Errorf("attempt: %w", boom)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the cell's own failure", err)
+	}
+	if got := n.Load(); got != 4 { // 1 initial + 3 retries
+		t.Errorf("attempts = %d, want 4", got)
+	}
+	wantSleeps := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	if len(slept) != len(wantSleeps) {
+		t.Fatalf("sleeps = %v, want %v", slept, wantSleeps)
+	}
+	for i := range wantSleeps {
+		if slept[i] != wantSleeps[i] {
+			t.Errorf("sleep %d = %v, want %v", i, slept[i], wantSleeps[i])
+		}
+	}
+}
+
+// TestDeadlineIsNotRetried: a cell that ran its full configured time
+// budget gets no retry — re-running it would just burn the budget again.
+func TestDeadlineIsNotRetried(t *testing.T) {
+	s := New(Config{MaxRetries: 3, Sleep: func(time.Duration) {}})
+	defer s.Close()
+	var n atomic.Int32
+	_, err := s.RunCell(context.Background(), "exp/w", func(ctx context.Context) (any, error) {
+		n.Add(1)
+		return nil, fmt.Errorf("cell: %w", runerr.ErrDeadline)
+	})
+	if !errors.Is(err, runerr.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("deadline cell ran %d times, want 1", got)
+	}
+}
+
+// TestCrashLoopQuarantine: the same failure kind over and over is
+// deterministic, so the cell is quarantined before its retry budget is
+// spent.
+func TestCrashLoopQuarantine(t *testing.T) {
+	s := New(Config{MaxRetries: 10, CrashLoopAfter: 3, Sleep: func(time.Duration) {}})
+	defer s.Close()
+	var n atomic.Int32
+	_, err := s.RunCell(context.Background(), "exp/looping", func(ctx context.Context) (any, error) {
+		n.Add(1)
+		return nil, fmt.Errorf("cell: %w", runerr.ErrWorkloadPanic)
+	})
+	if err == nil || !contains(err.Error(), "quarantined after 3 consecutive panic failures") {
+		t.Fatalf("err = %v, want quarantine annotation", err)
+	}
+	if !errors.Is(err, runerr.ErrWorkloadPanic) {
+		t.Errorf("quarantine error lost the underlying failure: %v", err)
+	}
+	if got := n.Load(); got != 3 {
+		t.Errorf("crash-looping cell ran %d times, want 3", got)
+	}
+	sum := s.Summary()
+	if len(sum.QuarantinedCells) != 1 || sum.QuarantinedCells[0] != "exp/looping" {
+		t.Errorf("quarantined = %v, want [exp/looping]", sum.QuarantinedCells)
+	}
+}
+
+// TestAlternatingFailuresEscapeQuarantine: different failure kinds reset
+// the consecutive count, so an unlucky-but-not-deterministic cell gets
+// its full retry budget.
+func TestAlternatingFailuresEscapeQuarantine(t *testing.T) {
+	s := New(Config{MaxRetries: 3, CrashLoopAfter: 2, Sleep: func(time.Duration) {}})
+	defer s.Close()
+	var n atomic.Int32
+	kinds := []error{runerr.ErrWorkloadPanic, runerr.ErrDiskFault, runerr.ErrWorkloadPanic, runerr.ErrDiskFault}
+	_, err := s.RunCell(context.Background(), "exp/w", func(ctx context.Context) (any, error) {
+		i := n.Add(1) - 1
+		return nil, fmt.Errorf("cell: %w", kinds[i])
+	})
+	if contains(err.Error(), "quarantined") {
+		t.Errorf("alternating failures quarantined: %v", err)
+	}
+	if got := n.Load(); got != 4 {
+		t.Errorf("attempts = %d, want full budget of 4", got)
+	}
+}
+
+// TestGlobalBudgetDegrades: once the suite-wide failure budget is spent,
+// later cells get no retries — the suite collects failures instead of
+// burning time re-running them.
+func TestGlobalBudgetDegrades(t *testing.T) {
+	s := New(Config{MaxRetries: 5, CrashLoopAfter: 100, GlobalBudget: 2, Sleep: func(time.Duration) {}})
+	defer s.Close()
+	fail := func(ctx context.Context) (any, error) { return nil, errors.New("boom") }
+
+	var n1 atomic.Int32
+	s.RunCell(context.Background(), "exp/a", func(ctx context.Context) (any, error) {
+		n1.Add(1)
+		return fail(ctx)
+	})
+	// Budget of 2: the first cell's first failure spends 1, its first
+	// retry's failure spends the budget — no further retries.
+	if got := n1.Load(); got != 2 {
+		t.Errorf("first cell ran %d attempts, want 2 (budget cut it off)", got)
+	}
+	if !s.Degraded() {
+		t.Fatal("supervisor not degraded after budget spent")
+	}
+
+	var n2 atomic.Int32
+	s.RunCell(context.Background(), "exp/b", func(ctx context.Context) (any, error) {
+		n2.Add(1)
+		return fail(ctx)
+	})
+	if got := n2.Load(); got != 1 {
+		t.Errorf("degraded-mode cell ran %d attempts, want 1 (no retries)", got)
+	}
+	if sum := s.Summary(); !sum.Degraded {
+		t.Errorf("summary not degraded: %+v", sum)
+	}
+}
+
+// TestParentCancelIsFinal: the run ending is never retried, whatever the
+// attempt's own error was.
+func TestParentCancelIsFinal(t *testing.T) {
+	s := New(Config{MaxRetries: 5, Sleep: func(time.Duration) {}})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int32
+	_, err := s.RunCell(ctx, "exp/w", func(c context.Context) (any, error) {
+		n.Add(1)
+		cancel()
+		return nil, c.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("canceled run retried the cell (%d attempts)", got)
+	}
+}
+
+// TestAbandonedWorker: a cell that ignores cancellation is abandoned
+// after the grace period; its eventual exit is absorbed by the buffered
+// done channel, so the goroutine retires cleanly once unblocked.
+func TestAbandonedWorker(t *testing.T) {
+	before := runtime.NumGoroutine()
+	release := make(chan struct{})
+	s := New(Config{
+		StallTimeout: 20 * time.Millisecond,
+		Poll:         2 * time.Millisecond,
+		Grace:        5 * time.Millisecond,
+	})
+	_, err := s.RunCell(context.Background(), "exp/wedged", func(ctx context.Context) (any, error) {
+		<-release // wedged: ignores ctx entirely
+		return nil, errors.New("released")
+	})
+	if !errors.Is(err, runerr.ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if got := s.Summary().AbandonedWorkers; got != 1 {
+		t.Errorf("abandoned = %d, want 1", got)
+	}
+	close(release) // unblock the wedged worker (the chaos analog of faultsim.Reset)
+	s.Close()
+	noLeaks(t, before)
+}
+
+// TestGateBackpressure: Admit blocks while the gate is paused, resumes
+// waiters on Resume, and honours context cancellation while blocked.
+func TestGateBackpressure(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if err := s.Admit(context.Background()); err != nil {
+		t.Fatalf("open gate blocked: %v", err)
+	}
+
+	s.gate.Pause()
+	s.gate.Pause() // idempotent: still one pause
+	admitted := make(chan error, 1)
+	go func() { admitted <- s.Admit(context.Background()) }()
+	select {
+	case err := <-admitted:
+		t.Fatalf("Admit returned %v through a paused gate", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.gate.Resume()
+	waitFor(t, "paused waiter release", func() bool {
+		select {
+		case err := <-admitted:
+			if err != nil {
+				t.Fatalf("released waiter got %v", err)
+			}
+			return true
+		default:
+			return false
+		}
+	})
+	if got := s.Summary().AdmissionPauses; got != 1 {
+		t.Errorf("pauses = %d, want 1 (Pause is idempotent)", got)
+	}
+
+	s.gate.Pause()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Admit(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Admit on canceled ctx = %v, want context.Canceled", err)
+	}
+	s.gate.Resume()
+}
+
+// fakeCache is a CacheBudget the memwatch tests can drive directly.
+type fakeCache struct {
+	mu       sync.Mutex
+	budget   int64
+	resident int64
+}
+
+func (c *fakeCache) Budget() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget
+}
+
+func (c *fakeCache) SetBudget(b int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = b
+}
+
+func (c *fakeCache) ResidentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident
+}
+
+// TestMemWatchSqueezeAndRestore drives the watermark monitor through a
+// full pressure cycle: usage above the high watermark pauses admission
+// and squeezes the cache budget to half the resident bytes; usage below
+// the low watermark restores the configured budget and resumes
+// admission.
+func TestMemWatchSqueezeAndRestore(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var usage atomic.Int64
+	usage.Store(50)
+	cache := &fakeCache{budget: 1000, resident: 600}
+	s := New(Config{})
+	s.StartMemWatch(MemConfig{
+		HighWater: 100,
+		LowWater:  60,
+		Interval:  time.Millisecond,
+		Floor:     16,
+		Usage:     usage.Load,
+	}, cache)
+
+	// Below both watermarks: nothing happens.
+	time.Sleep(10 * time.Millisecond)
+	if got := cache.Budget(); got != 1000 {
+		t.Fatalf("budget changed with no pressure: %d", got)
+	}
+
+	// Cross the high watermark: admission pauses, budget squeezed to
+	// resident/2.
+	usage.Store(150)
+	waitFor(t, "squeeze", func() bool { return cache.Budget() == 300 })
+	waitFor(t, "admission pause", func() bool { return s.Summary().AdmissionPauses == 1 })
+	admitted := make(chan error, 1)
+	go func() { admitted <- s.Admit(context.Background()) }()
+	select {
+	case <-admitted:
+		t.Fatal("Admit passed through the paused gate")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	// Sustained pressure walks the budget down geometrically to the floor.
+	cache.mu.Lock()
+	cache.resident = 20
+	cache.mu.Unlock()
+	waitFor(t, "floored squeeze", func() bool { return cache.Budget() == 16 })
+
+	// Fall below the low watermark: budget restored, waiter admitted.
+	usage.Store(40)
+	waitFor(t, "restore", func() bool { return cache.Budget() == 1000 })
+	waitFor(t, "admission resume", func() bool {
+		select {
+		case err := <-admitted:
+			if err != nil {
+				t.Fatalf("released waiter got %v", err)
+			}
+			return true
+		default:
+			return false
+		}
+	})
+	if got := s.Summary().MemSqueezes; got < 2 {
+		t.Errorf("squeezes = %d, want >= 2 (initial + walk-down)", got)
+	}
+	s.Close()
+	noLeaks(t, before)
+}
+
+// TestMemWatchCloseRestoresBudget: Close mid-squeeze leaves the cache
+// with its configured budget, not the squeezed one.
+func TestMemWatchCloseRestoresBudget(t *testing.T) {
+	var usage atomic.Int64
+	usage.Store(500)
+	cache := &fakeCache{budget: 1000, resident: 400}
+	s := New(Config{})
+	s.StartMemWatch(MemConfig{HighWater: 100, Interval: time.Millisecond, Floor: 16, Usage: usage.Load}, cache)
+	waitFor(t, "squeeze", func() bool { return cache.Budget() == 200 })
+	s.Close()
+	if got := cache.Budget(); got != 1000 {
+		t.Errorf("budget after Close = %d, want the configured 1000", got)
+	}
+}
+
+// TestCloseIdempotentAndLate: Close twice is fine, and supervision after
+// Close degrades to plain execution instead of panicking.
+func TestCloseIdempotentAndLate(t *testing.T) {
+	s := New(Config{StallTimeout: time.Hour})
+	s.Close()
+	s.Close()
+	row, err := s.RunCell(context.Background(), "exp/w", func(ctx context.Context) (any, error) {
+		return "late", nil
+	})
+	if err != nil || row != "late" {
+		t.Errorf("RunCell after Close = (%v, %v), want (late, nil)", row, err)
+	}
+	s.StartMemWatch(MemConfig{HighWater: 1}, &fakeCache{}) // no-op after Close
+}
+
+func TestFailureKindBuckets(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{fmt.Errorf("x: %w", runerr.ErrStalled), "stall"},
+		{fmt.Errorf("x: %w", runerr.ErrWorkloadPanic), "panic"},
+		{fmt.Errorf("x: %w", runerr.ErrDiskFault), "disk-fault"},
+		{fmt.Errorf("x: %w", runerr.ErrTraceCorrupt), "corrupt"},
+		{fmt.Errorf("x: %w", runerr.ErrStoreCorrupt), "corrupt"},
+		{fmt.Errorf("x: %w", runerr.ErrDeadline), "deadline"},
+		{context.DeadlineExceeded, "deadline"},
+		{context.Canceled, "canceled"},
+		{errors.New("anything else"), "error"},
+	}
+	for _, c := range cases {
+		if got := failureKind(c.err); got != c.want {
+			t.Errorf("failureKind(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	if !retryable(fmt.Errorf("x: %w", runerr.ErrStalled)) {
+		t.Error("stall not retryable")
+	}
+	if retryable(fmt.Errorf("x: %w", runerr.ErrDeadline)) {
+		t.Error("deadline retryable")
+	}
+	if retryable(context.DeadlineExceeded) {
+		t.Error("context deadline retryable")
+	}
+	if !retryable(context.Canceled) {
+		t.Error("orphaned cancellation (parent still live) not retryable")
+	}
+	if !retryable(errors.New("transient")) {
+		t.Error("generic error not retryable")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
